@@ -1,0 +1,67 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate *why* SimMR's design decisions matter:
+the shuffle model (the Mumak failure mode reproduced inside SimMR's own
+engine), the reduce slow-start threshold, and the slot-allocation
+sensitivity that motivates the whole simulator (paper Section II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    run_allocation_sweep,
+    run_shuffle_ablation,
+    run_slowstart_ablation,
+)
+
+
+def test_ablation_shuffle_modeling(benchmark, once):
+    result = once(benchmark, run_shuffle_ablation)
+    print()
+    print(result)
+    rows = result.rows()
+    with_sh = float(np.mean([r["with_shuffle_err_pct"] for r in rows]))
+    without = float(np.mean([r["without_shuffle_err_pct"] for r in rows]))
+    print(f"\nmean replay error: with shuffle {with_sh:.1f}%, without {without:.1f}%")
+    assert with_sh < 5.0
+    assert without > 10.0
+
+
+def test_ablation_reduce_slowstart(benchmark, once):
+    result = once(benchmark, run_slowstart_ablation)
+    print()
+    print(result)
+    rows = result.rows()
+    solos = [r["solo_duration_s"] for r in rows]
+    # Solo, early reduce starts never hurt (fillers are free when idle).
+    assert solos[0] <= solos[-1] + 1e-6
+    # Under contention, hogging reduce slots with fillers has a cost:
+    # the most aggressive slow-start is not the best contended choice.
+    contended = [r["contended_makespan_s"] for r in rows]
+    assert min(contended) <= contended[0]
+
+
+def test_ablation_slot_allocation_sensitivity(benchmark, once):
+    result = once(benchmark, run_allocation_sweep)
+    print()
+    print(result)
+    assert result.monotone_nonincreasing()
+    durations = {(m, r): d for m, r, d in result.samples}
+    # Section II's motivation: halving the allocation visibly slows the job.
+    assert durations[(32, 32)] > 1.3 * durations[(128, 128)]
+
+
+def test_ablation_speculative_execution(benchmark, once):
+    from repro.experiments.ablations import run_speculation_ablation
+
+    result = once(benchmark, run_speculation_ablation)
+    print()
+    print(result)
+    rows = {r["node_speed_sigma"]: r for r in result.rows()}
+    # The paper's observation: at the testbed's mild heterogeneity,
+    # speculation "did not lead to any significant improvements".
+    assert abs(rows[0.05]["improvement_pct"]) < 2.0
+    # Backup copies only appear once stragglers actually exist.
+    assert rows[0.4]["backups"] > rows[0.05]["backups"]

@@ -1,0 +1,24 @@
+"""Headline throughput: "SimMR can process over one million events per
+second" (paper Sections I and IV-E).
+
+Measures raw engine event throughput on a large saturated trace with
+task recording disabled (the configuration a capacity-planning sweep
+would use).  The asserted floor is conservative for a pure-Python
+engine; the measured number is printed for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core import ClusterConfig, SimulatorEngine
+from repro.experiments.performance import make_performance_trace
+from repro.schedulers import FIFOScheduler
+
+
+def test_engine_event_throughput(benchmark):
+    trace = make_performance_trace(500, mean_interarrival=100.0, seed=0)
+    engine = SimulatorEngine(ClusterConfig(64, 64), FIFOScheduler(), record_tasks=False)
+
+    result = benchmark.pedantic(engine.run, args=(trace,), rounds=3, iterations=1)
+    eps = result.events_per_second
+    print(f"\nengine throughput: {eps:,.0f} events/s over {result.events_processed} events")
+    assert eps > 200_000

@@ -1,0 +1,29 @@
+"""Figures 1 & 2: WordCount task-progress timelines.
+
+Paper: the 200-map/256-reduce WordCount shows 2 map and 2 reduce waves
+with 128x128 slots (Figure 1) and 4 waves each with 64x64 (Figure 2);
+the first reduce wave's shuffle overlaps the map stage and completes
+only after the last map.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.progress import run_progress
+
+
+def test_fig1_wordcount_128x128(benchmark, once):
+    result = once(benchmark, run_progress, 128, 128)
+    print()
+    print(result)
+    assert result.map_waves == 2
+    assert result.reduce_waves == 2
+    assert min(s for s, _ in result.shuffle_intervals) < result.map_stage_end
+    assert min(e for _, e in result.shuffle_intervals) >= result.map_stage_end
+
+
+def test_fig2_wordcount_64x64(benchmark, once):
+    result = once(benchmark, run_progress, 64, 64)
+    print()
+    print(result)
+    assert result.map_waves == 4
+    assert result.reduce_waves == 4

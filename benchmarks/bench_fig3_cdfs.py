@@ -1,0 +1,18 @@
+"""Figure 3: task-duration CDFs under two different slot allocations.
+
+Paper: the map/shuffle/reduce duration distributions of WordCount under
+64x64 and 32x32 allocations are nearly identical — the invariance that
+lets one execution's profile replay any allocation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.distributions import run_fig3_cdfs
+
+
+def test_fig3_duration_cdfs_invariant_to_allocation(benchmark, once):
+    result = once(benchmark, run_fig3_cdfs)
+    print()
+    print(result)
+    for phase, ks in result.ks.items():
+        assert ks < 0.25, f"{phase} CDFs diverge: KS={ks:.3f}"

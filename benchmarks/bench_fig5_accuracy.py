@@ -1,0 +1,42 @@
+"""Figure 5: simulator accuracy across scheduling policies.
+
+Paper: replaying three executions of the six applications, SimMR stays
+within 2.7% average / 6.6% max error under FIFO (1.1%/2.7% MinEDF,
+3.7%/8.6% MaxEDF) while Mumak — which skips the shuffle — underestimates
+with 37% average (51.7% max) error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.accuracy import run_accuracy
+
+
+def test_fig5a_fifo_accuracy(benchmark, once):
+    result = once(benchmark, run_accuracy, "FIFO", executions_per_app=3)
+    print()
+    print(result)
+    avg, mx = result.simmr_errors()
+    assert avg < 5.0
+    assert mx < 10.0
+    mumak_avg, mumak_max = result.mumak_errors()
+    assert mumak_avg > 15.0          # tens of percent, like the paper's 37%
+    assert mumak_avg > 4 * avg       # SimMR is far more accurate
+    assert result.mumak_underestimates()
+
+
+def test_fig5b_minedf_accuracy(benchmark, once):
+    result = once(benchmark, run_accuracy, "MinEDF", executions_per_app=3)
+    print()
+    print(result)
+    avg, mx = result.simmr_errors()
+    assert avg < 5.0
+    assert mx < 10.0
+
+
+def test_fig5c_maxedf_accuracy(benchmark, once):
+    result = once(benchmark, run_accuracy, "MaxEDF", executions_per_app=3)
+    print()
+    print(result)
+    avg, mx = result.simmr_errors()
+    assert avg < 5.0
+    assert mx < 10.0

@@ -1,0 +1,30 @@
+"""Figure 6: simulation wall-time, SimMR vs Mumak, over trace size.
+
+Paper: a 1148-job six-month trace replays in 1.5 s with SimMR vs 680 s
+with Mumak (two orders of magnitude), because Mumak simulates the
+TaskTrackers and their heartbeats.  Our Mumak is a lean Python
+reimplementation rather than the full Java JobTracker stack, so the
+asserted shape is direction + growth: SimMR is several times faster at
+every size, and the absolute gap widens with the trace.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.performance import run_performance
+
+
+def test_fig6_simulation_time_vs_jobs(benchmark, once):
+    result = once(benchmark, run_performance, (72, 144, 287, 574, 1148))
+    print()
+    print(result)
+    for point in result.points:
+        assert point.speedup > 2.0, f"{point.num_jobs} jobs: speedup {point.speedup:.1f}"
+    gaps = [p.mumak_seconds - p.simmr_seconds for p in result.points]
+    assert gaps[-1] > gaps[0]
+    # The 1148-job point the paper highlights.
+    full = result.points[-1]
+    assert full.num_jobs == 1148
+    print(
+        f"\n1148 jobs: SimMR {full.simmr_seconds:.2f}s vs Mumak "
+        f"{full.mumak_seconds:.2f}s (paper: 1.5s vs 680s)"
+    )

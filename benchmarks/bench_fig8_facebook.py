@@ -1,0 +1,38 @@
+"""Figure 8: MaxEDF vs MinEDF on the synthetic Facebook workload.
+
+Paper: with traces generated from the fitted LogNormal task-duration
+distributions (deadline factors 1.1 / 1.5 / 2), "the MinEDF scheduler
+significantly outperforms the MaxEDF policy", consistent with the
+testbed-trace results.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.schedulers_facebook import run_deadline_comparison_facebook
+
+RUNS = 30
+
+
+def test_fig8_facebook_deadline_sweep(benchmark, once):
+    result = once(
+        benchmark,
+        run_deadline_comparison_facebook,
+        (1.1, 1.5, 2.0),
+        (1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0),
+        runs=RUNS,
+        jobs_per_trace=100,
+    )
+    print()
+    print(result)
+
+    # MinEDF wins in aggregate at every deadline factor.
+    for df in (1.1, 1.5, 2.0):
+        total_max = sum(v for _, v in result.series(df, "MaxEDF"))
+        total_min = sum(v for _, v in result.series(df, "MinEDF"))
+        assert total_min < total_max, f"df={df}: MinEDF {total_min} vs MaxEDF {total_max}"
+
+    # Relaxing deadlines shrinks the absolute metric (fewer overruns).
+    totals = {
+        df: sum(v for _, v in result.series(df, "MinEDF")) for df in (1.1, 2.0)
+    }
+    assert totals[2.0] < totals[1.1]

@@ -1,0 +1,25 @@
+"""Delay-scheduling locality bench (the paper's reference [3], reproduced
+on the emulator substrate).
+
+Asserted shape, from Zaharia et al.: node-locality of a many-small-jobs
+workload climbs steeply with the delay-scheduling wait — from well under
+half when greedy to near-total within a few seconds — without hurting
+job performance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.locality import run_locality_sweep
+
+
+def test_delay_scheduling_locality_sweep(benchmark, once):
+    result = once(benchmark, run_locality_sweep)
+    print()
+    print(result)
+    series = dict(result.node_locality_series())
+    assert series[0.0] < 0.6              # greedy assignment: poor locality
+    assert series[10.0] > 0.9             # patient assignment: near-total
+    assert series[10.0] > series[0.0] + 0.3
+    # Patience is (almost) free: mean duration does not degrade.
+    rows = {r["locality_wait_s"]: r for r in result.rows()}
+    assert rows[10.0]["mean_duration_s"] <= 1.1 * rows[0.0]["mean_duration_s"]

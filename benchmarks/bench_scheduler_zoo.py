@@ -1,0 +1,25 @@
+"""Scheduler zoo bench: every built-in policy on one shared workload.
+
+Not a paper figure — the cross-policy comparison SimMR exists to make
+cheap.  Asserted shape: deadline-aware policies (EDF family, Flex) beat
+deadline-blind FIFO/Fair on the paper's utility metric, and FIFO remains
+competitive on pure makespan (it never idles slots on caps).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scheduler_zoo import run_scheduler_zoo
+
+
+def test_scheduler_zoo(benchmark, once):
+    result = once(benchmark, run_scheduler_zoo, runs=10)
+    print()
+    print(result)
+    metrics = result.metrics
+    deadline_aware = ["MaxEDF", "MinEDF", "Flex(avg_response)"]
+    for name in deadline_aware:
+        assert metrics[name]["utility"] < metrics["FIFO"]["utility"]
+        assert metrics[name]["utility"] < metrics["Fair"]["utility"]
+    # FIFO's greedy packing keeps makespan near the best observed.
+    best_makespan = min(m["makespan"] for m in metrics.values())
+    assert metrics["FIFO"]["makespan"] <= 1.15 * best_makespan

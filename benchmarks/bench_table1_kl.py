@@ -1,0 +1,27 @@
+"""Table I: symmetric KL divergence of phase-duration distributions.
+
+Paper: KL values across five executions of the *same* application are
+small (at most a few); across *different* applications they are an order
+of magnitude larger (~7-13.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.distributions import run_table1_kl
+
+
+def test_table1_kl_divergence(benchmark, once):
+    result = once(benchmark, run_table1_kl, executions=5)
+    print()
+    print(result)
+    same_avgs = [
+        avg for phases in result.same_app.values() for (_, avg, _) in phases.values()
+    ]
+    cross_avgs = [avg for (_, avg, _) in result.cross_app.values()]
+    # Same-application distributions are similar...
+    assert float(np.mean(same_avgs)) < 2.0
+    # ... and very different across applications (paper avg ~11.6-13.1).
+    assert float(np.mean(cross_avgs)) > 8.0
+    assert max(same_avgs) < min(cross_avgs)

@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one paper table or figure: it times the
+experiment with pytest-benchmark (rounds=1 — these are experiments, not
+micro-benchmarks) and prints the regenerated rows, asserting the shape
+properties the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sizing a cluster for a GridMix-style load with multi-job pipelines.
+
+The full "daily tasks" workflow the paper envisions for administrators:
+
+1. describe tomorrow's load — a GridMix-shaped mix plus a three-stage
+   TF-IDF pipeline with a workflow-level deadline;
+2. ask the planner for the smallest cluster that (a) finishes the batch
+   within the maintenance window and (b) meets the pipeline deadline;
+3. sanity-check the recommendation with utilization metrics and compare
+   scheduler choices on the recommended hardware.
+
+Run: ``python examples/cluster_sizing.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClusterConfig, FIFOScheduler, simulate
+from repro.core import utilization
+from repro.planner import ClusterPlanner
+from repro.schedulers import FairScheduler, FlexScheduler
+from repro.trace import BatchArrivals, chain
+from repro.workloads import gridmix_specs, gridmix_trace_generator
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+
+    # Tomorrow's batch: 30 GridMix jobs dropped at the window start ...
+    gen = gridmix_trace_generator(BatchArrivals(), seed=rng)
+    trace = gen.generate(30)
+    # ... plus a three-stage pipeline (extract -> aggregate -> rank) that
+    # must deliver within 2000s of the window opening.
+    specs = gridmix_specs()
+    pipeline = chain(
+        "nightly-tfidf",
+        [specs["webdataScan.medium"], specs["streamSort.medium"], specs["combiner.medium"]],
+        stage_names=["extract", "aggregate", "rank"],
+    )
+    trace += pipeline.instantiate(0.0, rng, base_index=len(trace), deadline=2000.0)
+    total_tasks = sum(j.profile.num_maps + j.profile.num_reduces for j in trace)
+    print(f"workload: {len(trace)} jobs, {total_tasks} tasks, "
+          f"one pipeline deadline at 2000s\n")
+
+    planner = ClusterPlanner()
+    window = 3600.0
+    for_window = planner.min_cluster_for_makespan(trace, window)
+    for_deadline = planner.min_cluster_for_deadlines(trace)
+    need = max(for_window.map_slots, for_deadline.map_slots)
+    print(f"smallest cluster for the {window:.0f}s window:   "
+          f"{for_window.map_slots} map + {for_window.reduce_slots} reduce slots")
+    print(f"smallest cluster for the pipeline deadline: "
+          f"{for_deadline.map_slots} map + {for_deadline.reduce_slots} reduce slots")
+    print(f"=> provision {need} map + {need} reduce slots\n")
+
+    cluster = ClusterConfig(need, need)
+    result = simulate(trace, FIFOScheduler(), cluster)
+    report = utilization(result, cluster)
+    print(f"verification on {need}x{need} (FIFO): makespan {result.makespan:.0f}s, "
+          f"map slots {report.map_utilization:.0%} busy, "
+          f"reduce slots {report.reduce_utilization:.0%} busy")
+    missed = result.jobs_missed_deadline()
+    print(f"deadline check: {'all met' if not missed else f'{len(missed)} missed'}\n")
+
+    print("scheduler choice on the recommended cluster:")
+    print(f"  {'policy':22} {'makespan':>9} {'mean T_J':>9}")
+    for sched in (FIFOScheduler(), FairScheduler(), FlexScheduler("avg_response"),
+                  FlexScheduler("max_stretch")):
+        r = simulate(trace, sched, cluster, record_tasks=False)
+        mean_t = float(np.mean(list(r.durations().values())))
+        print(f"  {r.scheduler_name:22} {r.makespan:>8.0f}s {mean_t:>8.0f}s")
+    print("\nFlex(avg_response) trades a little makespan for much faster "
+          "small jobs — pick by what the SLOs reward.")
+
+
+if __name__ == "__main__":
+    main()

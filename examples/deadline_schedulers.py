@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Comparing deadline-driven schedulers on a shared cluster.
+
+The paper's Section V case study in miniature: a mix of the six
+applications arrives with exponential inter-arrival times and per-job
+deadlines; MinEDF (model-derived minimal allocations) and MaxEDF
+(maximal allocations in EDF order) — plus deadline-blind FIFO and Fair
+for context — compete on the *relative deadline exceeded* metric,
+``sum over late jobs of (T - D) / D``.
+
+Run: ``python examples/deadline_schedulers.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClusterConfig, FairScheduler, FIFOScheduler, MaxEDFScheduler, MinEDFScheduler, simulate
+from repro.workloads import permuted_deadline_trace, testbed_mix_profiles
+
+
+def main() -> None:
+    cluster = ClusterConfig(64, 64)
+    profiles = testbed_mix_profiles(executions_per_app=2, seed=0)
+    print(
+        f"workload: {len(profiles)} jobs "
+        f"({', '.join(sorted({p.name for p in profiles}))})\n"
+    )
+
+    schedulers = [FIFOScheduler, FairScheduler, MaxEDFScheduler, MinEDFScheduler]
+    runs = 25
+
+    for deadline_factor in (1.5, 3.0):
+        print(f"deadline factor {deadline_factor} "
+              f"(deadlines uniform in [T_J, {deadline_factor}*T_J]):")
+        print(f"  {'mean inter-arrival':>19} " + " ".join(f"{s.name:>8}" for s in schedulers))
+        for mean_ia in (10.0, 100.0, 1000.0):
+            totals = {s.name: 0.0 for s in schedulers}
+            for run in range(runs):
+                seed = np.random.default_rng((int(deadline_factor * 10), int(mean_ia), run))
+                trace = permuted_deadline_trace(
+                    profiles, mean_ia, deadline_factor, cluster, seed=seed
+                )
+                for sched_cls in schedulers:
+                    result = simulate(trace, sched_cls(), cluster, record_tasks=False)
+                    totals[sched_cls.name] += result.relative_deadline_exceeded()
+            cells = " ".join(f"{totals[s.name] / runs:>8.2f}" for s in schedulers)
+            print(f"  {mean_ia:>18.0f}s {cells}")
+        print()
+
+    print(
+        "Lower is better.  MinEDF allocates each job only what its\n"
+        "deadline requires, leaving spare slots for urgent arrivals —\n"
+        "which is exactly where it beats MaxEDF (paper Figures 7-8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,576 @@
+"""The ``simmr`` command-line interface.
+
+Subcommands mirror the SimMR workflow (paper Figure 4):
+
+* ``simmr generate`` — Synthetic TraceGen: sample a trace from the
+  built-in workload models into a JSON trace file;
+* ``simmr profile`` — MRProfiler: job templates from a JobTracker
+  history log into a JSON trace file;
+* ``simmr replay`` — Simulator Engine: replay a trace file under a
+  scheduling policy and print per-job completion times;
+* ``simmr compare`` — replay one trace under several policies and print
+  the comparison;
+* ``simmr experiment`` — regenerate a paper table/figure by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.cluster import ClusterConfig
+from .core.engine import simulate
+from .schedulers import make_scheduler
+from .trace.arrivals import ExponentialArrivals
+from .trace.schema import load_trace, save_trace
+from .trace.synthetic import SyntheticTraceGen
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "fig1", "fig2", "fig3", "table1", "fig5", "fig6", "fig7", "fig8",
+    "preemption", "ablations", "zoo", "locality",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simmr",
+        description="SimMR: trace-driven MapReduce simulation (CLUSTER 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace file")
+    gen.add_argument("output", type=Path, help="output trace JSON path")
+    gen.add_argument("--jobs", type=int, default=20, help="number of jobs (default 20)")
+    gen.add_argument(
+        "--workload",
+        choices=["mix", "facebook"] + ["WordCount", "WikiTrends", "Twitter", "Sort", "TFIDF", "Bayes"],
+        default="mix",
+        help="workload model (default: the six-application mix)",
+    )
+    gen.add_argument(
+        "--mean-interarrival", type=float, default=100.0, help="mean inter-arrival seconds"
+    )
+    gen.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=None,
+        help="assign deadlines uniform in [T_J, df*T_J]",
+    )
+    gen.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="generate from a fitted spec JSON (overrides --workload)",
+    )
+    gen.add_argument("--seed", type=int, default=0)
+
+    prof = sub.add_parser("profile", help="extract a trace from a JobTracker history log")
+    prof.add_argument("history", type=Path, help="history log path")
+    prof.add_argument("output", type=Path, help="output trace JSON path")
+
+    rep = sub.add_parser("replay", help="replay a trace file")
+    rep.add_argument("trace", type=Path, help="trace JSON path")
+    rep.add_argument("--scheduler", default="fifo", help="fifo | maxedf | minedf | fair")
+    rep.add_argument("--map-slots", type=int, default=64)
+    rep.add_argument("--reduce-slots", type=int, default=64)
+    rep.add_argument("--slowstart", type=float, default=0.05)
+    rep.add_argument("--output", type=Path, default=None,
+                     help="write the full output log (JSON) here")
+    rep.add_argument("--csv", type=Path, default=None,
+                     help="write the per-job table (CSV) here")
+
+    cmp_ = sub.add_parser("compare", help="replay a trace under several schedulers")
+    cmp_.add_argument("trace", type=Path)
+    cmp_.add_argument(
+        "--schedulers", default="fifo,maxedf,minedf", help="comma-separated policy names"
+    )
+    cmp_.add_argument("--map-slots", type=int, default=64)
+    cmp_.add_argument("--reduce-slots", type=int, default=64)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("id", choices=_EXPERIMENTS, help="experiment id")
+    exp.add_argument("--runs", type=int, default=None, help="averaging runs (fig7/fig8)")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--plot", action="store_true", help="render a text plot of the result")
+
+    stats = sub.add_parser("stats", help="summarize a trace file")
+    stats.add_argument("trace", type=Path)
+    stats.add_argument("--map-slots", type=int, default=64)
+    stats.add_argument("--reduce-slots", type=int, default=64)
+
+    comp = sub.add_parser("compact", help="remove inactivity periods from a trace")
+    comp.add_argument("trace", type=Path)
+    comp.add_argument("output", type=Path)
+    comp.add_argument("--max-gap", type=float, default=60.0,
+                      help="largest inter-submission gap to keep (seconds)")
+
+    scale = sub.add_parser("scale", help="scale a trace to a larger dataset")
+    scale.add_argument("trace", type=Path)
+    scale.add_argument("output", type=Path)
+    scale.add_argument("factor", type=float, help="dataset size ratio (new/old)")
+    scale.add_argument("--pin-reduces", action="store_true",
+                       help="keep reduce counts fixed, stretching their durations")
+    scale.add_argument("--seed", type=int, default=0)
+
+    diff = sub.add_parser(
+        "diff-profiles",
+        help="compare two traces' job templates (same application?)",
+    )
+    diff.add_argument("trace_a", type=Path)
+    diff.add_argument("trace_b", type=Path)
+    diff.add_argument("--job-a", type=int, default=0, help="job index in trace A")
+    diff.add_argument("--job-b", type=int, default=0, help="job index in trace B")
+    diff.add_argument("--kl-threshold", type=float, default=2.5)
+
+    sweep = sub.add_parser("sweep", help="what-if sweep over configurations")
+    sweep.add_argument("trace", type=Path)
+    sweep.add_argument(
+        "--schedulers", default="fifo,maxedf,minedf", help="comma-separated policy names"
+    )
+    sweep.add_argument(
+        "--map-slots", default="32,64,128", help="comma-separated map-slot counts"
+    )
+    sweep.add_argument(
+        "--reduce-slots",
+        default=None,
+        help="comma-separated reduce-slot counts (default: same as map slots)",
+    )
+    sweep.add_argument(
+        "--slowstarts", default="0.05", help="comma-separated slow-start thresholds"
+    )
+    sweep.add_argument(
+        "--best-by",
+        default=None,
+        choices=["makespan", "mean_duration", "p95_duration", "deadline_utility"],
+        help="also print the winning configuration for this metric",
+    )
+
+    fit = sub.add_parser(
+        "fit",
+        help="fit a generative job spec from a trace's recorded profiles",
+    )
+    fit.add_argument("trace", type=Path, help="trace JSON with recorded executions")
+    fit.add_argument("output", type=Path, help="output spec JSON path")
+    fit.add_argument("--name", default=None, help="spec name")
+    fit.add_argument(
+        "--no-same-app-check",
+        action="store_true",
+        help="skip the same-application KL check before blending profiles",
+    )
+
+    val = sub.add_parser(
+        "validate",
+        help="run the end-to-end validation loop (emulate, profile, replay)",
+    )
+    val.add_argument("--seed", type=int, default=0)
+    val.add_argument("--executions", type=int, default=1, help="executions per application")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .trace.deadlines import DeadlineFactorPolicy
+    from .workloads.apps import app_spec, make_app_specs
+    from .workloads.facebook import FacebookJobSpec
+
+    cluster = ClusterConfig(64, 64)
+    deadline_policy = (
+        DeadlineFactorPolicy(args.deadline_factor, cluster)
+        if args.deadline_factor is not None
+        else None
+    )
+    if args.spec is not None:
+        import json as _json
+
+        from .trace.synthetic import SyntheticJobSpec
+
+        specs = [SyntheticJobSpec.from_dict(_json.loads(args.spec.read_text()))]
+    elif args.workload == "mix":
+        specs = list(make_app_specs().values())
+    elif args.workload == "facebook":
+        specs = [FacebookJobSpec()]
+    else:
+        specs = [app_spec(args.workload)]
+    gen = SyntheticTraceGen(
+        specs,
+        ExponentialArrivals(args.mean_interarrival),
+        deadline_policy=deadline_policy,
+        seed=args.seed,
+    )
+    trace = gen.generate(args.jobs)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} jobs to {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .mrprofiler.profiler import trace_from_history
+
+    trace = trace_from_history(args.history.read_text())
+    save_trace(trace, args.output)
+    print(f"profiled {len(trace)} jobs from {args.history} into {args.output}")
+    return 0
+
+
+def _replay(
+    trace_path: Path,
+    scheduler_name: str,
+    map_slots: int,
+    reduce_slots: int,
+    slowstart: float = 0.05,
+    record_tasks: bool = False,
+):
+    trace = load_trace(trace_path)
+    scheduler = make_scheduler(scheduler_name)
+    return simulate(
+        trace,
+        scheduler,
+        ClusterConfig(map_slots, reduce_slots),
+        min_map_percent_completed=slowstart,
+        record_tasks=record_tasks,
+    )
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    result = _replay(
+        args.trace, args.scheduler, args.map_slots, args.reduce_slots,
+        args.slowstart, record_tasks=args.output is not None,
+    )
+    print(f"scheduler={result.scheduler_name} makespan={result.makespan:.1f}s "
+          f"events={result.events_processed} "
+          f"({result.events_per_second:,.0f} events/s)")
+    print(f"{'job':>4} {'name':20} {'submit':>10} {'duration':>10} {'deadline':>10} late")
+    for job in result.jobs:
+        deadline = f"{job.deadline:.1f}" if job.deadline is not None else "-"
+        late = "*" if job.met_deadline is False else ""
+        print(
+            f"{job.job_id:>4} {job.name:20} {job.submit_time:>10.1f} "
+            f"{job.duration:>10.1f} {deadline:>10} {late}"
+        )
+    util = result.relative_deadline_exceeded()
+    if util:
+        print(f"relative deadline exceeded: {util:.3f}")
+    if args.output is not None:
+        from .core.results_io import save_result
+
+        save_result(result, args.output)
+        print(f"output log written to {args.output}")
+    if args.csv is not None:
+        from .core.results_io import jobs_to_csv
+
+        args.csv.write_text(jobs_to_csv(result))
+        print(f"job table written to {args.csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    print(f"{'scheduler':10} {'makespan':>10} {'mean T_J':>10} {'util':>8}")
+    for name in names:
+        result = _replay(args.trace, name, args.map_slots, args.reduce_slots)
+        durations = list(result.durations().values())
+        mean_t = sum(durations) / len(durations) if durations else 0.0
+        print(
+            f"{result.scheduler_name:10} {result.makespan:>10.1f} {mean_t:>10.1f} "
+            f"{result.relative_deadline_exceeded():>8.3f}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .core.cluster import ClusterConfig
+    from .trace.tools import trace_summary
+
+    trace = load_trace(args.trace)
+    summary = trace_summary(trace)
+    print(summary)
+    slots = args.map_slots + args.reduce_slots
+    print(f"offered load on a {args.map_slots}x{args.reduce_slots} cluster: "
+          f"{summary.offered_load(slots):.2f} "
+          f"(task-seconds demanded per slot-second over the span)")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from .trace.tools import compact_trace, trace_summary
+
+    trace = load_trace(args.trace)
+    compacted = compact_trace(trace, max_gap=args.max_gap)
+    save_trace(compacted, args.output)
+    before = trace_summary(trace).span_seconds
+    after = trace_summary(compacted).span_seconds
+    print(f"compacted {len(trace)} jobs: span {before:.0f}s -> {after:.0f}s "
+          f"(max gap {args.max_gap}s)")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from .trace.scaling import scale_profile
+
+    trace = load_trace(args.trace)
+    from .core.job import TraceJob
+
+    scaled = [
+        TraceJob(
+            scale_profile(
+                j.profile,
+                args.factor,
+                scale_reduces=not args.pin_reduces,
+                seed=args.seed + i,
+            ),
+            j.submit_time,
+            j.deadline,
+        )
+        for i, j in enumerate(trace)
+    ]
+    save_trace(scaled, args.output)
+    total_before = sum(j.profile.num_maps + j.profile.num_reduces for j in trace)
+    total_after = sum(j.profile.num_maps + j.profile.num_reduces for j in scaled)
+    print(f"scaled {len(trace)} jobs by x{args.factor:g}: "
+          f"{total_before} -> {total_after} tasks; wrote {args.output}")
+    return 0
+
+
+def _plot_sweep(result) -> None:
+    from .render import line_plot
+
+    factors = sorted({df for df, _ in result.cells})
+    for df in factors:
+        series = {
+            name: result.series(df, name) for name in ("MaxEDF", "MinEDF")
+        }
+        print()
+        print(
+            line_plot(
+                series,
+                logx=True,
+                title=f"deadline factor {df}",
+                xlabel="mean inter-arrival (s)",
+                ylabel="relative deadline exceeded",
+            )
+        )
+
+
+def _cmd_diff_profiles(args: argparse.Namespace) -> int:
+    from .mrprofiler.compare import compare_profiles
+
+    trace_a = load_trace(args.trace_a)
+    trace_b = load_trace(args.trace_b)
+    try:
+        profile_a = trace_a[args.job_a].profile
+        profile_b = trace_b[args.job_b].profile
+    except IndexError:
+        print("job index out of range", file=sys.stderr)
+        return 2
+    comparison = compare_profiles(profile_a, profile_b, kl_threshold=args.kl_threshold)
+    print(comparison)
+    return 0 if comparison.same_application else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import run_sweep
+
+    trace = load_trace(args.trace)
+    map_slots = [int(x) for x in args.map_slots.split(",") if x.strip()]
+    if args.reduce_slots is None:
+        reduce_slots = map_slots
+    else:
+        reduce_slots = [int(x) for x in args.reduce_slots.split(",") if x.strip()]
+        if len(reduce_slots) != len(map_slots):
+            print("--reduce-slots must match --map-slots in length", file=sys.stderr)
+            return 2
+    clusters = [ClusterConfig(m, r) for m, r in zip(map_slots, reduce_slots)]
+    result = run_sweep(
+        trace,
+        schedulers=[s.strip() for s in args.schedulers.split(",") if s.strip()],
+        clusters=clusters,
+        slowstarts=[float(x) for x in args.slowstarts.split(",") if x.strip()],
+    )
+    print(result)
+    if args.best_by:
+        best = result.best_by(args.best_by)
+        print(
+            f"\nbest {args.best_by}: {best.scheduler} on "
+            f"{best.map_slots}x{best.reduce_slots} (slowstart {best.slowstart})"
+        )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .trace.fit import fit_spec_from_profiles
+
+    trace = load_trace(args.trace)
+    spec = fit_spec_from_profiles(
+        [j.profile for j in trace],
+        name=args.name,
+        same_app_kl_threshold=None if args.no_same_app_check else 2.5,
+    )
+    args.output.write_text(_json.dumps(spec.to_spec()))
+    print(
+        f"fitted spec {spec.name!r} from {len(trace)} recorded execution(s); "
+        f"map model: {spec.map_durations!r}; wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.accuracy import run_accuracy
+
+    print("running the validation loop (emulated cluster -> JobTracker logs "
+          "-> MRProfiler -> SimMR replay) ...")
+    result = run_accuracy("FIFO", executions_per_app=args.executions, seed=args.seed)
+    print(result)
+    avg, mx = result.simmr_errors()
+    healthy = avg < 5.0 and mx < 10.0
+    print(f"\nSimMR replay error: {avg:.1f}% avg / {mx:.1f}% max "
+          f"(paper: 2.7% / 6.6%) -> {'OK' if healthy else 'DEGRADED'}")
+    return 0 if healthy else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id in ("fig1", "fig2"):
+        from .experiments.progress import run_progress
+
+        slots = 128 if args.id == "fig1" else 64
+        result = run_progress(slots, slots, seed=args.seed)
+        print(result)
+        if args.plot:
+            from .render import line_plot
+
+            series = {
+                "map": [], "shuffle": [], "reduce": [],
+            }
+            for row in result.series(points=58):
+                series["map"].append((row["time"], row["map_tasks"]))
+                series["shuffle"].append((row["time"], row["shuffle_tasks"]))
+                series["reduce"].append((row["time"], row["reduce_tasks"]))
+            print()
+            print(
+                line_plot(
+                    series,
+                    title=f"WordCount tasks in phase ({slots}x{slots} slots)",
+                    xlabel="time (s)",
+                    ylabel="tasks",
+                )
+            )
+    elif args.id == "fig3":
+        from .experiments.distributions import run_fig3_cdfs
+
+        print(run_fig3_cdfs(seed=args.seed))
+    elif args.id == "table1":
+        from .experiments.distributions import run_table1_kl
+
+        print(run_table1_kl(seed=args.seed))
+    elif args.id == "fig5":
+        from .experiments.accuracy import run_accuracy
+
+        for scheduler in ("FIFO", "MinEDF", "MaxEDF"):
+            result = run_accuracy(scheduler, seed=args.seed)
+            print(result)
+            if args.plot:
+                from .render import bar_chart
+
+                rows = []
+                for app, actual in result.actual.items():
+                    rows.append((f"{app} SimMR", result.simmr[app] / actual * 100.0))
+                    if result.mumak is not None:
+                        rows.append((f"{app} Mumak", result.mumak[app] / actual * 100.0))
+                print()
+                print(
+                    bar_chart(
+                        rows,
+                        title=f"{scheduler}: simulated completion as % of actual",
+                        reference=100.0,
+                    )
+                )
+            print()
+    elif args.id == "fig6":
+        from .experiments.performance import run_performance
+
+        print(run_performance(seed=args.seed))
+    elif args.id == "fig7":
+        from .experiments.schedulers_real import run_deadline_comparison_real
+
+        result = run_deadline_comparison_real(runs=args.runs or 50, seed=args.seed)
+        print(result)
+        if args.plot:
+            _plot_sweep(result)
+    elif args.id == "fig8":
+        from .experiments.schedulers_facebook import run_deadline_comparison_facebook
+
+        result = run_deadline_comparison_facebook(runs=args.runs or 50, seed=args.seed)
+        print(result)
+        if args.plot:
+            _plot_sweep(result)
+    elif args.id == "preemption":
+        from .experiments.preemption import run_preemption_ablation
+
+        print(run_preemption_ablation(runs=args.runs or 30, seed=args.seed))
+    elif args.id == "ablations":
+        from .experiments.ablations import (
+            run_allocation_sweep,
+            run_shuffle_ablation,
+            run_slowstart_ablation,
+            run_speculation_ablation,
+        )
+
+        for fn in (
+            run_shuffle_ablation,
+            run_slowstart_ablation,
+            run_allocation_sweep,
+            run_speculation_ablation,
+        ):
+            print(fn())
+            print()
+    elif args.id == "zoo":
+        from .experiments.scheduler_zoo import run_scheduler_zoo
+
+        print(run_scheduler_zoo(runs=args.runs or 10, seed=args.seed))
+    elif args.id == "locality":
+        from .experiments.locality import run_locality_sweep
+
+        result = run_locality_sweep(seed=args.seed or 2)
+        print(result)
+        if args.plot:
+            from .render import line_plot
+
+            print()
+            print(
+                line_plot(
+                    {"node-local": result.node_locality_series()},
+                    title="delay scheduling: node locality vs wait",
+                    xlabel="locality wait (s)",
+                )
+            )
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.id)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "profile": _cmd_profile,
+        "replay": _cmd_replay,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "stats": _cmd_stats,
+        "compact": _cmd_compact,
+        "scale": _cmd_scale,
+        "diff-profiles": _cmd_diff_profiles,
+        "sweep": _cmd_sweep,
+        "fit": _cmd_fit,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Simulation outputs: per-job results and whole-run summaries.
+
+The engine's "output log" (paper Figure 4).  :class:`SimulationResult`
+carries everything the evaluation experiments need: per-job completion
+times (Figure 5 accuracy), task-level records (Figures 1-3 progress plots
+and duration CDFs), the deadline-exceeded utility metric (Figures 7-8),
+and engine statistics (Figure 6 / the ">1M events per second" headline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .events import Event
+from .job import Job, TaskRecord
+
+__all__ = ["JobResult", "SimulationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobResult:
+    """Immutable summary of one completed (or unfinished) job."""
+
+    job_id: int
+    name: str
+    submit_time: float
+    start_time: Optional[float]
+    map_stage_end: Optional[float]
+    completion_time: Optional[float]
+    deadline: Optional[float]
+    num_maps: int
+    num_reduces: int
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobResult":
+        return cls(
+            job_id=job.job_id,
+            name=job.name,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            map_stage_end=job.map_stage_end,
+            completion_time=job.completion_time,
+            deadline=job.deadline,
+            num_maps=job.num_maps,
+            num_reduces=job.num_reduces,
+        )
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Completion time relative to submission (the paper's T_J)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the job met its deadline; ``None`` if it had none."""
+        if self.deadline is None or self.completion_time is None:
+            return None
+        return self.completion_time <= self.deadline
+
+    def relative_deadline_exceeded(self) -> float:
+        """``(T_J - D_J)/D_J`` if exceeded, else 0 (paper Section V-A)."""
+        if self.deadline is None or self.completion_time is None or self.deadline <= 0:
+            return 0.0
+        over = self.completion_time - self.deadline
+        return over / self.deadline if over > 0 else 0.0
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Full output of one simulator run."""
+
+    scheduler_name: str
+    jobs: list[JobResult]
+    task_records: list[TaskRecord]
+    makespan: float
+    events_processed: int
+    wall_clock_seconds: float
+    #: The processed event stream (populated only when the engine ran
+    #: with ``record_events=True``) — the paper's seven event types in
+    #: processing order.
+    event_log: list[Event] = field(default_factory=list)
+
+    # Cached lookups -------------------------------------------------------
+    _by_id: dict[int, JobResult] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {j.job_id: j for j in self.jobs}
+
+    def job(self, job_id: int) -> JobResult:
+        """Result of the job with the given id."""
+        return self._by_id[job_id]
+
+    def completion_times(self) -> dict[int, float]:
+        """Map from job id to absolute completion time (completed jobs)."""
+        return {
+            j.job_id: j.completion_time
+            for j in self.jobs
+            if j.completion_time is not None
+        }
+
+    def durations(self) -> dict[int, float]:
+        """Map from job id to T_J = completion - submission."""
+        return {j.job_id: j.duration for j in self.jobs if j.duration is not None}
+
+    def relative_deadline_exceeded(self) -> float:
+        """The paper's utility metric: sum over late jobs of (T-D)/D.
+
+        Lower is better; the scheduler minimizing it "is a better candidate
+        for a deadline-based scheduler" (Section V-A).
+        """
+        return sum(j.relative_deadline_exceeded() for j in self.jobs)
+
+    def jobs_missed_deadline(self) -> list[JobResult]:
+        """Jobs that finished after their deadline."""
+        return [j for j in self.jobs if j.met_deadline is False]
+
+    @property
+    def events_per_second(self) -> float:
+        """Engine throughput (events / wall second); inf for instant runs."""
+        if self.wall_clock_seconds <= 0:
+            return float("inf")
+        return self.events_processed / self.wall_clock_seconds
+
+    def task_records_for(self, job_id: int, kind: Optional[str] = None) -> list[TaskRecord]:
+        """Task records of one job, optionally filtered to "map"/"reduce"."""
+        return [
+            r
+            for r in self.task_records
+            if r.job_id == job_id and (kind is None or r.kind == kind)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterable[JobResult]:
+        return iter(self.jobs)

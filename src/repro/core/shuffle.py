@@ -1,0 +1,129 @@
+"""Pluggable shuffle-phase models.
+
+The paper's future work (Section VII): "We intend to analyze how SimMR
+can ... be integrated with complementary simulation tools, e.g., network
+simulators for modeling the shuffle phase."  This module is that
+integration seam: the engine can delegate shuffle-duration decisions to
+a :class:`ShuffleModel` instead of reading the recorded durations.
+
+* :class:`TraceShuffleModel` — the paper's (and the engine's default)
+  behaviour: durations come from the job profile's first/typical shuffle
+  arrays.
+* :class:`NetworkShuffleModel` — a capacity model of the cluster fabric:
+  each reduce pulls its partition over a shared bisection bandwidth,
+  fair-shared among the reduces currently shuffling (optionally capped
+  per flow by the node NIC).  Durations *grow under contention*, which
+  recorded traces cannot express — the behaviour a network simulator
+  would add.
+
+Models see the engine's state through a narrow
+:class:`ShuffleContext`: the job, task index, whether this is a
+first-wave (post-map-stage) shuffle, and how many reduces are shuffling
+concurrently.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .job import Job
+
+__all__ = ["ShuffleContext", "ShuffleModel", "TraceShuffleModel", "NetworkShuffleModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShuffleContext:
+    """What a shuffle model may observe when pricing one shuffle."""
+
+    job: "Job"
+    index: int
+    #: True for the first reduce wave: only the non-overlapping part
+    #: (after the map stage) is being priced.
+    first_wave: bool
+    #: Reduce tasks occupying slots at this instant (including this one).
+    concurrent_shuffles: int
+
+
+class ShuffleModel(ABC):
+    """Prices the shuffle phase of one reduce task, in seconds."""
+
+    @abstractmethod
+    def shuffle_duration(self, ctx: ShuffleContext) -> float:
+        """Duration of the (non-overlapping part of the) shuffle."""
+
+
+class TraceShuffleModel(ShuffleModel):
+    """The default: replay the profile's recorded shuffle durations."""
+
+    def shuffle_duration(self, ctx: ShuffleContext) -> float:
+        profile = ctx.job.profile
+        if ctx.first_wave:
+            return profile.first_shuffle_duration(ctx.index)
+        return profile.typical_shuffle_duration(ctx.index)
+
+
+BytesFn = Union[float, Callable[["Job", int], float]]
+
+
+class NetworkShuffleModel(ShuffleModel):
+    """Shuffle durations from data volume over shared fabric bandwidth.
+
+    Parameters
+    ----------
+    bytes_per_reduce:
+        Bytes each reduce pulls — a constant, or ``f(job, index)`` (e.g.
+        fed from Rumen's ``reduceShuffleBytes`` counters).
+    bisection_bandwidth:
+        Aggregate cross-section bandwidth shared by all concurrent
+        shuffles, in bytes/second.
+    per_flow_cap:
+        Optional per-reduce ceiling (the node NIC), bytes/second.
+    first_wave_fraction:
+        Fraction of a first-wave reduce's pull that remains *after* the
+        map stage completes (the engine prices only the non-overlapping
+        part; the rest overlapped map execution).  The default 1/3
+        mirrors the final-map-wave share of a 3-wave job.
+    """
+
+    def __init__(
+        self,
+        bytes_per_reduce: BytesFn,
+        bisection_bandwidth: float,
+        *,
+        per_flow_cap: float | None = None,
+        first_wave_fraction: float = 1.0 / 3.0,
+    ) -> None:
+        if bisection_bandwidth <= 0:
+            raise ValueError(f"bisection_bandwidth must be > 0, got {bisection_bandwidth}")
+        if per_flow_cap is not None and per_flow_cap <= 0:
+            raise ValueError(f"per_flow_cap must be > 0, got {per_flow_cap}")
+        if not 0.0 < first_wave_fraction <= 1.0:
+            raise ValueError(
+                f"first_wave_fraction must be in (0, 1], got {first_wave_fraction}"
+            )
+        self.bytes_per_reduce = bytes_per_reduce
+        self.bisection_bandwidth = float(bisection_bandwidth)
+        self.per_flow_cap = per_flow_cap
+        self.first_wave_fraction = first_wave_fraction
+
+    def _bytes(self, job: "Job", index: int) -> float:
+        if callable(self.bytes_per_reduce):
+            volume = float(self.bytes_per_reduce(job, index))
+        else:
+            volume = float(self.bytes_per_reduce)
+        if volume < 0:
+            raise ValueError(f"bytes_per_reduce produced a negative volume {volume}")
+        return volume
+
+    def shuffle_duration(self, ctx: ShuffleContext) -> float:
+        volume = self._bytes(ctx.job, ctx.index)
+        if ctx.first_wave:
+            volume *= self.first_wave_fraction
+        flows = max(ctx.concurrent_shuffles, 1)
+        rate = self.bisection_bandwidth / flows
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        return volume / rate

@@ -1,0 +1,60 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+========== ==========================================================
+Paper item Entry point
+========== ==========================================================
+Figure 1   :func:`repro.experiments.progress.run_progress` (128x128)
+Figure 2   :func:`repro.experiments.progress.run_progress` (64x64)
+Figure 3   :func:`repro.experiments.distributions.run_fig3_cdfs`
+Table I    :func:`repro.experiments.distributions.run_table1_kl`
+Figure 5   :func:`repro.experiments.accuracy.run_accuracy`
+Figure 6   :func:`repro.experiments.performance.run_performance`
+Figure 7   :func:`repro.experiments.schedulers_real.run_deadline_comparison_real`
+Figure 8   :func:`repro.experiments.schedulers_facebook.run_deadline_comparison_facebook`
+(ours)     :mod:`repro.experiments.ablations`, :mod:`repro.experiments.preemption`
+========== ==========================================================
+"""
+
+from .ablations import (
+    run_allocation_sweep,
+    run_shuffle_ablation,
+    run_slowstart_ablation,
+    run_speculation_ablation,
+)
+from .accuracy import AccuracyResult, run_accuracy
+from .common import format_table, relative_error
+from .distributions import run_fig3_cdfs, run_table1_kl
+from .locality import LocalitySweepResult, run_locality_sweep
+from .performance import PerformanceResult, run_performance
+from .preemption import PreemptionAblationResult, run_preemption_ablation
+from .progress import ProgressResult, run_progress
+from .schedulers_facebook import run_deadline_comparison_facebook
+from .scheduler_zoo import SchedulerZooResult, ZOO_POLICIES, run_scheduler_zoo
+from .schedulers_real import DeadlineSweepResult, run_deadline_comparison_real
+
+__all__ = [
+    "run_allocation_sweep",
+    "run_shuffle_ablation",
+    "run_slowstart_ablation",
+    "run_speculation_ablation",
+    "AccuracyResult",
+    "run_accuracy",
+    "format_table",
+    "relative_error",
+    "run_fig3_cdfs",
+    "run_table1_kl",
+    "LocalitySweepResult",
+    "run_locality_sweep",
+    "PerformanceResult",
+    "run_performance",
+    "PreemptionAblationResult",
+    "run_preemption_ablation",
+    "ProgressResult",
+    "run_progress",
+    "run_deadline_comparison_facebook",
+    "DeadlineSweepResult",
+    "run_deadline_comparison_real",
+    "SchedulerZooResult",
+    "ZOO_POLICIES",
+    "run_scheduler_zoo",
+]

@@ -1,0 +1,188 @@
+"""Figure 5: simulator accuracy across scheduling policies.
+
+The paper's validation: run three executions of the six applications on
+the (emulated) cluster under a scheduler, extract the trace with
+MRProfiler, replay it in SimMR (and, for FIFO, in Mumak), and compare
+simulated to actual job completion times.
+
+Paper results the shape must match:
+
+* Figure 5(a) FIFO — SimMR within 2.7% average (6.6% max); Mumak
+  *underestimates* with 37% average (51.7% max) error;
+* Figure 5(b) MinEDF — SimMR within 1.1% average (2.7% max);
+* Figure 5(c) MaxEDF — SimMR within 3.7% average (8.6% max).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.cluster import ClusterConfig
+from ..core.engine import simulate
+from ..core.job import TraceJob
+from ..hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from ..mrprofiler.profiler import profile_history
+from ..mumak.rumen import extract_rumen_trace, rumen_to_trace
+from ..mumak.simulator import MumakSimulator
+from ..schedulers import FIFOScheduler, MaxEDFScheduler, MinEDFScheduler, Scheduler
+from ..trace.deadlines import DeadlineFactorPolicy, solo_completion_time
+from ..workloads.apps import APP_NAMES, make_app_specs
+from .common import format_table, relative_error
+
+__all__ = ["AccuracyResult", "run_accuracy", "make_scheduler_for_accuracy"]
+
+
+def make_scheduler_for_accuracy(name: str) -> Scheduler:
+    """Fresh scheduler instance by Figure 5 panel name."""
+    table = {
+        "FIFO": FIFOScheduler,
+        "MinEDF": MinEDFScheduler,
+        "MaxEDF": MaxEDFScheduler,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; expected one of {sorted(table)}") from None
+
+
+@dataclass
+class AccuracyResult:
+    """Per-application accuracy of the simulators against the emulator."""
+
+    scheduler: str
+    #: app -> mean actual duration (seconds)
+    actual: dict[str, float]
+    #: app -> mean SimMR-replayed duration
+    simmr: dict[str, float]
+    #: app -> mean Mumak-replayed duration (FIFO panel only)
+    mumak: Optional[dict[str, float]]
+
+    def rows(self) -> list[dict]:
+        out = []
+        for app, act in self.actual.items():
+            row: dict = {
+                "application": app,
+                "actual_s": act,
+                "simmr_pct": self.simmr[app] / act * 100.0,
+                "simmr_err_pct": relative_error(self.simmr[app], act),
+            }
+            if self.mumak is not None:
+                row["mumak_pct"] = self.mumak[app] / act * 100.0
+                row["mumak_err_pct"] = relative_error(self.mumak[app], act)
+            out.append(row)
+        return out
+
+    def simmr_errors(self) -> tuple[float, float]:
+        """(average, max) SimMR relative error in percent."""
+        errs = [relative_error(self.simmr[a], act) for a, act in self.actual.items()]
+        return float(np.mean(errs)), float(np.max(errs))
+
+    def mumak_errors(self) -> tuple[float, float]:
+        """(average, max) Mumak relative error in percent."""
+        if self.mumak is None:
+            raise ValueError("this panel has no Mumak replay")
+        errs = [relative_error(self.mumak[a], act) for a, act in self.actual.items()]
+        return float(np.mean(errs)), float(np.max(errs))
+
+    def mumak_underestimates(self) -> bool:
+        """True if Mumak's mean completion estimate is below actual everywhere."""
+        if self.mumak is None:
+            raise ValueError("this panel has no Mumak replay")
+        return all(self.mumak[a] < act for a, act in self.actual.items())
+
+    def __str__(self) -> str:
+        avg, mx = self.simmr_errors()
+        head = f"Figure 5 ({self.scheduler}): SimMR error avg {avg:.1f}% max {mx:.1f}%"
+        if self.mumak is not None:
+            mavg, mmx = self.mumak_errors()
+            head += f"; Mumak error avg {mavg:.1f}% max {mmx:.1f}%"
+        return head + "\n" + format_table(self.rows())
+
+
+_SERIAL_RE = re.compile(r"job_\d+_(\d+)$")
+
+
+def run_accuracy(
+    scheduler: str = "FIFO",
+    *,
+    executions_per_app: int = 3,
+    deadline_factor: float = 1.5,
+    seed: int = 0,
+    apps: Sequence[str] = APP_NAMES,
+    emulator_config: Optional[EmulatorConfig] = None,
+) -> AccuracyResult:
+    """One Figure 5 panel: emulate, profile, replay, compare.
+
+    Jobs are submitted with generous spacing so each runs (essentially)
+    alone — the paper reports per-application completion times.  For the
+    deadline schedulers, deadlines with the given factor are assigned and
+    carried into the replay.
+    """
+    cfg = emulator_config or EmulatorConfig(seed=seed + 1)
+    cluster = cfg.aggregate_cluster()
+    rng = np.random.default_rng(seed)
+    specs = make_app_specs()
+
+    trace: list[TraceJob] = []
+    t = 0.0
+    deadline_policy = (
+        DeadlineFactorPolicy(deadline_factor, cluster) if scheduler != "FIFO" else None
+    )
+    for name in apps:
+        spec = specs[name]
+        for _ in range(executions_per_app):
+            profile = spec.make_profile(rng)
+            deadline = (
+                deadline_policy.deadline_for(profile, t, rng) if deadline_policy else None
+            )
+            trace.append(TraceJob(profile, t, deadline))
+            t += solo_completion_time(profile, cluster) + 120.0
+
+    emulator = HadoopClusterEmulator(cfg, make_scheduler_for_accuracy(scheduler))
+    actual_run = emulator.run(trace)
+    history = actual_run.history_text()
+
+    profiled = profile_history(history)
+    # History job serials are the trace indices; map deadlines across.
+    replay: list[TraceJob] = []
+    actual_durations: dict[int, float] = {}
+    for pj in profiled:
+        m = _SERIAL_RE.match(pj.job_id)
+        assert m is not None
+        idx = int(m.group(1)) - 1
+        replay.append(TraceJob(pj.profile, pj.submit_time, trace[idx].deadline))
+        actual_durations[idx] = pj.duration
+
+    sim = simulate(replay, make_scheduler_for_accuracy(scheduler), cluster)
+
+    mumak_durations: Optional[dict[int, float]] = None
+    if scheduler == "FIFO":
+        mumak_trace = rumen_to_trace(extract_rumen_trace(history))
+        mumak = MumakSimulator(
+            num_nodes=cfg.num_nodes,
+            map_slots_per_node=cfg.map_slots_per_node,
+            reduce_slots_per_node=cfg.reduce_slots_per_node,
+        ).run(mumak_trace)
+        mumak_durations = {i: j.duration for i, j in enumerate(mumak.jobs)}
+
+    # Aggregate to per-application means (replay order == trace order).
+    actual: dict[str, float] = {}
+    simmr: dict[str, float] = {}
+    mumak_by_app: dict[str, float] = {}
+    for app_pos, name in enumerate(apps):
+        idxs = range(app_pos * executions_per_app, (app_pos + 1) * executions_per_app)
+        actual[name] = float(np.mean([actual_durations[i] for i in idxs]))
+        simmr[name] = float(np.mean([sim.jobs[i].duration for i in idxs]))
+        if mumak_durations is not None:
+            mumak_by_app[name] = float(np.mean([mumak_durations[i] for i in idxs]))
+
+    return AccuracyResult(
+        scheduler=scheduler,
+        actual=actual,
+        simmr=simmr,
+        mumak=mumak_by_app if mumak_durations is not None else None,
+    )

@@ -1,0 +1,46 @@
+"""Shared plumbing for the paper-reproduction experiments.
+
+Every experiment module exposes a ``run_*`` function returning a small
+result object with ``rows()`` (list of dicts, one per table row / plot
+point) and a printable ``__str__``.  The benchmark harness times the
+``run_*`` calls and prints the rows, which is how each paper table and
+figure is regenerated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "relative_error"]
+
+
+def relative_error(simulated: float, actual: float) -> float:
+    """``|simulated - actual| / actual`` as a percentage."""
+    if actual <= 0:
+        raise ValueError(f"actual value must be > 0, got {actual}")
+    return abs(simulated - actual) / actual * 100.0
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table (floats to 2 decimals)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rendered = [[cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(val.rjust(w) for val, w in zip(row, widths)))
+    return "\n".join(lines)

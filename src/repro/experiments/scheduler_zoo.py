@@ -1,0 +1,127 @@
+"""Scheduler zoo: every policy on one shared deadline workload.
+
+Beyond the paper's MaxEDF/MinEDF duel, SimMR's point is pluggability —
+"a pluggable scheduling policy that dictates the scheduler decisions"
+over identical traces.  This experiment replays one randomized
+testbed-mix workload under every built-in policy and reports the three
+metrics that differentiate them: the deadline utility (the paper's),
+mean job duration (what Flex(avg_response) optimizes) and makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.cluster import ClusterConfig
+from ..core.engine import simulate
+from ..schedulers import (
+    CapacityScheduler,
+    DynamicPriorityScheduler,
+    FairScheduler,
+    FIFOScheduler,
+    FlexScheduler,
+    MaxEDFScheduler,
+    MinEDFScheduler,
+    Scheduler,
+)
+from ..workloads.mixes import permuted_deadline_trace, testbed_mix_profiles
+from .common import format_table
+
+__all__ = ["SchedulerZooResult", "run_scheduler_zoo", "ZOO_POLICIES"]
+
+
+def _capacity() -> CapacityScheduler:
+    # Two queues: the heavyweight apps in "batch", the rest in "interactive".
+    heavy = {"WikiTrends", "Bayes"}
+    return CapacityScheduler(
+        {"batch": 0.6, "interactive": 0.4},
+        queue_of=lambda job: "batch" if job.profile.name in heavy else "interactive",
+        default_queue="interactive",
+    )
+
+
+#: Policy name -> zero-argument factory (schedulers hold per-run state).
+ZOO_POLICIES: dict[str, Callable[[], Scheduler]] = {
+    "FIFO": FIFOScheduler,
+    "Fair": FairScheduler,
+    "Capacity": _capacity,
+    "DynamicPriority": DynamicPriorityScheduler,
+    "Flex(avg_response)": lambda: FlexScheduler("avg_response"),
+    "Flex(max_stretch)": lambda: FlexScheduler("max_stretch"),
+    "MaxEDF": MaxEDFScheduler,
+    "MinEDF": MinEDFScheduler,
+}
+
+
+@dataclass
+class SchedulerZooResult:
+    """Per-policy metrics averaged over the replayed runs."""
+
+    runs: int
+    #: policy -> {"utility": ..., "mean_duration": ..., "makespan": ...}
+    metrics: dict[str, dict[str, float]]
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "policy": name,
+                "deadline_utility": m["utility"],
+                "mean_duration_s": m["mean_duration"],
+                "makespan_s": m["makespan"],
+            }
+            for name, m in self.metrics.items()
+        ]
+
+    def best_by(self, metric: str) -> str:
+        """Policy name minimizing the given rows() column."""
+        rows = self.rows()
+        key = {
+            "utility": "deadline_utility",
+            "mean_duration": "mean_duration_s",
+            "makespan": "makespan_s",
+        }.get(metric, metric)
+        return min(rows, key=lambda r: r[key])["policy"]
+
+    def __str__(self) -> str:
+        return format_table(
+            self.rows(),
+            title=f"Scheduler zoo ({self.runs} runs): one workload, every policy",
+        )
+
+
+def run_scheduler_zoo(
+    *,
+    runs: int = 10,
+    mean_interarrival: float = 100.0,
+    deadline_factor: float = 2.0,
+    seed: int = 0,
+    cluster: ClusterConfig = ClusterConfig(64, 64),
+    policies: Sequence[str] = tuple(ZOO_POLICIES),
+) -> SchedulerZooResult:
+    """Replay the testbed mix under every requested policy."""
+    unknown = set(policies) - set(ZOO_POLICIES)
+    if unknown:
+        raise ValueError(f"unknown policies {sorted(unknown)}; known: {sorted(ZOO_POLICIES)}")
+    profiles = testbed_mix_profiles(2, seed=seed)
+    totals: dict[str, dict[str, float]] = {
+        name: {"utility": 0.0, "mean_duration": 0.0, "makespan": 0.0} for name in policies
+    }
+    for r in range(runs):
+        run_seed = np.random.default_rng((seed, r))
+        trace = permuted_deadline_trace(
+            profiles, mean_interarrival, deadline_factor, cluster, seed=run_seed
+        )
+        for name in policies:
+            result = simulate(trace, ZOO_POLICIES[name](), cluster, record_tasks=False)
+            totals[name]["utility"] += result.relative_deadline_exceeded()
+            totals[name]["mean_duration"] += float(
+                np.mean(list(result.durations().values()))
+            )
+            totals[name]["makespan"] += result.makespan
+    metrics = {
+        name: {k: v / runs for k, v in m.items()} for name, m in totals.items()
+    }
+    return SchedulerZooResult(runs=runs, metrics=metrics)

@@ -1,0 +1,25 @@
+"""Fine-grained Hadoop cluster emulator: the validation ground truth.
+
+Stands in for the paper's 66-node testbed — TaskTrackers, heartbeats,
+per-node speed variation, and JobTracker history logs that MRProfiler
+consumes.
+"""
+
+from .emulator import EmulationResult, EmulatorConfig, EmuTask, HadoopClusterEmulator
+from .hdfs import HdfsPlacement, locality_of
+from .history import BASE_EPOCH_MS, JobHistoryWriter, format_job_id, ms
+from .node import TaskTracker
+
+__all__ = [
+    "EmulationResult",
+    "EmulatorConfig",
+    "EmuTask",
+    "HadoopClusterEmulator",
+    "HdfsPlacement",
+    "locality_of",
+    "BASE_EPOCH_MS",
+    "JobHistoryWriter",
+    "format_job_id",
+    "ms",
+    "TaskTracker",
+]

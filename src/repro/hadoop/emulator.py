@@ -1,0 +1,684 @@
+"""Fine-grained Hadoop cluster emulator — the "real testbed" substitute.
+
+The paper validates SimMR against a 66-node Hadoop cluster: applications
+run on the testbed, MRProfiler extracts job traces from the JobTracker
+logs, SimMR replays them, and simulated completion times are compared to
+the originals (Figure 5).  Without that hardware, this module provides
+the ground truth side: a heartbeat-granularity emulation of Hadoop's
+execution layer.
+
+Unlike the SimMR engine (which assigns slots centrally and instantly),
+the emulator models what the engine abstracts away:
+
+* individual TaskTrackers with per-node slots and a per-node speed
+  factor (mild hardware heterogeneity);
+* periodic, staggered heartbeats — tasks are only assigned when a
+  tracker reports in, so task starts are quantized and delayed;
+* per-task execution jitter on top of the profile durations;
+* reduce tasks whose shuffle overlaps the map stage and completes only
+  after the last map (first wave), with shuffle/sort/reduce phase
+  boundaries recorded;
+* JobTracker history logs (:mod:`repro.hadoop.history`) for MRProfiler.
+
+Replay error in the validation experiments therefore comes from real
+modeling differences (scheduling granularity, assignment order), not
+from comparing a simulator against itself.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.cluster import ClusterConfig
+from ..core.job import Job, JobState, TraceJob
+from ..core.results import JobResult
+from ..schedulers.base import Scheduler
+from .hdfs import HdfsPlacement, locality_of
+from .history import JobHistoryWriter
+from .node import TaskTracker
+
+__all__ = ["EmulatorConfig", "EmuTask", "EmulationResult", "HadoopClusterEmulator"]
+
+# Event priorities: completions before submissions before heartbeats at
+# the same instant, so freed slots and queued jobs are visible to the
+# heartbeat's assignment decisions.
+_MAP_DONE, _RED_DONE, _SUBMIT, _HEARTBEAT = 0, 1, 2, 3
+
+
+@dataclass(frozen=True, slots=True)
+class EmulatorConfig:
+    """Shape and fidelity knobs of the emulated cluster.
+
+    Defaults mirror the paper's testbed: 64 workers with one map and one
+    reduce slot each, Hadoop's 3-second heartbeat, reduce slow-start at
+    5% of maps, speculative execution disabled (the paper disabled it).
+    """
+
+    num_nodes: int = 64
+    map_slots_per_node: int = 1
+    reduce_slots_per_node: int = 1
+    heartbeat_interval: float = 3.0
+    #: sigma of the lognormal per-node speed factor (0 = homogeneous).
+    node_speed_sigma: float = 0.05
+    #: sigma of the lognormal per-task duration jitter (0 = exact profile).
+    task_jitter_sigma: float = 0.03
+    min_map_percent_completed: float = 0.05
+    #: Launch speculative backup copies of straggling map tasks (the
+    #: paper's testbed ran with speculation *disabled*, the default here;
+    #: enabling it supports the "speculation did not lead to significant
+    #: improvements" ablation).
+    speculative_execution: bool = False
+    #: A running map is a straggler once its elapsed time exceeds this
+    #: multiple of the job's mean completed map duration.
+    speculation_slowness: float = 1.5
+    #: Completed maps needed before the mean is trusted.
+    speculation_min_completed: int = 3
+    #: Probability that a task attempt fails partway through (Hadoop
+    #: retries it as a new attempt; the paper's runs had FAILED_MAPS=0,
+    #: so the default is 0 — failure injection is for robustness studies).
+    task_failure_rate: float = 0.0
+    #: Maximum attempts per task (Hadoop's mapred.map.max.attempts).  The
+    #: final allowed attempt always succeeds so jobs cannot wedge.
+    max_task_attempts: int = 4
+    #: Model HDFS block placement and map-task locality: map durations
+    #: pick up a penalty off the data's node/rack, and ``locality_wait``
+    #: enables delay scheduling (paper reference [3]): a job briefly
+    #: declines non-local slots, waiting for a local one.
+    model_locality: bool = False
+    rack_size: int = 32
+    replication: int = 3
+    #: Map-duration multipliers off the data (1.0 = node-local).
+    rack_penalty: float = 1.15
+    remote_penalty: float = 1.4
+    #: Delay-scheduling wait (seconds) before accepting a rack-local
+    #: task; twice this before accepting any.  0 = greedy locality only.
+    locality_wait: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.node_speed_sigma < 0 or self.task_jitter_sigma < 0:
+            raise ValueError("noise sigmas must be >= 0")
+        if not 0.0 <= self.min_map_percent_completed <= 1.0:
+            raise ValueError("min_map_percent_completed must be in [0, 1]")
+        if self.speculation_slowness <= 1.0:
+            raise ValueError("speculation_slowness must be > 1")
+        if self.speculation_min_completed < 1:
+            raise ValueError("speculation_min_completed must be >= 1")
+        if not 0.0 <= self.task_failure_rate < 1.0:
+            raise ValueError("task_failure_rate must be in [0, 1)")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+        if self.rack_penalty < 1.0 or self.remote_penalty < self.rack_penalty:
+            raise ValueError(
+                "penalties must satisfy 1 <= rack_penalty <= remote_penalty"
+            )
+        if self.locality_wait < 0:
+            raise ValueError("locality_wait must be >= 0")
+
+    def aggregate_cluster(self) -> ClusterConfig:
+        """The slot capacity a job-master-level simulator would see."""
+        return ClusterConfig(
+            self.num_nodes * self.map_slots_per_node,
+            self.num_nodes * self.reduce_slots_per_node,
+        )
+
+
+@dataclass(slots=True)
+class EmuTask:
+    """One executed task attempt: where and when it actually ran."""
+
+    kind: str  # "map" | "reduce"
+    job_id: int
+    index: int
+    node_id: int
+    start: float
+    end: float = math.inf
+    shuffle_end: Optional[float] = None
+    first_wave: bool = False
+    #: Attempt number (speculative backups are attempt 1).
+    attempt: int = 0
+    speculative: bool = False
+    #: True if this attempt lost a speculative race and was killed.
+    killed: bool = False
+    #: True if this attempt failed partway and was retried.
+    failed: bool = False
+    #: "node" | "rack" | "remote" when locality is modeled, else None.
+    locality: "str | None" = None
+
+
+@dataclass(slots=True)
+class EmulationResult:
+    """Ground-truth execution record of one emulated workload run."""
+
+    scheduler_name: str
+    jobs: list[JobResult]
+    tasks: list[EmuTask]
+    histories: list[JobHistoryWriter]
+    makespan: float
+    events_processed: int
+    wall_clock_seconds: float
+
+    def completion_times(self) -> dict[int, float]:
+        """Job id -> absolute completion time (completed jobs)."""
+        return {
+            j.job_id: j.completion_time for j in self.jobs if j.completion_time is not None
+        }
+
+    def durations(self) -> dict[int, float]:
+        """Job id -> completion - submission."""
+        return {j.job_id: j.duration for j in self.jobs if j.duration is not None}
+
+    def relative_deadline_exceeded(self) -> float:
+        """The paper's utility metric over the emulated run."""
+        return sum(j.relative_deadline_exceeded() for j in self.jobs)
+
+    def history_text(self) -> str:
+        """Combined JobTracker history log of every job, MRProfiler input."""
+        return JobHistoryWriter.combine(self.histories)
+
+    def locality_fractions(self) -> dict[str, float]:
+        """Fraction of successful map attempts at each locality level."""
+        counts = {"node": 0, "rack": 0, "remote": 0}
+        for task in self.tasks:
+            if task.kind == "map" and task.locality is not None and not (
+                task.killed or task.failed
+            ):
+                counts[task.locality] += 1
+        total = sum(counts.values())
+        if total == 0:
+            raise ValueError("no locality data: run with model_locality=True")
+        return {k: v / total for k, v in counts.items()}
+
+
+class HadoopClusterEmulator:
+    """Heartbeat-level emulation of a Hadoop cluster executing a trace."""
+
+    def __init__(
+        self,
+        config: Optional[EmulatorConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        self.config = config or EmulatorConfig()
+        if scheduler is None:
+            from ..schedulers.fifo import FIFOScheduler
+
+            scheduler = FIFOScheduler()
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Sequence[TraceJob]) -> EmulationResult:
+        """Execute the trace on the emulated cluster."""
+        wall_start = _time.perf_counter()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        nodes = [
+            TaskTracker(
+                node_id=i,
+                map_slots=cfg.map_slots_per_node,
+                reduce_slots=cfg.reduce_slots_per_node,
+                speed_factor=(
+                    float(rng.lognormal(-cfg.node_speed_sigma**2 / 2, cfg.node_speed_sigma))
+                    if cfg.node_speed_sigma > 0
+                    else 1.0
+                ),
+            )
+            for i in range(cfg.num_nodes)
+        ]
+
+        jobs = [Job(i, tj) for i, tj in enumerate(trace)]
+        histories = [JobHistoryWriter(i, tj.profile.name) for i, tj in enumerate(trace)]
+        tasks: list[EmuTask] = []
+        # Per-job first-wave fillers: (reduce index, node, EmuTask, position).
+        fillers: dict[int, list[tuple[int, TaskTracker, EmuTask, int]]] = {}
+        # Speculation state (only maintained when enabled): active map
+        # attempt positions per (job, index), cancelled attempt positions
+        # whose completion events must be ignored, and per-job completed
+        # map duration statistics for the straggler threshold.
+        speculate = cfg.speculative_execution
+        map_attempts: dict[tuple[int, int], list[int]] = {}
+        cancelled: set[int] = set()
+        map_dur_sum: dict[int, float] = {}
+        map_dur_cnt: dict[int, int] = {}
+        # Failure injection: next attempt number per (job, kind, index),
+        # shared with speculation so attempt ids stay unique per task.
+        inject_failures = cfg.task_failure_rate > 0.0
+        attempt_no: dict[tuple[int, str, int], int] = {}
+
+        def next_attempt(job_id: int, kind: str, index: int) -> int:
+            key = (job_id, kind, index)
+            n = attempt_no.get(key, 0)
+            attempt_no[key] = n + 1
+            return n
+
+        def attempt_fails(job_id: int, kind: str, index: int) -> bool:
+            """Draw failure; the final allowed attempt always succeeds."""
+            if not inject_failures:
+                return False
+            if attempt_no.get((job_id, kind, index), 1) >= cfg.max_task_attempts:
+                return False
+            return bool(rng.random() < cfg.task_failure_rate)
+
+        # Locality state (only when modeled): HDFS replica placement per
+        # job, pending map-index pools, node/rack lookup tables, and the
+        # delay-scheduling skip clocks.
+        locality = cfg.model_locality
+        placement = (
+            HdfsPlacement(cfg.num_nodes, cfg.rack_size, cfg.replication)
+            if locality
+            else None
+        )
+        job_replicas: dict[int, list[tuple[int, ...]]] = {}
+        pending_map_pool: dict[int, set[int]] = {}
+        node_local_idx: dict[int, dict[int, list[int]]] = {}
+        rack_local_idx: dict[int, dict[int, list[int]]] = {}
+        skip_since: dict[int, float] = {}
+
+        def locality_penalty(level: str) -> float:
+            if level == "node":
+                return 1.0
+            if level == "rack":
+                return cfg.rack_penalty
+            return cfg.remote_penalty
+
+        def select_map_task(job: Job, node: TaskTracker, now: float):
+            """Delay scheduling: pick this job's map for this node.
+
+            Returns ``(index, locality_level)`` or ``None`` to skip the
+            job at this node for now (it is still waiting for locality).
+            """
+            pending = pending_map_pool[job.job_id]
+            for idx in node_local_idx[job.job_id].get(node.node_id, ()):
+                if idx in pending:
+                    skip_since.pop(job.job_id, None)
+                    return idx, "node"
+            # No node-local data here: how long has the job been waiting?
+            waited = now - skip_since.setdefault(job.job_id, now)
+            rack = placement.rack_of(node.node_id)
+            if cfg.locality_wait > 0 and waited < cfg.locality_wait:
+                return None
+            for idx in rack_local_idx[job.job_id].get(rack, ()):
+                if idx in pending:
+                    return idx, "rack"
+            if cfg.locality_wait > 0 and waited < 2 * cfg.locality_wait:
+                return None
+            return next(iter(pending)), "remote"
+        agg_cluster = cfg.aggregate_cluster()
+        job_q: list[Job] = []
+        submit_order = sorted(range(len(jobs)), key=lambda i: jobs[i].submit_time)
+        next_submit_pos = 0  # index into submit_order of the next future submission
+        active = 0
+        completed = 0
+
+        heap: list[tuple] = []
+        seq = 0
+
+        def push(t: float, pri: int, kind_a: int, kind_b: int) -> None:
+            nonlocal seq
+            heappush(heap, (t, pri, seq, kind_a, kind_b))
+            seq += 1
+
+        def jitter() -> float:
+            if cfg.task_jitter_sigma <= 0:
+                return 1.0
+            return float(rng.lognormal(-cfg.task_jitter_sigma**2 / 2, cfg.task_jitter_sigma))
+
+        for i in submit_order:
+            push(jobs[i].submit_time, _SUBMIT, i, -1)
+        for node in nodes:
+            offset = cfg.heartbeat_interval * node.node_id / cfg.num_nodes
+            first = trace[submit_order[0]].submit_time + offset if trace else offset
+            push(first, _HEARTBEAT, node.node_id, -1)
+
+        def map_eligible(job: Job) -> bool:
+            if job.state is not JobState.RUNNING or job.pending_maps <= 0:
+                return False
+            cap = job.wanted_map_slots
+            return cap is None or job.running_maps < cap
+
+        def reduce_eligible(job: Job) -> bool:
+            if job.state is not JobState.RUNNING or job.pending_reduces <= 0:
+                return False
+            if job.map_fraction_completed() < cfg.min_map_percent_completed:
+                return False
+            cap = job.wanted_reduce_slots
+            return cap is None or job.running_reduces < cap
+
+        def finish_job(job: Job, now: float) -> None:
+            nonlocal active, completed
+            job.state = JobState.COMPLETED
+            job.completion_time = now
+            job_q.remove(job)
+            self.scheduler.on_job_departure(job, now)
+            histories[job.job_id].job_finished(now, job.num_maps, job.num_reduces)
+            active -= 1
+            completed += 1
+
+        def complete_reduce(job: Job, task: EmuTask, node: TaskTracker, now: float) -> None:
+            node.release_reduce()
+            if task.failed:
+                histories[job.job_id].reduce_failed(
+                    task.index, now, node.hostname, attempt=task.attempt
+                )
+                job.reduces_dispatched -= 1
+                job.requeued_reduces.append(task.index)
+                return
+            job.reduces_completed += 1
+            histories[job.job_id].reduce_finished(
+                task.index, task.shuffle_end, task.shuffle_end, now, node.hostname,
+                attempt=task.attempt,
+            )
+            if job.is_complete:
+                finish_job(job, now)
+
+        events = 0
+        while heap:
+            now, pri, _s, a, b = heappop(heap)
+            events += 1
+
+            if pri == _MAP_DONE:
+                job = jobs[a]
+                task_pos = b
+                if speculate and task_pos in cancelled:
+                    # A killed speculative loser: its slot was already
+                    # freed when the winner finished.
+                    cancelled.discard(task_pos)
+                    continue
+                task = tasks[task_pos]
+                node = nodes[task.node_id]
+                node.release_map()
+                task.end = now
+                if task.failed:
+                    # The attempt died partway: log it, requeue the task
+                    # for a fresh attempt at a later heartbeat.
+                    histories[job.job_id].map_failed(
+                        task.index, now, node.hostname, attempt=task.attempt
+                    )
+                    job.maps_dispatched -= 1
+                    if locality:
+                        pending_map_pool[job.job_id].add(task.index)
+                    else:
+                        job.requeued_maps.append(task.index)
+                    if speculate:
+                        positions = map_attempts.get((job.job_id, task.index))
+                        if positions and task_pos in positions:
+                            positions.remove(task_pos)
+                            if not positions:
+                                del map_attempts[(job.job_id, task.index)]
+                    continue
+                job.maps_completed += 1
+                histories[job.job_id].map_finished(
+                    task.index, now, node.hostname, attempt=task.attempt
+                )
+                if speculate:
+                    key = (job.job_id, task.index)
+                    for pos in map_attempts.pop(key, []):
+                        if pos == task_pos:
+                            continue
+                        loser = tasks[pos]
+                        nodes[loser.node_id].release_map()
+                        loser.end = now
+                        loser.killed = True
+                        cancelled.add(pos)
+                        histories[job.job_id].map_killed(
+                            task.index, now, nodes[loser.node_id].hostname,
+                            attempt=loser.attempt,
+                        )
+                    map_dur_sum[job.job_id] = map_dur_sum.get(job.job_id, 0.0) + (
+                        now - task.start
+                    )
+                    map_dur_cnt[job.job_id] = map_dur_cnt.get(job.job_id, 0) + 1
+                if job.map_stage_complete and job.map_stage_end is None:
+                    job.map_stage_end = now
+                    # Resolve first-wave fillers: their shuffle completes a
+                    # first-shuffle duration after the last map, then the
+                    # reduce phase runs on the hosting node.
+                    for ridx, rnode, rtask, rpos in fillers.pop(job.job_id, []):
+                        sh_end = now + job.profile.first_shuffle_duration(ridx) * jitter()
+                        red_end = sh_end + (
+                            job.profile.reduce_duration(ridx) * rnode.speed_factor * jitter()
+                        )
+                        rtask.shuffle_end = sh_end
+                        rtask.end = red_end
+                        if attempt_fails(job.job_id, "reduce", ridx):
+                            rtask.failed = True
+                            rtask.end = now + (red_end - now) * float(
+                                rng.uniform(0.1, 0.9)
+                            )
+                            rtask.shuffle_end = min(rtask.shuffle_end, rtask.end)
+                        push(rtask.end, _RED_DONE, job.job_id, rpos)
+                    if job.num_reduces == 0:
+                        finish_job(job, now)
+
+            elif pri == _RED_DONE:
+                job = jobs[a]
+                task = tasks[b]
+                complete_reduce(job, task, nodes[task.node_id], now)
+
+            elif pri == _SUBMIT:
+                job = jobs[a]
+                job.state = JobState.RUNNING
+                job_q.append(job)
+                active += 1
+                next_submit_pos += 1
+                self.scheduler.on_job_arrival(job, now, agg_cluster)
+                histories[job.job_id].job_submitted(now)
+                histories[job.job_id].job_launched(now, job.num_maps, job.num_reduces)
+                if locality:
+                    replicas = placement.place_job(job.num_maps, rng)
+                    job_replicas[job.job_id] = replicas
+                    pending_map_pool[job.job_id] = set(range(job.num_maps))
+                    by_node: dict[int, list[int]] = {}
+                    by_rack: dict[int, list[int]] = {}
+                    for idx, reps in enumerate(replicas):
+                        for rep in reps:
+                            by_node.setdefault(rep, []).append(idx)
+                            by_rack.setdefault(placement.rack_of(rep), []).append(idx)
+                    node_local_idx[job.job_id] = by_node
+                    rack_local_idx[job.job_id] = by_rack
+
+            elif pri == _HEARTBEAT:
+                node = nodes[a]
+                # Assign this tracker's free slots per the scheduling policy.
+                while node.free_map_slots > 0:
+                    chosen = None  # (job, index, locality level or None)
+                    excluded: set[int] = set()
+                    while True:
+                        candidates = [
+                            j for j in job_q
+                            if j.job_id not in excluded and map_eligible(j)
+                        ]
+                        if not candidates:
+                            break
+                        job = self.scheduler.choose_next_map_task(candidates)
+                        if job is None:
+                            break
+                        if locality:
+                            selected = select_map_task(job, node, now)
+                            if selected is None:
+                                # Delay scheduling: the job keeps waiting
+                                # for a (rack-)local slot; offer the slot
+                                # to the next job instead.
+                                excluded.add(job.job_id)
+                                continue
+                            chosen = (job, selected[0], selected[1])
+                        else:
+                            if job.requeued_maps:
+                                index = job.requeued_maps.pop()
+                            else:
+                                index = job.next_map_index
+                                job.next_map_index += 1
+                            chosen = (job, index, None)
+                        break
+                    if chosen is None:
+                        break
+                    job, index, level = chosen
+                    if locality:
+                        pending_map_pool[job.job_id].discard(index)
+                    job.maps_dispatched += 1
+                    if job.start_time is None:
+                        job.start_time = now
+                    node.occupy_map()
+                    attempt = next_attempt(job.job_id, "map", index)
+                    duration = job.profile.map_duration(index) * node.speed_factor * jitter()
+                    if level is not None:
+                        duration *= locality_penalty(level)
+                    if attempt_fails(job.job_id, "map", index):
+                        # The attempt dies partway through its work.
+                        duration *= float(rng.uniform(0.1, 0.9))
+                        failed = True
+                    else:
+                        failed = False
+                    task = EmuTask(
+                        "map", job.job_id, index, node.node_id, now,
+                        now + duration, attempt=attempt, failed=failed,
+                        locality=level,
+                    )
+                    tasks.append(task)
+                    if speculate:
+                        map_attempts[(job.job_id, index)] = [len(tasks) - 1]
+                    histories[job.job_id].map_started(
+                        index, now, node.hostname, attempt=attempt
+                    )
+                    push(now + duration, _MAP_DONE, job.job_id, len(tasks) - 1)
+                while node.free_reduce_slots > 0:
+                    candidates = [j for j in job_q if reduce_eligible(j)]
+                    if not candidates:
+                        break
+                    job = self.scheduler.choose_next_reduce_task(candidates)
+                    if job is None:
+                        break
+                    if job.requeued_reduces:
+                        index = job.requeued_reduces.pop()
+                    else:
+                        index = job.next_reduce_index
+                        job.next_reduce_index += 1
+                    job.reduces_dispatched += 1
+                    if job.start_time is None:
+                        job.start_time = now
+                    node.occupy_reduce()
+                    r_attempt = next_attempt(job.job_id, "reduce", index)
+                    histories[job.job_id].reduce_started(
+                        index, now, node.hostname, attempt=r_attempt
+                    )
+                    if not job.map_stage_complete:
+                        task = EmuTask(
+                            "reduce", job.job_id, index, node.node_id, now,
+                            first_wave=True, attempt=r_attempt,
+                        )
+                        tasks.append(task)
+                        fillers.setdefault(job.job_id, []).append(
+                            (index, node, task, len(tasks) - 1)
+                        )
+                    else:
+                        shuffle = job.profile.typical_shuffle_duration(index) * jitter()
+                        sh_end = now + shuffle
+                        red_end = sh_end + (
+                            job.profile.reduce_duration(index) * node.speed_factor * jitter()
+                        )
+                        task = EmuTask(
+                            "reduce", job.job_id, index, node.node_id, now,
+                            end=red_end, shuffle_end=sh_end, attempt=r_attempt,
+                        )
+                        if attempt_fails(job.job_id, "reduce", index):
+                            task.failed = True
+                            task.end = now + (red_end - now) * float(rng.uniform(0.1, 0.9))
+                            task.shuffle_end = min(task.shuffle_end, task.end)
+                        tasks.append(task)
+                        push(task.end, _RED_DONE, job.job_id, len(tasks) - 1)
+
+                if speculate:
+                    # Hadoop launches a backup copy of a straggling map
+                    # when a job has no pending maps left and a tracker
+                    # has spare capacity.
+                    while node.free_map_slots > 0:
+                        backup = None
+                        for job in job_q:
+                            if (
+                                job.state is not JobState.RUNNING
+                                or job.pending_maps > 0
+                                or job.map_stage_complete
+                                or map_dur_cnt.get(job.job_id, 0)
+                                < cfg.speculation_min_completed
+                            ):
+                                continue
+                            mean = map_dur_sum[job.job_id] / map_dur_cnt[job.job_id]
+                            threshold = cfg.speculation_slowness * mean
+                            for key, positions in map_attempts.items():
+                                if key[0] != job.job_id or len(positions) != 1:
+                                    continue
+                                primary = tasks[positions[0]]
+                                if primary.node_id == node.node_id:
+                                    continue  # back up on a different node
+                                if now - primary.start > threshold:
+                                    backup = (job, key, positions)
+                                    break
+                            if backup is not None:
+                                break
+                        if backup is None:
+                            break
+                        job, key, positions = backup
+                        index = key[1]
+                        node.occupy_map()
+                        b_attempt = next_attempt(job.job_id, "map", index)
+                        duration = (
+                            job.profile.map_duration(index)
+                            * node.speed_factor
+                            * jitter()
+                        )
+                        b_level = None
+                        if locality:
+                            b_level = locality_of(
+                                node.node_id, job_replicas[job.job_id][index], placement
+                            )
+                            duration *= locality_penalty(b_level)
+                        task = EmuTask(
+                            "map", job.job_id, index, node.node_id, now,
+                            now + duration, attempt=b_attempt, speculative=True,
+                            locality=b_level,
+                        )
+                        tasks.append(task)
+                        positions.append(len(tasks) - 1)
+                        histories[job.job_id].map_started(
+                            index, now, node.hostname, attempt=b_attempt
+                        )
+                        push(now + duration, _MAP_DONE, job.job_id, len(tasks) - 1)
+
+                # Re-arm the heartbeat.  When the cluster is idle and work
+                # only arrives later, skip ahead to just after the next
+                # submission instead of heartbeating through the gap.
+                if completed < len(jobs):
+                    next_beat = now + cfg.heartbeat_interval
+                    if active == 0 and next_submit_pos < len(submit_order):
+                        next_submit = jobs[submit_order[next_submit_pos]].submit_time
+                        phase = cfg.heartbeat_interval * node.node_id / cfg.num_nodes
+                        next_beat = max(next_beat, next_submit + phase)
+                    push(next_beat, _HEARTBEAT, node.node_id, -1)
+
+            else:  # pragma: no cover
+                raise AssertionError(f"unknown event priority {pri}")
+
+        wall = _time.perf_counter() - wall_start
+        makespan = max(
+            (j.completion_time for j in jobs if j.completion_time is not None), default=0.0
+        )
+        return EmulationResult(
+            scheduler_name=self.scheduler.name,
+            jobs=[JobResult.from_job(j) for j in jobs],
+            tasks=tasks,
+            histories=histories,
+            makespan=makespan,
+            events_processed=events,
+            wall_clock_seconds=wall,
+        )

@@ -1,0 +1,98 @@
+"""HDFS block placement — the substrate behind map-task locality.
+
+The paper's testbed stores input on HDFS with "the replication level ...
+set to 3" (Section IV-B); each map task prefers running where one of its
+block's replicas lives.  SimMR's engine deliberately ignores placement
+(Section III: a non-goal), but the *emulator* can model it, which is
+what makes delay scheduling (the paper's reference [3]) expressible.
+
+The placement policy mirrors HDFS's default for an off-cluster writer:
+three replicas on distinct nodes, at most two per rack (one "primary"
+rack holding two replicas, a second rack holding the third).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HdfsPlacement", "locality_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class HdfsPlacement:
+    """Replica placement over a racked cluster.
+
+    Parameters
+    ----------
+    num_nodes:
+        Worker count; node ids are ``0..num_nodes-1``.
+    rack_size:
+        Nodes per rack (the paper's testbed: two racks of ~32).
+    replication:
+        Replicas per block (HDFS default 3; clamped to ``num_nodes``).
+    """
+
+    num_nodes: int
+    rack_size: int = 32
+    replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.rack_size < 1:
+            raise ValueError(f"rack_size must be >= 1, got {self.rack_size}")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+
+    def rack_of(self, node: int) -> int:
+        """Rack id of a node."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside cluster of {self.num_nodes}")
+        return node // self.rack_size
+
+    @property
+    def num_racks(self) -> int:
+        return -(-self.num_nodes // self.rack_size)
+
+    def place_block(self, rng: np.random.Generator) -> tuple[int, ...]:
+        """Replica nodes for one block: distinct nodes, <= 2 per rack."""
+        k = min(self.replication, self.num_nodes)
+        first = int(rng.integers(self.num_nodes))
+        replicas = [first]
+        if k >= 2:
+            # Second replica off-rack when another rack exists.
+            others = [
+                n for n in range(self.num_nodes)
+                if self.rack_of(n) != self.rack_of(first)
+            ]
+            pool = others if others else [n for n in range(self.num_nodes) if n != first]
+            replicas.append(int(rng.choice(pool)))
+        while len(replicas) < k:
+            # Remaining replicas: same rack as the second, distinct nodes.
+            anchor_rack = self.rack_of(replicas[1])
+            pool = [
+                n for n in range(self.num_nodes)
+                if n not in replicas and self.rack_of(n) == anchor_rack
+            ]
+            if not pool:
+                pool = [n for n in range(self.num_nodes) if n not in replicas]
+            replicas.append(int(rng.choice(pool)))
+        return tuple(replicas)
+
+    def place_job(self, num_blocks: int, rng: np.random.Generator) -> list[tuple[int, ...]]:
+        """Replica sets for every input block (= map task) of a job."""
+        if num_blocks < 0:
+            raise ValueError(f"num_blocks must be >= 0, got {num_blocks}")
+        return [self.place_block(rng) for _ in range(num_blocks)]
+
+
+def locality_of(node: int, replicas: tuple[int, ...], placement: HdfsPlacement) -> str:
+    """"node", "rack" or "remote": how close ``node`` is to the data."""
+    if node in replicas:
+        return "node"
+    node_rack = placement.rack_of(node)
+    if any(placement.rack_of(r) == node_rack for r in replicas):
+        return "rack"
+    return "remote"

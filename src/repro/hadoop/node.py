@@ -1,0 +1,66 @@
+"""TaskTracker (worker node) state for the fine-grained cluster emulator.
+
+The real testbed (paper Section IV-B): 64 worker nodes, each configured
+with a single map and a single reduce slot, heartbeating to the
+JobTracker.  :class:`TaskTracker` models one such node: its slot
+occupancy and a per-node speed factor (hardware is never perfectly
+homogeneous; the factor multiplies task durations executed on the node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskTracker"]
+
+
+@dataclass(slots=True)
+class TaskTracker:
+    """One worker node: slot counts, occupancy and relative speed."""
+
+    node_id: int
+    map_slots: int = 1
+    reduce_slots: int = 1
+    #: Duration multiplier for tasks on this node (1.0 = nominal speed).
+    speed_factor: float = 1.0
+    running_maps: int = 0
+    running_reduces: int = 0
+
+    def __post_init__(self) -> None:
+        if self.map_slots < 0 or self.reduce_slots < 0:
+            raise ValueError("slot counts must be non-negative")
+        if self.speed_factor <= 0:
+            raise ValueError(f"speed factor must be > 0, got {self.speed_factor}")
+
+    @property
+    def free_map_slots(self) -> int:
+        return self.map_slots - self.running_maps
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.reduce_slots - self.running_reduces
+
+    @property
+    def hostname(self) -> str:
+        """Stable synthetic hostname used in job-history logs."""
+        return f"node{self.node_id:03d}"
+
+    def occupy_map(self) -> None:
+        if self.free_map_slots <= 0:
+            raise RuntimeError(f"{self.hostname}: no free map slot")
+        self.running_maps += 1
+
+    def release_map(self) -> None:
+        if self.running_maps <= 0:
+            raise RuntimeError(f"{self.hostname}: releasing an idle map slot")
+        self.running_maps -= 1
+
+    def occupy_reduce(self) -> None:
+        if self.free_reduce_slots <= 0:
+            raise RuntimeError(f"{self.hostname}: no free reduce slot")
+        self.running_reduces += 1
+
+    def release_reduce(self) -> None:
+        if self.running_reduces <= 0:
+            raise RuntimeError(f"{self.hostname}: releasing an idle reduce slot")
+        self.running_reduces -= 1

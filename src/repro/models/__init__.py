@@ -1,0 +1,21 @@
+"""Analytic performance models (ARIA bounds) used by deadline scheduling."""
+
+from .aria import (
+    Bound,
+    ModelCoefficients,
+    estimate_completion_time,
+    min_slots_for_deadline,
+    model_coefficients,
+)
+from .bounds import greedy_makespan, makespan_lower_bound, makespan_upper_bound
+
+__all__ = [
+    "Bound",
+    "ModelCoefficients",
+    "estimate_completion_time",
+    "min_slots_for_deadline",
+    "model_coefficients",
+    "greedy_makespan",
+    "makespan_lower_bound",
+    "makespan_upper_bound",
+]

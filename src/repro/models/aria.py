@@ -1,0 +1,194 @@
+"""The ARIA completion-time model and its inversion to minimal slot demands.
+
+Paper Section V-A: the MinEDF scheduler needs, for every arriving job, the
+*minimal* number of map and reduce slots that still meets the job's
+deadline.  The model (from Verma et al., "ARIA", ICAC 2011) expresses
+lower/upper bounds on job completion time as
+
+    ``T(S_M, S_R) = a / S_M + b / S_R + c``
+
+where ``S_M`` / ``S_R`` are the allocated map/reduce slots and ``a, b, c``
+derive from the profile's per-phase average/maximum task durations via the
+makespan bounds in :mod:`repro.models.bounds`:
+
+* map stage — ``n_M`` tasks on ``S_M`` slots;
+* first-wave shuffle — its *non-overlapping* part is a latency term
+  (one wave, independent of ``S_R``);
+* typical shuffle — the remaining ``(n_R / S_R - 1)`` waves;
+* reduce phase — ``n_R`` tasks on ``S_R`` slots.
+
+"Typically, the average of lower and upper bounds is a good approximation
+of the job completion time", so ``bound="average"`` is the default
+everywhere.
+
+For a deadline ``D``, all integer points on the hyperbola ``T(S_M, S_R) =
+D`` are feasible allocations; Lagrange multipliers give the point
+minimizing ``S_M + S_R`` in closed form:
+
+    ``S_M = (a + sqrt(a*b)) / (D - c)``,  ``S_R = (b + sqrt(a*b)) / (D - c)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from ..core.cluster import ClusterConfig
+from ..core.job import JobProfile
+
+__all__ = [
+    "Bound",
+    "ModelCoefficients",
+    "model_coefficients",
+    "estimate_completion_time",
+    "min_slots_for_deadline",
+]
+
+Bound = Literal["lower", "upper", "average"]
+
+
+@dataclass(frozen=True, slots=True)
+class ModelCoefficients:
+    """Coefficients of ``T(S_M, S_R) = a/S_M + b/S_R + c`` for one job."""
+
+    a: float
+    b: float
+    c: float
+
+    def completion_time(self, map_slots: int, reduce_slots: int) -> float:
+        """Estimated completion time under the given slot allocation."""
+        if map_slots < 1 and self.a > 0:
+            raise ValueError("a job with map work needs at least one map slot")
+        if reduce_slots < 1 and self.b > 0:
+            raise ValueError("a job with reduce work needs at least one reduce slot")
+        t = self.c
+        if self.a > 0:
+            t += self.a / map_slots
+        if self.b > 0:
+            t += self.b / reduce_slots
+        return t
+
+
+def _coeffs_lower(profile: JobProfile) -> ModelCoefficients:
+    m, r = profile.num_maps, profile.num_reduces
+    ms = profile.map_stats
+    sh1 = profile.first_shuffle_stats
+    sht = profile.typical_shuffle_stats
+    rs = profile.reduce_stats
+    a = ms.avg * m
+    b = (sht.avg + rs.avg) * r
+    # First-wave shuffle latency enters once; one typical-shuffle wave is
+    # already counted inside ``b`` (the N_R/S_R waves), so subtract it.
+    c = (sh1.avg - sht.avg) if r > 0 else 0.0
+    return ModelCoefficients(a=a, b=b, c=c)
+
+
+def _coeffs_upper(profile: JobProfile) -> ModelCoefficients:
+    m, r = profile.num_maps, profile.num_reduces
+    ms = profile.map_stats
+    sh1 = profile.first_shuffle_stats
+    sht = profile.typical_shuffle_stats
+    rs = profile.reduce_stats
+    a = ms.avg * max(m - 1, 0)
+    b = (sht.avg + rs.avg) * max(r - 1, 0)
+    c = ms.max if m > 0 else 0.0
+    if r > 0:
+        c += sh1.max + sht.max + rs.max - sht.avg
+    return ModelCoefficients(a=a, b=b, c=c)
+
+
+def model_coefficients(profile: JobProfile, bound: Bound = "average") -> ModelCoefficients:
+    """The ``(a, b, c)`` coefficients of the chosen bound for ``profile``."""
+    if bound == "lower":
+        return _coeffs_lower(profile)
+    if bound == "upper":
+        return _coeffs_upper(profile)
+    if bound == "average":
+        lo, up = _coeffs_lower(profile), _coeffs_upper(profile)
+        return ModelCoefficients(
+            a=(lo.a + up.a) / 2, b=(lo.b + up.b) / 2, c=(lo.c + up.c) / 2
+        )
+    raise ValueError(f"unknown bound {bound!r}; expected lower/upper/average")
+
+
+def estimate_completion_time(
+    profile: JobProfile,
+    map_slots: int,
+    reduce_slots: int,
+    bound: Bound = "average",
+) -> float:
+    """Model estimate of the job's completion time on the given slots."""
+    return model_coefficients(profile, bound).completion_time(map_slots, reduce_slots)
+
+
+def min_slots_for_deadline(
+    profile: JobProfile,
+    deadline: float,
+    cluster: Optional[ClusterConfig] = None,
+    bound: Bound = "average",
+) -> tuple[int, int]:
+    """Minimal ``(S_M, S_R)`` meeting ``deadline`` (relative to job start).
+
+    Applies the Lagrange closed form, rounds up to integers, clamps each
+    dimension to ``[1, num_tasks]`` (extra slots beyond one per task are
+    useless) and, when a ``cluster`` is given, to its capacity.  If the
+    deadline is infeasible even with every useful slot, the maximal useful
+    allocation is returned — the scheduler can do no better than give the
+    job everything.
+    """
+    if deadline <= 0 or not math.isfinite(deadline):
+        raise ValueError(f"deadline must be a positive finite duration, got {deadline}")
+    coeffs = model_coefficients(profile, bound)
+
+    max_m = profile.num_maps
+    max_r = profile.num_reduces
+    if cluster is not None:
+        max_m = min(max_m, cluster.map_slots)
+        max_r = min(max_r, cluster.reduce_slots)
+    max_m = max(max_m, 1 if profile.num_maps > 0 else 0)
+    max_r = max(max_r, 1 if profile.num_reduces > 0 else 0)
+
+    budget = deadline - coeffs.c
+    if budget <= 0:
+        return (max_m, max_r)
+
+    cross = math.sqrt(coeffs.a * coeffs.b)
+    s_m = (coeffs.a + cross) / budget if coeffs.a > 0 else 0.0
+    s_r = (coeffs.b + cross) / budget if coeffs.b > 0 else 0.0
+
+    m = min(max(math.ceil(s_m), 1), max_m) if profile.num_maps > 0 else 0
+    r = min(max(math.ceil(s_r), 1), max_r) if profile.num_reduces > 0 else 0
+
+    # Integer rounding can leave slack in one dimension; greedily shrink
+    # while the deadline still holds so the demand is truly minimal.
+    def feasible(mm: int, rr: int) -> bool:
+        if profile.num_maps > 0 and mm < 1:
+            return False
+        if profile.num_reduces > 0 and rr < 1:
+            return False
+        return coeffs.completion_time(max(mm, 1), max(rr, 1)) <= deadline
+
+    # Integer rounding (or cluster clamping) can leave the Lagrange point
+    # just infeasible; grow the allocation minimally — always along the
+    # dimension with the larger marginal completion-time benefit — rather
+    # than jumping to the maximal allocation.
+    while not feasible(m, r):
+        gain_m = coeffs.a / m - coeffs.a / (m + 1) if 0 < m < max_m else -1.0
+        gain_r = coeffs.b / r - coeffs.b / (r + 1) if 0 < r < max_r else -1.0
+        if gain_m <= 0 and gain_r <= 0:
+            return (max_m, max_r)
+        if gain_m >= gain_r:
+            m += 1
+        else:
+            r += 1
+    improved = True
+    while improved:
+        improved = False
+        if m > 1 and feasible(m - 1, r):
+            m -= 1
+            improved = True
+        if r > 1 and feasible(m, r - 1):
+            r -= 1
+            improved = True
+    return (m, r)

@@ -1,0 +1,68 @@
+"""Makespan bounds for greedy task assignment.
+
+The ARIA performance model (paper Section V-A) rests on a classical
+result: given ``n`` tasks with durations ``T_1..T_n`` processed by ``k``
+slots under the online greedy policy "assign each task to the slot with
+the earliest finishing time",
+
+* the makespan is at least ``n * avg / k`` (perfect load balance), and
+* at most ``(n - 1) * avg / k + max`` (the last, longest task lands on the
+  most loaded slot).
+
+Both bounds need only the average and maximum task duration — the
+"performance invariants" stored in job profiles.  :func:`greedy_makespan`
+implements the greedy assignment itself, used by tests to verify that the
+bounds actually bracket it and by the engine-free analyses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+__all__ = [
+    "makespan_lower_bound",
+    "makespan_upper_bound",
+    "greedy_makespan",
+]
+
+
+def _validate(n: int, k: int) -> None:
+    if n < 0:
+        raise ValueError(f"task count must be >= 0, got {n}")
+    if k < 1:
+        raise ValueError(f"slot count must be >= 1, got {k}")
+
+
+def makespan_lower_bound(n: int, avg: float, k: int) -> float:
+    """Lower bound ``n * avg / k`` on the greedy makespan."""
+    _validate(n, k)
+    return n * avg / k
+
+
+def makespan_upper_bound(n: int, avg: float, max_: float, k: int) -> float:
+    """Upper bound ``(n - 1) * avg / k + max`` on the greedy makespan."""
+    _validate(n, k)
+    if n == 0:
+        return 0.0
+    return (n - 1) * avg / k + max_
+
+
+def greedy_makespan(durations: Sequence[float], k: int) -> float:
+    """Makespan of the online greedy assignment of ``durations`` to ``k`` slots.
+
+    Tasks are assigned in the given order, each to the slot that becomes
+    free earliest — exactly the slot-allocation behaviour of the Hadoop
+    job master within a single job's stage.
+    """
+    _validate(len(durations), k)
+    if not len(durations):
+        return 0.0
+    finish_times = [0.0] * min(k, len(durations))
+    heapq.heapify(finish_times)
+    for d in durations:
+        if d < 0:
+            raise ValueError(f"durations must be non-negative, got {d}")
+        earliest = heapq.heappop(finish_times)
+        heapq.heappush(finish_times, earliest + float(d))
+    return max(finish_times)

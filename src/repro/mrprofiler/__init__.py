@@ -1,0 +1,19 @@
+"""MRProfiler: JobTracker-log parsing and job-template extraction."""
+
+from .compare import PhaseComparison, ProfileComparison, compare_profiles
+from .parser import MapAttempt, ParsedJob, ReduceAttempt, parse_history
+from .profiler import ProfiledJob, build_profile, profile_history, trace_from_history
+
+__all__ = [
+    "PhaseComparison",
+    "ProfileComparison",
+    "compare_profiles",
+    "MapAttempt",
+    "ParsedJob",
+    "ReduceAttempt",
+    "parse_history",
+    "ProfiledJob",
+    "build_profile",
+    "profile_history",
+    "trace_from_history",
+]

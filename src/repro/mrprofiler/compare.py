@@ -1,0 +1,135 @@
+"""Profile comparison: is this job the same application as that one?
+
+Section II's conclusion — "the phase duration distributions are very
+similar for the same application and different for different
+applications.  Therefore any one of the executions (as a job
+representative) can be used for a future job replay" — turned into a
+library operation: compare two job templates phase by phase (symmetric
+KL divergence and KS distance) and judge whether one can stand in for
+the other.
+
+The default thresholds come from the reproduction's measured Table I
+separation: same-application pairs score well under 2.5 on every phase,
+cross-application pairs well above it (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.job import JobProfile
+from ..stats.cdf import ks_distance
+from ..stats.kl import histogram_kl
+
+__all__ = ["PhaseComparison", "ProfileComparison", "compare_profiles"]
+
+#: Symmetric-KL threshold under which a phase looks like "same app".
+DEFAULT_KL_THRESHOLD = 2.5
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseComparison:
+    """Divergence of one execution phase between two profiles."""
+
+    phase: str
+    kl_divergence: float
+    ks_distance: float
+    mean_a: float
+    mean_b: float
+
+    def similar(self, kl_threshold: float = DEFAULT_KL_THRESHOLD) -> bool:
+        return self.kl_divergence <= kl_threshold
+
+
+@dataclass(frozen=True)
+class ProfileComparison:
+    """Full comparison of two job templates."""
+
+    name_a: str
+    name_b: str
+    phases: tuple[PhaseComparison, ...]
+    kl_threshold: float
+
+    @property
+    def same_application(self) -> bool:
+        """True when every compared phase is under the KL threshold."""
+        return all(p.similar(self.kl_threshold) for p in self.phases)
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "phase": p.phase,
+                "kl": p.kl_divergence,
+                "ks": p.ks_distance,
+                f"mean[{self.name_a}]": p.mean_a,
+                f"mean[{self.name_b}]": p.mean_b,
+                "similar": p.similar(self.kl_threshold),
+            }
+            for p in self.phases
+        ]
+
+    def __str__(self) -> str:
+        verdict = (
+            "profiles look like the SAME application"
+            if self.same_application
+            else "profiles look like DIFFERENT applications"
+        )
+        lines = [f"{self.name_a} vs {self.name_b}: {verdict} "
+                 f"(KL threshold {self.kl_threshold})"]
+        for p in self.phases:
+            mark = "~" if p.similar(self.kl_threshold) else "!"
+            lines.append(
+                f"  {mark} {p.phase:8s} KL={p.kl_divergence:6.2f} KS={p.ks_distance:.3f} "
+                f"means {p.mean_a:.1f}s vs {p.mean_b:.1f}s"
+            )
+        return "\n".join(lines)
+
+
+def _shuffle_sample(profile: JobProfile) -> np.ndarray:
+    parts = [
+        arr
+        for arr in (profile.first_shuffle_durations, profile.typical_shuffle_durations)
+        if arr.size
+    ]
+    return np.concatenate(parts) if parts else np.empty(0)
+
+
+def compare_profiles(
+    a: JobProfile,
+    b: JobProfile,
+    *,
+    kl_threshold: float = DEFAULT_KL_THRESHOLD,
+) -> ProfileComparison:
+    """Phase-by-phase comparison of two job templates.
+
+    Phases present in only one profile are skipped (a map-only job and a
+    full job are compared on maps alone — and may still read "similar";
+    inspect the phases when task structure matters).
+    """
+    if kl_threshold <= 0:
+        raise ValueError(f"kl_threshold must be > 0, got {kl_threshold}")
+    phases: list[PhaseComparison] = []
+    pairs = [
+        ("map", a.map_durations, b.map_durations),
+        ("shuffle", _shuffle_sample(a), _shuffle_sample(b)),
+        ("reduce", a.reduce_durations, b.reduce_durations),
+    ]
+    for phase, sample_a, sample_b in pairs:
+        if sample_a.size == 0 or sample_b.size == 0:
+            continue
+        phases.append(
+            PhaseComparison(
+                phase=phase,
+                kl_divergence=histogram_kl(sample_a, sample_b),
+                ks_distance=ks_distance(sample_a, sample_b),
+                mean_a=float(sample_a.mean()),
+                mean_b=float(sample_b.mean()),
+            )
+        )
+    if not phases:
+        raise ValueError("the profiles share no comparable phases")
+    return ProfileComparison(
+        name_a=a.name, name_b=b.name, phases=tuple(phases), kl_threshold=kl_threshold
+    )

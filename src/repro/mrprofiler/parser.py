@@ -1,0 +1,228 @@
+"""Parser for Hadoop 0.20-style JobTracker history logs.
+
+MRProfiler's front end (paper Section III-A): "extracts the job
+performance metrics by processing the counters and logs stored at the
+JobTracker at the end of each job.  The job tracker logs ... faithfully
+record the detailed information about the map and reduce tasks'
+processing.  The logs also have useful information about the shuffle/sort
+stage of each job."
+
+The format is line-oriented ``Entity KEY="value" ...`` records.  Records
+for one attempt arrive split across lines (a START line when the attempt
+launches, a status line when it finishes); the parser merges them by
+attempt id.  Unknown keys are ignored, which is what makes the real
+format practical to parse — Rumen does the same.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["MapAttempt", "ReduceAttempt", "ParsedJob", "parse_history"]
+
+_LINE_RE = re.compile(r'^(?P<entity>\w+) (?P<body>.*)$')
+_KV_RE = re.compile(r'(\w+)="([^"]*)"')
+_TASKID_RE = re.compile(r'task_\d+_\d+_(?P<kind>[mr])_(?P<index>\d+)$')
+_ATTEMPTID_RE = re.compile(
+    r'attempt_\d+_\d+_(?P<kind>[mr])_(?P<index>\d+)_(?P<attempt>\d+)$'
+)
+
+
+@dataclass(slots=True)
+class MapAttempt:
+    """Timing of one map attempt (epoch milliseconds)."""
+
+    index: int
+    attempt: int = 0
+    start_ms: Optional[int] = None
+    finish_ms: Optional[int] = None
+    hostname: str = ""
+    status: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        if self.start_ms is None or self.finish_ms is None:
+            raise ValueError(f"map attempt {self.index} is incomplete")
+        return (self.finish_ms - self.start_ms) / 1000.0
+
+
+@dataclass(slots=True)
+class ReduceAttempt:
+    """Timing of one reduce attempt (epoch milliseconds)."""
+
+    index: int
+    attempt: int = 0
+    start_ms: Optional[int] = None
+    shuffle_finished_ms: Optional[int] = None
+    sort_finished_ms: Optional[int] = None
+    finish_ms: Optional[int] = None
+    hostname: str = ""
+    status: str = ""
+
+    @property
+    def complete(self) -> bool:
+        return None not in (
+            self.start_ms,
+            self.shuffle_finished_ms,
+            self.sort_finished_ms,
+            self.finish_ms,
+        )
+
+
+@dataclass(slots=True)
+class ParsedJob:
+    """Everything MRProfiler needs about one job, straight from the log."""
+
+    job_id: str
+    name: str = ""
+    submit_ms: Optional[int] = None
+    launch_ms: Optional[int] = None
+    finish_ms: Optional[int] = None
+    total_maps: Optional[int] = None
+    total_reduces: Optional[int] = None
+    status: str = ""
+    #: every recorded attempt, keyed by (task index, attempt number) —
+    #: Rumen-style completeness (speculative/killed attempts included).
+    all_map_attempts: dict[tuple[int, int], MapAttempt] = field(default_factory=dict)
+    all_reduce_attempts: dict[tuple[int, int], ReduceAttempt] = field(default_factory=dict)
+
+    @staticmethod
+    def _winners(records: dict) -> dict:
+        """index -> the successful attempt (or the sole recorded one).
+
+        Speculative execution can leave several attempts per task; the
+        one with ``TASK_STATUS="SUCCESS"`` defines the task's timing.
+        """
+        out: dict = {}
+        for (index, _attempt), att in sorted(records.items()):
+            current = out.get(index)
+            if current is None or (att.status == "SUCCESS" and current.status != "SUCCESS"):
+                out[index] = att
+        return out
+
+    @property
+    def map_attempts(self) -> dict[int, MapAttempt]:
+        """index -> winning map attempt."""
+        return self._winners(self.all_map_attempts)
+
+    @property
+    def reduce_attempts(self) -> dict[int, ReduceAttempt]:
+        """index -> winning reduce attempt."""
+        return self._winners(self.all_reduce_attempts)
+
+    @property
+    def map_stage_end_ms(self) -> int:
+        """Finish time of the last map task."""
+        finishes = [a.finish_ms for a in self.map_attempts.values() if a.finish_ms is not None]
+        if not finishes:
+            raise ValueError(f"job {self.job_id} has no finished map attempts")
+        return max(finishes)
+
+    @property
+    def duration_s(self) -> float:
+        """Job completion time (seconds, finish - submit)."""
+        if self.submit_ms is None or self.finish_ms is None:
+            raise ValueError(f"job {self.job_id} lacks submit/finish records")
+        return (self.finish_ms - self.submit_ms) / 1000.0
+
+
+def _task_key(fields: dict[str, str]) -> Optional[tuple[int, int]]:
+    """(task index, attempt number) of an attempt record."""
+    attempt_id = fields.get("TASK_ATTEMPT_ID", "")
+    m = _ATTEMPTID_RE.search(attempt_id)
+    if m:
+        return int(m.group("index")), int(m.group("attempt"))
+    taskid = fields.get("TASKID", "")
+    m = _TASKID_RE.search(taskid)
+    return (int(m.group("index")), 0) if m else None
+
+
+def parse_history(text: str | Iterable[str]) -> list[ParsedJob]:
+    """Parse a JobTracker history log into per-job records.
+
+    Accepts the full log text or an iterable of lines.  Jobs are returned
+    in order of first appearance.  Malformed lines raise
+    :class:`ValueError` with the offending content — silently skipping
+    corrupt records would poison downstream profiles.
+    """
+    lines = text.splitlines() if isinstance(text, str) else text
+    jobs: dict[str, ParsedJob] = {}
+
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable history line: {line!r}")
+        entity = m.group("entity")
+        fields = dict(_KV_RE.findall(m.group("body")))
+        job_id = fields.get("JOBID")
+        if job_id is None:
+            # Attempt records carry the job id inside the task id.
+            taskid = fields.get("TASKID", "")
+            parts = taskid.split("_")
+            if len(parts) >= 3:
+                job_id = f"job_{parts[1]}_{parts[2]}"
+        if job_id is None:
+            raise ValueError(f"history line has no job id: {line!r}")
+        job = jobs.setdefault(job_id, ParsedJob(job_id=job_id))
+
+        if entity == "Job":
+            if "JOBNAME" in fields:
+                job.name = fields["JOBNAME"]
+            if "SUBMIT_TIME" in fields:
+                job.submit_ms = int(fields["SUBMIT_TIME"])
+            if "LAUNCH_TIME" in fields:
+                job.launch_ms = int(fields["LAUNCH_TIME"])
+            if "TOTAL_MAPS" in fields:
+                job.total_maps = int(fields["TOTAL_MAPS"])
+            if "TOTAL_REDUCES" in fields:
+                job.total_reduces = int(fields["TOTAL_REDUCES"])
+            if "FINISH_TIME" in fields:
+                job.finish_ms = int(fields["FINISH_TIME"])
+            if "JOB_STATUS" in fields:
+                job.status = fields["JOB_STATUS"]
+
+        elif entity == "MapAttempt":
+            key = _task_key(fields)
+            if key is None:
+                raise ValueError(f"MapAttempt without task index: {line!r}")
+            att = job.all_map_attempts.setdefault(
+                key, MapAttempt(index=key[0], attempt=key[1])
+            )
+            if "START_TIME" in fields:
+                att.start_ms = int(fields["START_TIME"])
+            if "FINISH_TIME" in fields:
+                att.finish_ms = int(fields["FINISH_TIME"])
+            if "HOSTNAME" in fields:
+                att.hostname = fields["HOSTNAME"]
+            if "TASK_STATUS" in fields:
+                att.status = fields["TASK_STATUS"]
+
+        elif entity == "ReduceAttempt":
+            key = _task_key(fields)
+            if key is None:
+                raise ValueError(f"ReduceAttempt without task index: {line!r}")
+            ratt = job.all_reduce_attempts.setdefault(
+                key, ReduceAttempt(index=key[0], attempt=key[1])
+            )
+            if "START_TIME" in fields:
+                ratt.start_ms = int(fields["START_TIME"])
+            if "SHUFFLE_FINISHED" in fields:
+                ratt.shuffle_finished_ms = int(fields["SHUFFLE_FINISHED"])
+            if "SORT_FINISHED" in fields:
+                ratt.sort_finished_ms = int(fields["SORT_FINISHED"])
+            if "FINISH_TIME" in fields:
+                ratt.finish_ms = int(fields["FINISH_TIME"])
+            if "HOSTNAME" in fields:
+                ratt.hostname = fields["HOSTNAME"]
+            if "TASK_STATUS" in fields:
+                ratt.status = fields["TASK_STATUS"]
+
+        # Other entities (Task, Meta, ...) exist in real logs; MRProfiler
+        # is "selective and stores only the task durations", so skip them.
+
+    return list(jobs.values())

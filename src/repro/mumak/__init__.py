@@ -1,0 +1,7 @@
+"""The Mumak + Rumen baseline (Apache's simulator, per its published
+behaviour: heartbeat-level simulation, no shuffle modeling)."""
+
+from .rumen import dumps_rumen, extract_rumen_trace, loads_rumen, rumen_to_trace
+from .simulator import MumakSimulator
+
+__all__ = ["dumps_rumen", "extract_rumen_trace", "loads_rumen", "rumen_to_trace", "MumakSimulator"]

@@ -1,0 +1,158 @@
+"""Terminal rendering of experiment results (pure-text plots).
+
+The paper's figures are line plots (deadline sweeps, simulation-time
+curves) and grouped bars (accuracy panels).  This module renders both as
+plain text so ``simmr experiment --plot`` can show a figure's *shape*
+directly in the terminal, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["line_plot", "bar_chart", "sparkline"]
+
+_MARKERS = "ox+*#@%&"
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log-scale axis cannot show non-positive value {value}")
+        return math.log10(value)
+    return value
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from ``o x + * ...``; the legend maps them
+    back.  Use ``logx=True`` for the paper's inter-arrival sweeps.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("line_plot needs at least one non-empty series")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+
+    points = [
+        (_transform(x, logx), _transform(y, logy))
+        for pts in series.values()
+        for x, y in pts
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            tx = (_transform(x, logx) - x_lo) / (x_hi - x_lo)
+            ty = (_transform(y, logy) - y_lo) / (y_hi - y_lo)
+            col = min(int(tx * (width - 1)), width - 1)
+            row = height - 1 - min(int(ty * (height - 1)), height - 1)
+            grid[row][col] = marker
+
+    def y_label(row: int) -> float:
+        frac = (height - 1 - row) / (height - 1)
+        raw = y_lo + frac * (y_hi - y_lo)
+        return 10**raw if logy else raw
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(_nice_number(y_label(r))) for r in (0, height - 1)) + 1
+    for row in range(height):
+        tag = ""
+        if row == 0 or row == height - 1 or row == height // 2:
+            tag = _nice_number(y_label(row))
+        lines.append(f"{tag:>{label_width}} |" + "".join(grid[row]))
+    x_left = _nice_number(10**x_lo if logx else x_lo)
+    x_right = _nice_number(10**x_hi if logx else x_hi)
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    footer = " " * (label_width + 2) + x_left
+    footer += " " * max(1, width - len(x_left) - len(x_right)) + x_right
+    lines.append(footer)
+    if xlabel or logx:
+        scale = " (log scale)" if logx else ""
+        lines.append(" " * (label_width + 2) + f"{xlabel}{scale}")
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append((ylabel + "   " if ylabel else "") + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    *,
+    width: int = 50,
+    title: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bars for labelled values (the Figure 5 panel shape).
+
+    ``reference`` draws a marker column at that value (e.g. 100% =
+    "actual" in the accuracy panels).
+    """
+    if not rows:
+        raise ValueError("bar_chart needs at least one row")
+    if any(v < 0 for _, v in rows):
+        raise ValueError("bar values must be non-negative")
+    peak = max(max(v for _, v in rows), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    ref_col = None
+    if reference is not None:
+        ref_col = min(int(reference / peak * width), width)
+    for label, value in rows:
+        filled = min(int(value / peak * width), width)
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and ref_col < width:
+            bar[ref_col] = "|" if bar[ref_col] == " " else bar[ref_col]
+        lines.append(f"{label:>{label_width}} [{''.join(bar)}] {_nice_number(value)}")
+    if reference is not None:
+        lines.append(f"{'':>{label_width}}  '|' marks {_nice_number(reference)}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character trend of ``values``."""
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)

@@ -1,0 +1,56 @@
+"""Pluggable SimMR scheduling policies.
+
+The paper's three policies (FIFO, MaxEDF, MinEDF) plus the two production
+Hadoop schedulers it discusses (Fair, Capacity).  All implement the narrow
+:class:`~repro.schedulers.base.Scheduler` interface.
+"""
+
+from .base import Scheduler
+from .capacity import CapacityScheduler
+from .capped import CappedFIFOScheduler
+from .dynamic_priority import DynamicPriorityScheduler, UserAccount
+from .edf import MaxEDFScheduler, MinEDFScheduler
+from .fair import FairScheduler
+from .flex import FLEX_METRICS, FlexScheduler
+from .fifo import FIFOScheduler
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "CappedFIFOScheduler",
+    "MaxEDFScheduler",
+    "MinEDFScheduler",
+    "FairScheduler",
+    "CapacityScheduler",
+    "DynamicPriorityScheduler",
+    "FlexScheduler",
+    "FLEX_METRICS",
+    "UserAccount",
+    "make_scheduler",
+]
+
+_REGISTRY = {
+    "fifo": FIFOScheduler,
+    "maxedf": MaxEDFScheduler,
+    "minedf": MinEDFScheduler,
+    "fair": FairScheduler,
+    "dp": DynamicPriorityScheduler,
+    "dynamicpriority": DynamicPriorityScheduler,
+    "flex": FlexScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Build a scheduler by case-insensitive name ("fifo", "minedf", ...).
+
+    The Capacity scheduler is not constructible by name because it has no
+    sensible default queue configuration.
+    """
+    key = name.strip().lower()
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

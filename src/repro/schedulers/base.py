@@ -1,0 +1,95 @@
+"""The pluggable scheduling-policy interface.
+
+SimMR communicates with the scheduling policy "using a very narrow
+interface consisting of the following functions:
+``CHOOSENEXTMAPTASK(jobQ)`` and ``CHOOSENEXTREDUCETASK(jobQ)``" (paper
+Section III-B).  These return the job whose map (reduce) task should be
+dispatched next, or ``None`` to leave the remaining slots idle.
+
+The engine hands the policy only *eligible* jobs — jobs with an
+undispatched task of the requested kind, past the ``minMapPercentCompleted``
+threshold for reduces, and below their ``wanted_*_slots`` cap if a policy
+set one (the hook MinEDF uses to pin each job to its model-derived minimal
+allocation).
+
+``on_job_arrival`` / ``on_job_departure`` are optional notification hooks;
+stateless policies ignore them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cluster import ClusterConfig
+    from ..core.job import Job
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for SimMR scheduling policies."""
+
+    #: Human-readable policy name, shown in results and experiment tables.
+    name: str = "scheduler"
+
+    #: Performance hook.  When True, the policy promises that
+    #: :meth:`priority_key` is *constant over a job's lifetime* and that
+    #: ``choose_next_*`` would always return the eligible job with the
+    #: smallest key.  The engine then serves dispatches from a priority
+    #: heap in O(log n) instead of scanning the job queue per dispatch —
+    #: provably the same schedule, just faster.  Policies whose choice
+    #: depends on mutable state (e.g. Fair's running-task counts) must
+    #: leave this False.
+    static_priority: bool = False
+
+    def priority_key(self, job: "Job") -> tuple:
+        """Total-order key for ``static_priority`` policies (lower = first)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets static_priority but defines no priority_key"
+        )
+
+    def on_job_arrival(self, job: "Job", time: float, cluster: "ClusterConfig") -> None:
+        """Called when ``job`` is submitted (before any allocation)."""
+
+    def on_job_departure(self, job: "Job", time: float) -> None:
+        """Called when ``job`` completes."""
+
+    def preemption_requests(
+        self,
+        job: "Job",
+        running_jobs: Sequence["Job"],
+        cluster: "ClusterConfig",
+        free_map_slots: int,
+        free_reduce_slots: int,
+    ) -> list[tuple["Job", str, int]]:
+        """Tasks to kill on ``job``'s arrival, as ``(victim, kind, count)``.
+
+        Consulted only when the engine runs with ``preemption=True``.
+        Hadoop preempts by killing: the victims' attempts lose all
+        progress and rerun later.  The paper identifies the *absence* of
+        this ("the scheduler does not pre-empt tasks") as the cause of
+        the deadline-miss bump around 100 s inter-arrival in Figure 7(a);
+        preemptive policies override this hook to remove it.  Default: no
+        preemption.
+        """
+        return []
+
+    @abstractmethod
+    def choose_next_map_task(self, job_queue: Sequence["Job"]) -> Optional["Job"]:
+        """Pick the job whose next map task should run, or ``None``.
+
+        ``job_queue`` contains only map-eligible jobs, in submission order.
+        """
+
+    @abstractmethod
+    def choose_next_reduce_task(self, job_queue: Sequence["Job"]) -> Optional["Job"]:
+        """Pick the job whose next reduce task should run, or ``None``.
+
+        ``job_queue`` contains only reduce-eligible jobs, in submission
+        order.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

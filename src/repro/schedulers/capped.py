@@ -1,0 +1,49 @@
+"""FIFO with per-job slot caps — the paper's modified FIFO.
+
+Section II: "we have modified the default FIFO scheduler in Hadoop such
+that it allocates a requested number of map/reduce slots for a job
+execution (instead of maximum)."  That modified scheduler produced the
+WordCount executions behind Figures 1-3 (128x128, 64x64, 32x32 slots).
+
+The cap is applied through the same ``wanted_*_slots`` mechanism MinEDF
+uses, so the engine (and the Hadoop emulator) enforce it identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.cluster import ClusterConfig
+from ..core.job import Job
+from .base import Scheduler
+from .fifo import FIFOScheduler
+
+__all__ = ["CappedFIFOScheduler"]
+
+
+class CappedFIFOScheduler(FIFOScheduler):
+    """FIFO ordering, but every job is capped at the requested slots.
+
+    Parameters
+    ----------
+    map_slots / reduce_slots:
+        The per-job allocation request.  ``None`` leaves that dimension
+        uncapped (plain FIFO behaviour).
+    """
+
+    name = "CappedFIFO"
+
+    def __init__(
+        self, map_slots: Optional[int] = None, reduce_slots: Optional[int] = None
+    ) -> None:
+        if map_slots is not None and map_slots < 1:
+            raise ValueError(f"map_slots cap must be >= 1, got {map_slots}")
+        if reduce_slots is not None and reduce_slots < 0:
+            raise ValueError(f"reduce_slots cap must be >= 0, got {reduce_slots}")
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.name = f"CappedFIFO({map_slots}x{reduce_slots})"
+
+    def on_job_arrival(self, job: Job, time: float, cluster: ClusterConfig) -> None:
+        job.wanted_map_slots = self.map_slots
+        job.wanted_reduce_slots = self.reduce_slots

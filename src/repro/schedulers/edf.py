@@ -1,0 +1,171 @@
+"""Deadline-driven policies: MaxEDF and MinEDF (paper Sections III-C, V-A).
+
+Both order jobs by Earliest Deadline First.  They differ in *how many*
+slots a job may occupy:
+
+* **MaxEDF** gives the earliest-deadline job every slot it can use (the
+  same per-job allocation as FIFO) — jobs often finish far ahead of their
+  deadlines, but an urgent late arrival finds the cluster busy and cannot
+  preempt running tasks.
+* **MinEDF** computes, at job arrival, the *minimal* ``(S_M, S_R)``
+  allocation that still meets the job's deadline (via the ARIA model and
+  its Lagrange closed form) and caps the job there, leaving spare slots
+  for later arrivals.
+
+Jobs without a deadline sort last (deadline = +inf), in submission order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..core.cluster import ClusterConfig
+from ..core.job import Job
+from ..models.aria import Bound, min_slots_for_deadline
+from .base import Scheduler
+
+__all__ = ["MaxEDFScheduler", "MinEDFScheduler"]
+
+
+def _edf_key(job: Job) -> tuple[float, float, int]:
+    deadline = job.deadline if job.deadline is not None else math.inf
+    return (deadline, job.submit_time, job.job_id)
+
+
+def _edf_victims(
+    job: Job,
+    running_jobs,
+    needed_maps: int,
+    needed_reduces: int,
+) -> list[tuple[Job, str, int]]:
+    """Kill requests freeing slots for ``job`` from later-deadline jobs.
+
+    Victims are taken latest-deadline-first, and only jobs strictly
+    behind the arriving job in EDF order are eligible — earlier-deadline
+    work is never disturbed.
+    """
+    key = _edf_key(job)
+    later = sorted(
+        (j for j in running_jobs if _edf_key(j) > key),
+        key=_edf_key,
+        reverse=True,
+    )
+    requests: list[tuple[Job, str, int]] = []
+    for kind, needed in (("map", needed_maps), ("reduce", needed_reduces)):
+        remaining = needed
+        for victim in later:
+            if remaining <= 0:
+                break
+            running = victim.running_maps if kind == "map" else victim.running_reduces
+            take = min(running, remaining)
+            if take > 0:
+                requests.append((victim, kind, take))
+                remaining -= take
+    return requests
+
+
+class MaxEDFScheduler(Scheduler):
+    """EDF job ordering with FIFO-style maximal per-job allocation.
+
+    ``preemptive=True`` (with an engine run as ``preemption=True``) kills
+    later-deadline tasks on the arrival of an earlier-deadline job, up to
+    the arrival's full demand — removing the non-preemption artifact the
+    paper observes in Figure 7(a).
+    """
+
+    name = "MaxEDF"
+    static_priority = True
+
+    def __init__(self, preemptive: bool = False) -> None:
+        self.preemptive = preemptive
+        if preemptive:
+            self.name = "MaxEDF+P"
+
+    def priority_key(self, job: Job) -> tuple:
+        return _edf_key(job)
+
+    def preemption_requests(self, job, running_jobs, cluster, free_map_slots, free_reduce_slots):
+        if not self.preemptive or job.deadline is None:
+            return []
+        demand_m = min(job.pending_maps, cluster.map_slots)
+        demand_r = min(job.pending_reduces, cluster.reduce_slots)
+        return _edf_victims(job, running_jobs, demand_m - free_map_slots,
+                            demand_r - free_reduce_slots)
+
+    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        if not job_queue:
+            return None
+        return min(job_queue, key=_edf_key)
+
+    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        if not job_queue:
+            return None
+        return min(job_queue, key=_edf_key)
+
+
+class MinEDFScheduler(Scheduler):
+    """EDF ordering with model-derived minimal per-job slot allocations.
+
+    On each job arrival the ARIA model is inverted for the job's remaining
+    time to deadline; the resulting ``(S_M, S_R)`` demand is stored on the
+    job as ``wanted_map_slots`` / ``wanted_reduce_slots``, which the engine
+    enforces ("it also keeps track of the number of running and scheduled
+    map and reduce tasks so that they are always less than the 'wanted'
+    number of slots").
+
+    Parameters
+    ----------
+    bound:
+        Which ARIA bound drives the inversion; the paper approximates the
+        completion time by the average of lower and upper bounds.
+    """
+
+    name = "MinEDF"
+    static_priority = True
+
+    def priority_key(self, job: Job) -> tuple:
+        return _edf_key(job)
+
+    def __init__(self, bound: Bound = "average", preemptive: bool = False) -> None:
+        self.bound: Bound = bound
+        self.preemptive = preemptive
+        if preemptive:
+            self.name = "MinEDF+P"
+
+    def preemption_requests(self, job, running_jobs, cluster, free_map_slots, free_reduce_slots):
+        if not self.preemptive or job.deadline is None:
+            return []
+        demand_m = job.wanted_map_slots
+        if demand_m is None:
+            demand_m = min(job.pending_maps, cluster.map_slots)
+        demand_r = job.wanted_reduce_slots
+        if demand_r is None:
+            demand_r = min(job.pending_reduces, cluster.reduce_slots)
+        return _edf_victims(job, running_jobs, demand_m - free_map_slots,
+                            demand_r - free_reduce_slots)
+
+    def on_job_arrival(self, job: Job, time: float, cluster: ClusterConfig) -> None:
+        if job.deadline is None:
+            return  # no deadline: uncapped, behaves like MaxEDF for this job
+        remaining = job.deadline - time
+        if remaining <= 0:
+            # Already late: the best the policy can do is everything.
+            job.wanted_map_slots = None
+            job.wanted_reduce_slots = None
+            return
+        s_m, s_r = min_slots_for_deadline(
+            job.profile, remaining, cluster=cluster, bound=self.bound
+        )
+        job.wanted_map_slots = s_m if job.profile.num_maps > 0 else 0
+        job.wanted_reduce_slots = s_r if job.profile.num_reduces > 0 else 0
+
+    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        if not job_queue:
+            return None
+        return min(job_queue, key=_edf_key)
+
+    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        if not job_queue:
+            return None
+        return min(job_queue, key=_edf_key)

@@ -1,0 +1,83 @@
+"""A Hadoop Fair Scheduler (HFS) style policy.
+
+The paper lists HFS (Zaharia et al.) among the broadly used production
+schedulers SimMR can evaluate.  This implementation follows HFS's core
+idea at the slot-allocation granularity SimMR models: every pool (and
+every job within a pool) should, over time, receive an equal — or
+weight-proportional — share of the cluster's slots.
+
+When a slot frees, the policy grants it to the most *deficient* pool
+(smallest ``running / weight``), and within the pool to the job with the
+fewest running tasks of the requested kind (ties: submission order).
+Data locality / delay scheduling is out of scope — SimMR does not model
+task placement, only slot counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..core.job import Job
+from .base import Scheduler
+
+__all__ = ["FairScheduler"]
+
+PoolFn = Callable[[Job], str]
+
+
+def _default_pool(job: Job) -> str:
+    return job.profile.name
+
+
+class FairScheduler(Scheduler):
+    """Weighted max-min fair sharing of map and reduce slots.
+
+    Parameters
+    ----------
+    pool_of:
+        Maps a job to its pool name; defaults to the job's application
+        name (each application is its own pool).
+    weights:
+        Pool name -> weight.  Pools absent from the mapping get weight 1.
+    """
+
+    name = "Fair"
+
+    def __init__(
+        self,
+        pool_of: Optional[PoolFn] = None,
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.pool_of: PoolFn = pool_of or _default_pool
+        self.weights: dict[str, float] = dict(weights or {})
+        for pool, w in self.weights.items():
+            if w <= 0:
+                raise ValueError(f"pool {pool!r} has non-positive weight {w}")
+
+    def _weight(self, pool: str) -> float:
+        return self.weights.get(pool, 1.0)
+
+    def _choose(self, job_queue: Sequence[Job], kind: str) -> Optional[Job]:
+        if not job_queue:
+            return None
+        running = (lambda j: j.running_maps) if kind == "map" else (
+            lambda j: j.running_reduces
+        )
+        # Pool deficiency: total running tasks of this kind per weight.
+        pool_running: dict[str, int] = {}
+        for job in job_queue:
+            pool = self.pool_of(job)
+            pool_running[pool] = pool_running.get(pool, 0) + running(job)
+
+        def key(job: Job) -> tuple[float, int, float, int]:
+            pool = self.pool_of(job)
+            deficiency = pool_running[pool] / self._weight(pool)
+            return (deficiency, running(job), job.submit_time, job.job_id)
+
+        return min(job_queue, key=key)
+
+    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        return self._choose(job_queue, "map")
+
+    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        return self._choose(job_queue, "reduce")

@@ -1,0 +1,35 @@
+"""The default Hadoop FIFO policy.
+
+"This policy finds the earliest arriving job that needs a map (or reduce)
+task to be executed next" (paper Section III-C).  Ties on submission time
+break by job id, i.e. submission order, making replays deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.job import Job
+from .base import Scheduler
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    """Earliest-arrival-first job ordering; jobs take all slots they can."""
+
+    name = "FIFO"
+    static_priority = True
+
+    def priority_key(self, job: Job) -> tuple:
+        return (job.submit_time, job.job_id)
+
+    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        if not job_queue:
+            return None
+        return min(job_queue, key=lambda j: (j.submit_time, j.job_id))
+
+    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
+        if not job_queue:
+            return None
+        return min(job_queue, key=lambda j: (j.submit_time, j.job_id))

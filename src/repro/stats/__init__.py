@@ -1,0 +1,19 @@
+"""Statistics toolkit: KL divergence, empirical CDFs, distribution fitting."""
+
+from .cdf import EmpiricalCDF, ks_distance
+from .fitting import CANDIDATE_FAMILIES, FitResult, fit_best, fit_candidates, fit_lognormal
+from .kl import duration_histogram, histogram_kl, kl_divergence, symmetric_kl
+
+__all__ = [
+    "EmpiricalCDF",
+    "ks_distance",
+    "CANDIDATE_FAMILIES",
+    "FitResult",
+    "fit_best",
+    "fit_candidates",
+    "fit_lognormal",
+    "duration_histogram",
+    "histogram_kl",
+    "kl_divergence",
+    "symmetric_kl",
+]

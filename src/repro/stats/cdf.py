@@ -1,0 +1,69 @@
+"""Empirical CDFs of task durations (paper Figure 3).
+
+Figure 3 plots, per execution phase, "% of tasks" with duration at most
+*x* for two different resource allocations, showing the curves coincide.
+:class:`EmpiricalCDF` provides exactly those series plus the standard
+quantile/evaluation operations the distribution experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF", "ks_distance"]
+
+
+class EmpiricalCDF:
+    """Right-continuous empirical distribution function of a sample."""
+
+    def __init__(self, sample: Sequence[float]) -> None:
+        arr = np.sort(np.asarray(sample, dtype=np.float64))
+        if arr.size == 0:
+            raise ValueError("empirical CDF needs a non-empty sample")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("sample must be finite")
+        self.values = arr
+
+    def __call__(self, x: float | Sequence[float]) -> np.ndarray | float:
+        """P(X <= x); vectorized over ``x``."""
+        result = np.searchsorted(self.values, np.asarray(x, dtype=np.float64), side="right")
+        out = result / self.values.size
+        return float(out) if np.isscalar(x) or np.ndim(x) == 0 else out
+
+    def quantile(self, q: float | Sequence[float]) -> np.ndarray | float:
+        """Inverse CDF (lower quantile)."""
+        q_arr = np.asarray(q, dtype=np.float64)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        idx = np.clip(np.ceil(q_arr * self.values.size).astype(int) - 1, 0, self.values.size - 1)
+        out = self.values[idx]
+        return float(out) if np.isscalar(q) or np.ndim(q) == 0 else out
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, percent)`` arrays for plotting: percent of tasks <= x.
+
+        This is the Figure 3 representation ("% of tasks" on the y-axis).
+        """
+        n = self.values.size
+        return self.values.copy(), 100.0 * np.arange(1, n + 1) / n
+
+    @property
+    def n(self) -> int:
+        return self.values.size
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0..100) of the sample."""
+        return float(self.quantile(p / 100.0))
+
+
+def ks_distance(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic ``sup_x |F_a(x) - F_b(x)|``."""
+    cdf_a = EmpiricalCDF(sample_a)
+    cdf_b = EmpiricalCDF(sample_b)
+    grid = np.concatenate([cdf_a.values, cdf_b.values])
+    return float(np.max(np.abs(cdf_a(grid) - cdf_b(grid))))

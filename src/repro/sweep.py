@@ -1,0 +1,130 @@
+"""Parameter sweeps: the "what-if questions" harness.
+
+The paper's closing pitch: "SimMR can quickly replay production cluster
+workloads with different scenarios of interest, assess various what-if
+questions, and help avoiding error-prone decisions."  This module runs
+the cartesian product of (scheduler, cluster shape, slow-start) over one
+trace and tabulates the decision metrics, each cell being a sub-second
+replay.
+
+Use :class:`ClusterPlanner` when the question is "how big a cluster";
+use a sweep when it is "which configuration of this cluster".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .core.cluster import ClusterConfig
+from .core.engine import SimulatorEngine
+from .core.job import TraceJob
+from .schedulers import Scheduler, make_scheduler
+from .experiments.common import format_table
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """Metrics of one configuration's replay."""
+
+    scheduler: str
+    map_slots: int
+    reduce_slots: int
+    slowstart: float
+    makespan: float
+    mean_duration: float
+    p95_duration: float
+    deadline_utility: float
+
+    def row(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "map_slots": self.map_slots,
+            "reduce_slots": self.reduce_slots,
+            "slowstart": self.slowstart,
+            "makespan_s": self.makespan,
+            "mean_T_J_s": self.mean_duration,
+            "p95_T_J_s": self.p95_duration,
+            "deadline_utility": self.deadline_utility,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All swept cells, with ranking helpers."""
+
+    cells: list[SweepCell]
+
+    def rows(self) -> list[dict]:
+        return [c.row() for c in self.cells]
+
+    def best_by(self, metric: str) -> SweepCell:
+        """The cell minimizing ``makespan`` / ``mean_duration`` /
+        ``p95_duration`` / ``deadline_utility``."""
+        if not self.cells:
+            raise ValueError("empty sweep")
+        try:
+            return min(self.cells, key=lambda c: getattr(c, metric))
+        except AttributeError:
+            raise ValueError(
+                f"unknown metric {metric!r}; one of makespan, mean_duration, "
+                "p95_duration, deadline_utility"
+            ) from None
+
+    def __str__(self) -> str:
+        return format_table(self.rows(), title=f"What-if sweep ({len(self.cells)} cells)")
+
+
+def run_sweep(
+    trace: Sequence[TraceJob],
+    *,
+    schedulers: Mapping[str, SchedulerFactory] | Sequence[str] = ("fifo",),
+    clusters: Sequence[ClusterConfig] = (ClusterConfig(64, 64),),
+    slowstarts: Sequence[float] = (0.05,),
+) -> SweepResult:
+    """Replay ``trace`` under every configuration combination.
+
+    ``schedulers`` is either registry names (see
+    :func:`repro.schedulers.make_scheduler`) or a mapping of display name
+    to zero-argument factory.
+    """
+    if not trace:
+        raise ValueError("cannot sweep an empty trace")
+    if isinstance(schedulers, Mapping):
+        factories = dict(schedulers)
+    else:
+        factories = {name: (lambda n=name: make_scheduler(n)) for name in schedulers}
+    if not factories:
+        raise ValueError("at least one scheduler is required")
+
+    cells: list[SweepCell] = []
+    for sched_name, factory in factories.items():
+        for cluster in clusters:
+            for slowstart in slowstarts:
+                engine = SimulatorEngine(
+                    cluster,
+                    factory(),
+                    min_map_percent_completed=slowstart,
+                    record_tasks=False,
+                )
+                result = engine.run(trace)
+                durations = np.array(list(result.durations().values()))
+                cells.append(
+                    SweepCell(
+                        scheduler=result.scheduler_name,
+                        map_slots=cluster.map_slots,
+                        reduce_slots=cluster.reduce_slots,
+                        slowstart=float(slowstart),
+                        makespan=result.makespan,
+                        mean_duration=float(durations.mean()),
+                        p95_duration=float(np.percentile(durations, 95)),
+                        deadline_utility=result.relative_deadline_exceeded(),
+                    )
+                )
+    return SweepResult(cells=cells)

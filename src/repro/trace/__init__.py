@@ -1,0 +1,81 @@
+"""Trace generation and persistence: MRProfiler's counterpart lives in
+:mod:`repro.mrprofiler`; this package covers the Synthetic TraceGen, the
+Trace Database, serialization, arrival/deadline processes, and the
+trace-scaling extension."""
+
+from .arrivals import (
+    ArrivalProcess,
+    BatchArrivals,
+    ExponentialArrivals,
+    PeriodicArrivals,
+    RecordedArrivals,
+)
+from .database import TraceDatabase
+from .deadlines import DeadlineFactorPolicy, solo_completion_time
+from .fit import fit_duration_distribution, fit_spec_from_profiles
+from .distributions import (
+    Constant,
+    DurationDistribution,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+    from_spec,
+)
+from .scaling import scale_profile
+from .schema import (
+    SCHEMA_VERSION,
+    load_trace,
+    profile_from_dict,
+    profile_to_dict,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from .synthetic import SyntheticJobSpec, SyntheticTraceGen, TaskCount
+from .tools import TraceSummary, compact_trace, concatenate_traces, trace_summary
+from .workflows import WorkflowSpec, WorkflowStage, chain
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchArrivals",
+    "ExponentialArrivals",
+    "PeriodicArrivals",
+    "RecordedArrivals",
+    "TraceDatabase",
+    "DeadlineFactorPolicy",
+    "solo_completion_time",
+    "fit_duration_distribution",
+    "fit_spec_from_profiles",
+    "Constant",
+    "DurationDistribution",
+    "Empirical",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "TruncatedNormal",
+    "Uniform",
+    "Weibull",
+    "from_spec",
+    "scale_profile",
+    "SCHEMA_VERSION",
+    "load_trace",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "SyntheticJobSpec",
+    "SyntheticTraceGen",
+    "TaskCount",
+    "TraceSummary",
+    "compact_trace",
+    "concatenate_traces",
+    "trace_summary",
+    "WorkflowSpec",
+    "WorkflowStage",
+    "chain",
+]

@@ -1,0 +1,103 @@
+"""Job arrival processes for synthetic workload generation.
+
+The paper's scheduler case study "assume[s] that the inter-arrival time of
+the jobs is exponential" (Section V-B) and sweeps the mean inter-arrival
+time over 1..100000 s (Figures 7-8).  :class:`ExponentialArrivals` is that
+process; the other processes support what-if studies (bursty periods,
+back-to-back batch submission, replaying recorded submission times).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "ExponentialArrivals",
+    "PeriodicArrivals",
+    "BatchArrivals",
+    "RecordedArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Generates monotonically non-decreasing submission times."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` submission times starting at (or after) time 0."""
+
+
+class ExponentialArrivals(ArrivalProcess):
+    """Poisson arrivals: i.i.d. exponential inter-arrival times.
+
+    The first job arrives at time 0 (as when replaying a recorded trace
+    whose clock starts at the first submission).
+    """
+
+    def __init__(self, mean_interarrival: float) -> None:
+        if mean_interarrival <= 0:
+            raise ValueError(
+                f"mean inter-arrival time must be > 0, got {mean_interarrival}"
+            )
+        self.mean_interarrival = float(mean_interarrival)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return np.empty(0)
+        gaps = rng.exponential(self.mean_interarrival, n)
+        gaps[0] = 0.0
+        return np.cumsum(gaps)
+
+
+class PeriodicArrivals(ArrivalProcess):
+    """Fixed-interval submissions: 0, T, 2T, ..."""
+
+    def __init__(self, period: float) -> None:
+        if period < 0:
+            raise ValueError(f"period must be >= 0, got {period}")
+        self.period = float(period)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.arange(n, dtype=np.float64) * self.period
+
+
+class BatchArrivals(ArrivalProcess):
+    """All jobs submitted simultaneously at time 0 (a batch drop)."""
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(n)
+
+
+class RecordedArrivals(ArrivalProcess):
+    """Replays recorded submission times, normalized to start at 0.
+
+    If more jobs are requested than recorded times, the recorded gaps are
+    tiled forward ("play it again").
+    """
+
+    def __init__(self, times: Sequence[float]) -> None:
+        arr = np.asarray(sorted(times), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("at least one recorded arrival time is required")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("recorded arrival times must be finite")
+        self.times = arr - arr[0]
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n <= self.times.size:
+            return self.times[:n].copy()
+        out = list(self.times)
+        span = self.times[-1]
+        gaps = np.diff(self.times) if self.times.size > 1 else np.array([1.0])
+        i = 0
+        while len(out) < n:
+            span += gaps[i % gaps.size]
+            out.append(span)
+            i += 1
+        return np.asarray(out)

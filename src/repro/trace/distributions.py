@@ -1,0 +1,286 @@
+"""Duration distributions for the Synthetic TraceGen.
+
+The paper's Synthetic TraceGen "model[s] the distributions of the durations
+based on the statistical properties of the workloads" (Section III-A); the
+Facebook case study fits LogNormal distributions to the published CDFs
+(Section V-C).  This module provides the family of distributions those
+workload descriptions draw from, each with deterministic sampling under a
+seeded :class:`numpy.random.Generator` and a round-trippable dict spec so
+workload descriptions can live in the trace database or JSON files.
+
+All distributions produce non-negative durations; continuous families with
+support below zero are truncated by resampling.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DurationDistribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "TruncatedNormal",
+    "Gamma",
+    "Weibull",
+    "Empirical",
+    "from_spec",
+    "register",
+]
+
+
+class DurationDistribution(ABC):
+    """A sampleable, serializable distribution of task durations (seconds)."""
+
+    #: Registry key; set by :func:`register`.
+    kind: str = ""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` non-negative durations."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean of the distribution."""
+
+    @abstractmethod
+    def _params(self) -> dict[str, Any]:
+        """Serializable constructor parameters."""
+
+    def to_spec(self) -> dict[str, Any]:
+        """Round-trippable dict: ``{"kind": ..., **params}``."""
+        return {"kind": self.kind, **self._params()}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self._params().items())
+        return f"{type(self).__name__}({params})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DurationDistribution) and self.to_spec() == other.to_spec()
+
+    def __hash__(self) -> int:  # specs contain lists for Empirical; stringify
+        return hash(repr(sorted(self.to_spec().items(), key=lambda kv: kv[0])))
+
+
+_REGISTRY: dict[str, type[DurationDistribution]] = {}
+
+
+def register(kind: str):
+    """Class decorator registering a distribution under ``kind``."""
+
+    def deco(cls: type[DurationDistribution]) -> type[DurationDistribution]:
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return deco
+
+
+def from_spec(spec: Mapping[str, Any]) -> DurationDistribution:
+    """Rebuild a distribution from its :meth:`~DurationDistribution.to_spec` dict."""
+    spec = dict(spec)
+    try:
+        kind = spec.pop("kind")
+    except KeyError:
+        raise ValueError("distribution spec lacks a 'kind' field") from None
+    try:
+        cls = _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(f"unknown distribution kind {kind!r}; known: {sorted(_REGISTRY)}") from None
+    return cls(**spec)
+
+
+def _check_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be finite and > 0, got {value}")
+    return value
+
+
+def _check_non_negative(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value}")
+    return value
+
+
+@register("constant")
+class Constant(DurationDistribution):
+    """Every task takes exactly ``value`` seconds."""
+
+    def __init__(self, value: float) -> None:
+        self.value = _check_non_negative("value", value)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def _params(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+@register("uniform")
+class Uniform(DurationDistribution):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        self.low = _check_non_negative("low", low)
+        self.high = _check_non_negative("high", high)
+        if self.high < self.low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    def _params(self) -> dict[str, Any]:
+        return {"low": self.low, "high": self.high}
+
+
+@register("exponential")
+class Exponential(DurationDistribution):
+    """Exponential with the given ``mean``."""
+
+    def __init__(self, mean: float) -> None:
+        self._mean = _check_positive("mean", mean)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self._mean, size)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def _params(self) -> dict[str, Any]:
+        return {"mean": self._mean}
+
+
+@register("lognormal")
+class LogNormal(DurationDistribution):
+    """LogNormal: ``exp(N(mu, sigma^2))``, the paper's Facebook fit family.
+
+    ``scale`` rescales samples (e.g. ``scale=1e-3`` when ``mu``/``sigma``
+    were fitted on milliseconds but the simulator works in seconds, as
+    with the paper's LN(9.9511, 1.6764) map-duration fit).
+    """
+
+    def __init__(self, mu: float, sigma: float, scale: float = 1.0) -> None:
+        self.mu = float(mu)
+        self.sigma = _check_positive("sigma", sigma)
+        self.scale = _check_positive("scale", scale)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size) * self.scale
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2) * self.scale
+
+    def _params(self) -> dict[str, Any]:
+        return {"mu": self.mu, "sigma": self.sigma, "scale": self.scale}
+
+
+@register("truncnormal")
+class TruncatedNormal(DurationDistribution):
+    """Normal(mu, sigma) truncated to non-negative values by resampling."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        self.mu = float(mu)
+        self.sigma = _check_positive("sigma", sigma)
+        if self.mu < 0:
+            raise ValueError(f"mu must be >= 0 for a duration model, got {mu}")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        out = rng.normal(self.mu, self.sigma, size)
+        bad = out < 0
+        while bad.any():
+            out[bad] = rng.normal(self.mu, self.sigma, int(bad.sum()))
+            bad = out < 0
+        return out
+
+    def mean(self) -> float:
+        # Mean of the truncated normal, E[X | X >= 0].
+        from scipy.stats import truncnorm
+
+        a = (0.0 - self.mu) / self.sigma
+        return float(truncnorm.mean(a, np.inf, loc=self.mu, scale=self.sigma))
+
+    def _params(self) -> dict[str, Any]:
+        return {"mu": self.mu, "sigma": self.sigma}
+
+
+@register("gamma")
+class Gamma(DurationDistribution):
+    """Gamma with shape ``k`` and scale ``theta`` (mean ``k * theta``)."""
+
+    def __init__(self, shape: float, scale: float) -> None:
+        self.shape = _check_positive("shape", shape)
+        self.scale = _check_positive("scale", scale)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.gamma(self.shape, self.scale, size)
+
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    def _params(self) -> dict[str, Any]:
+        return {"shape": self.shape, "scale": self.scale}
+
+
+@register("weibull")
+class Weibull(DurationDistribution):
+    """Weibull with shape ``k`` and scale ``lambda``."""
+
+    def __init__(self, shape: float, scale: float) -> None:
+        self.shape = _check_positive("shape", shape)
+        self.scale = _check_positive("scale", scale)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.weibull(self.shape, size) * self.scale
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1 + 1 / self.shape)
+
+    def _params(self) -> dict[str, Any]:
+        return {"shape": self.shape, "scale": self.scale}
+
+
+@register("empirical")
+class Empirical(DurationDistribution):
+    """Resampling (with replacement) from observed durations.
+
+    This is how traces recorded by MRProfiler become generative models —
+    e.g. the trace-scaling feature draws a larger job's task durations
+    from the small run's empirical distribution.
+    """
+
+    def __init__(self, values: Sequence[float]) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("empirical distribution needs a non-empty 1-D sample")
+        if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+            raise ValueError("empirical sample must be finite and non-negative")
+        self.values = arr
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(self.values, size=size, replace=True)
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def _params(self) -> dict[str, Any]:
+        return {"values": self.values.tolist()}
+
+    def __repr__(self) -> str:
+        return (
+            f"Empirical(n={self.values.size}, mean={self.values.mean():.2f}, "
+            f"min={self.values.min():.2f}, max={self.values.max():.2f})"
+        )

@@ -1,0 +1,136 @@
+"""Trace manipulation utilities: compaction, concatenation, summaries.
+
+The paper's performance study "created a single trace file (without
+inactivity periods)" from six months of logs (Section IV-E) —
+:func:`compact_trace` is that operation.  :func:`concatenate_traces`
+splices recorded traces back-to-back ("play it again"), and
+:func:`trace_summary` gives the at-a-glance statistics an administrator
+checks before a replay campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.job import TraceJob
+
+__all__ = ["compact_trace", "concatenate_traces", "TraceSummary", "trace_summary"]
+
+
+def compact_trace(trace: Sequence[TraceJob], max_gap: float = 60.0) -> list[TraceJob]:
+    """Remove inactivity periods by clamping submission gaps.
+
+    Jobs keep their order and relative deadlines (a deadline recorded
+    ``d`` seconds after its job's submission stays ``d`` seconds after
+    it); any inter-submission gap larger than ``max_gap`` is clamped to
+    it.  ``max_gap=0`` collapses the whole trace into a batch drop.
+    """
+    if max_gap < 0:
+        raise ValueError(f"max_gap must be >= 0, got {max_gap}")
+    ordered = sorted(trace, key=lambda j: j.submit_time)
+    out: list[TraceJob] = []
+    new_time = 0.0
+    prev_time: float | None = None
+    for job in ordered:
+        if prev_time is not None:
+            new_time += min(job.submit_time - prev_time, max_gap)
+        prev_time = job.submit_time
+        deadline = None
+        if job.deadline is not None:
+            deadline = new_time + (job.deadline - job.submit_time)
+        out.append(TraceJob(job.profile, new_time, deadline))
+    return out
+
+
+def concatenate_traces(
+    traces: Sequence[Sequence[TraceJob]], gap: float = 0.0
+) -> list[TraceJob]:
+    """Splice traces end-to-end, ``gap`` seconds between segments.
+
+    Each segment is shifted so its first submission lands ``gap`` after
+    the previous segment's *last submission* (replay semantics: the next
+    recording starts right after the previous one's submissions end).
+    """
+    if gap < 0:
+        raise ValueError(f"gap must be >= 0, got {gap}")
+    out: list[TraceJob] = []
+    offset = 0.0
+    for segment in traces:
+        if not segment:
+            continue
+        ordered = sorted(segment, key=lambda j: j.submit_time)
+        base = ordered[0].submit_time
+        for job in ordered:
+            shift = offset + (job.submit_time - base)
+            deadline = None
+            if job.deadline is not None:
+                deadline = shift + (job.deadline - job.submit_time)
+            out.append(TraceJob(job.profile, shift, deadline))
+        offset = out[-1].submit_time + gap
+    return out
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """At-a-glance statistics of a replayable trace."""
+
+    num_jobs: int
+    span_seconds: float
+    total_maps: int
+    total_reduces: int
+    total_task_seconds: float
+    jobs_with_deadlines: int
+    #: application name -> job count
+    per_application: dict[str, int]
+
+    @property
+    def mean_interarrival(self) -> float:
+        if self.num_jobs < 2:
+            return 0.0
+        return self.span_seconds / (self.num_jobs - 1)
+
+    def offered_load(self, total_slots: int) -> float:
+        """Task-seconds demanded per slot-second offered over the span.
+
+        > 1 means the trace oversubscribes the cluster (queues grow);
+        well under 1 means mostly-idle replay.
+        """
+        if total_slots < 1:
+            raise ValueError(f"total_slots must be >= 1, got {total_slots}")
+        if self.span_seconds <= 0:
+            return float("inf") if self.total_task_seconds > 0 else 0.0
+        return self.total_task_seconds / (total_slots * self.span_seconds)
+
+    def __str__(self) -> str:
+        apps = ", ".join(f"{n}x {a}" for a, n in sorted(self.per_application.items()))
+        return (
+            f"{self.num_jobs} jobs over {self.span_seconds:.0f}s "
+            f"(mean inter-arrival {self.mean_interarrival:.1f}s); "
+            f"{self.total_maps} maps + {self.total_reduces} reduces, "
+            f"{self.total_task_seconds:.0f} task-seconds; "
+            f"{self.jobs_with_deadlines} jobs carry deadlines; {apps}"
+        )
+
+
+def trace_summary(trace: Sequence[TraceJob]) -> TraceSummary:
+    """Summarize a trace (see :class:`TraceSummary`)."""
+    if not trace:
+        return TraceSummary(0, 0.0, 0, 0, 0.0, 0, {})
+    submits = [j.submit_time for j in trace]
+    per_app: dict[str, int] = {}
+    total_task_seconds = 0.0
+    for job in trace:
+        per_app[job.profile.name] = per_app.get(job.profile.name, 0) + 1
+        total_task_seconds += job.profile.total_task_seconds()
+    return TraceSummary(
+        num_jobs=len(trace),
+        span_seconds=float(max(submits) - min(submits)),
+        total_maps=sum(j.profile.num_maps for j in trace),
+        total_reduces=sum(j.profile.num_reduces for j in trace),
+        total_task_seconds=total_task_seconds,
+        jobs_with_deadlines=sum(1 for j in trace if j.deadline is not None),
+        per_application=per_app,
+    )

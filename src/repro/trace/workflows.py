@@ -1,0 +1,131 @@
+"""Multi-job workflows (pipelines of dependent MapReduce jobs).
+
+Real analytics are rarely one MapReduce job: the Mahout TF-IDF and Bayes
+applications the paper benchmarks are themselves steps of multi-job
+pipelines, and GridMix's "monsterQuery" is a three-stage chain.  The
+engine supports this through :attr:`TraceJob.depends_on`; this module
+builds those edges conveniently.
+
+A :class:`WorkflowSpec` is a DAG of named stages; ``instantiate`` samples
+one profile per stage and emits trace entries whose ``depends_on`` edges
+mirror the DAG (each stage submitted when *a* parent finishes — the
+engine supports single-parent edges, so multi-parent stages declare
+their longest-expected parent, a documented approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.job import JobProfile, TraceJob
+from .synthetic import SyntheticJobSpec
+
+__all__ = ["WorkflowStage", "WorkflowSpec", "chain"]
+
+
+@dataclass(frozen=True)
+class WorkflowStage:
+    """One stage: a job spec plus the stage it waits for.
+
+    ``after`` names a previous stage (``None`` = starts with the
+    workflow).  ``lag`` adds submission delay after the parent completes
+    (e.g. a driver program doing setup between jobs).
+    """
+
+    name: str
+    spec: SyntheticJobSpec
+    after: Optional[str] = None
+    lag: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lag < 0:
+            raise ValueError(f"stage {self.name!r}: lag must be >= 0")
+
+
+@dataclass
+class WorkflowSpec:
+    """A named DAG of stages instantiable into trace entries."""
+
+    name: str
+    stages: list[WorkflowStage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"workflow {self.name!r} has no stages")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"workflow {self.name!r} has duplicate stage names")
+        known: set[str] = set()
+        for stage in self.stages:
+            if stage.after is not None and stage.after not in known:
+                raise ValueError(
+                    f"workflow {self.name!r}: stage {stage.name!r} waits for "
+                    f"{stage.after!r}, which is not an earlier stage"
+                )
+            known.add(stage.name)
+
+    def instantiate(
+        self,
+        submit_time: float,
+        rng: np.random.Generator,
+        *,
+        base_index: int = 0,
+        deadline: Optional[float] = None,
+    ) -> list[TraceJob]:
+        """Sample one run of the workflow as dependent trace entries.
+
+        ``base_index`` is the position the first emitted job will occupy
+        in the final trace (``depends_on`` edges are absolute indices).
+        A ``deadline`` applies to the *final* stage — the workflow-level
+        SLO.
+        """
+        out: list[TraceJob] = []
+        index_of: dict[str, int] = {}
+        for pos, stage in enumerate(self.stages):
+            profile = stage.spec.make_profile(rng, name=f"{self.name}/{stage.name}")
+            is_last = pos == len(self.stages) - 1
+            if stage.after is None:
+                out.append(
+                    TraceJob(
+                        profile,
+                        submit_time,
+                        deadline=deadline if is_last else None,
+                    )
+                )
+            else:
+                out.append(
+                    TraceJob(
+                        profile,
+                        # Nominal submit enforces only the lag; the engine
+                        # takes max(submit, parent completion).
+                        submit_time + stage.lag,
+                        deadline=deadline if is_last else None,
+                        depends_on=index_of[stage.after],
+                    )
+                )
+            index_of[stage.name] = base_index + pos
+        return out
+
+
+def chain(
+    name: str,
+    specs: Sequence[SyntheticJobSpec],
+    *,
+    lag: float = 0.0,
+    stage_names: Optional[Sequence[str]] = None,
+) -> WorkflowSpec:
+    """A linear pipeline: each stage waits for the previous one."""
+    if not specs:
+        raise ValueError("chain needs at least one stage spec")
+    if stage_names is not None and len(stage_names) != len(specs):
+        raise ValueError("stage_names must match specs in length")
+    stages = []
+    prev: Optional[str] = None
+    for i, spec in enumerate(specs):
+        stage_name = stage_names[i] if stage_names else f"stage{i}"
+        stages.append(WorkflowStage(stage_name, spec, after=prev, lag=lag if prev else 0.0))
+        prev = stage_name
+    return WorkflowSpec(name=name, stages=stages)

@@ -1,0 +1,36 @@
+"""Workload models: the six benchmark applications and the Facebook mix."""
+
+from .apps import (
+    APP_NAMES,
+    PAPER_FIFO_ACTUALS,
+    app_spec,
+    make_app_specs,
+    sample_executions,
+)
+from .facebook import (
+    FACEBOOK_JOB_BINS,
+    FACEBOOK_MAP_LOGNORMAL,
+    FACEBOOK_REDUCE_LOGNORMAL,
+    FacebookJobSpec,
+    facebook_trace_generator,
+)
+from .gridmix import GRIDMIX_MIX, gridmix_specs, gridmix_trace_generator
+from .mixes import permuted_deadline_trace, testbed_mix_profiles
+
+__all__ = [
+    "APP_NAMES",
+    "PAPER_FIFO_ACTUALS",
+    "app_spec",
+    "make_app_specs",
+    "sample_executions",
+    "FACEBOOK_JOB_BINS",
+    "FACEBOOK_MAP_LOGNORMAL",
+    "FACEBOOK_REDUCE_LOGNORMAL",
+    "FacebookJobSpec",
+    "facebook_trace_generator",
+    "GRIDMIX_MIX",
+    "gridmix_specs",
+    "gridmix_trace_generator",
+    "permuted_deadline_trace",
+    "testbed_mix_profiles",
+]

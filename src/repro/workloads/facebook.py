@@ -1,0 +1,143 @@
+"""Synthetic Facebook workload (paper Section V-C).
+
+The paper extracts the CDFs of map and reduce task durations from
+Figure 1 of Zaharia et al.'s delay-scheduling study (Facebook production,
+October 2009), fits ~60 candidate distributions, and finds LogNormal fits
+best: ``LN(9.9511, 1.6764)`` for map durations (Kolmogorov-Smirnov
+0.1056) and ``LN(12.375, 1.6262)`` for reduce durations (KS 0.0451).
+Those fits are on *milliseconds*; profiles here are generated in seconds
+(``scale=1e-3``).
+
+Job sizes come from the same study's Table 3 (jobs binned by number of
+map tasks, with the matching reduce counts).  The published bins are
+approximated below — the workload's defining features are preserved: a
+large majority of tiny (1-2 map, map-only) jobs, a long tail of
+thousand-map jobs, and reduce stages appearing only in the larger bins.
+
+:class:`FacebookJobSpec` samples map and reduce counts *jointly* from the
+bins (big jobs get reduces, small ones don't), which the independent
+count models of :class:`~repro.trace.synthetic.SyntheticJobSpec` cannot
+express.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.job import JobProfile
+from ..trace.arrivals import ArrivalProcess
+from ..trace.deadlines import DeadlineFactorPolicy
+from ..trace.distributions import DurationDistribution, LogNormal
+from ..trace.synthetic import SyntheticJobSpec, SyntheticTraceGen, TaskCount
+
+__all__ = [
+    "FACEBOOK_MAP_LOGNORMAL",
+    "FACEBOOK_REDUCE_LOGNORMAL",
+    "FACEBOOK_JOB_BINS",
+    "FacebookJobSpec",
+    "facebook_trace_generator",
+]
+
+#: The paper's LogNormal fit to Facebook map-task durations (ms).
+FACEBOOK_MAP_LOGNORMAL: tuple[float, float] = (9.9511, 1.6764)
+#: The paper's LogNormal fit to Facebook reduce-task durations (ms).
+FACEBOOK_REDUCE_LOGNORMAL: tuple[float, float] = (12.375, 1.6262)
+
+#: ``(num_maps, num_reduces, fraction_of_jobs)`` bins approximating
+#: Table 3 of Zaharia et al. (EuroSys 2010).
+FACEBOOK_JOB_BINS: tuple[tuple[int, int, float], ...] = (
+    (1, 0, 0.39),
+    (2, 0, 0.16),
+    (10, 3, 0.14),
+    (50, 0, 0.09),
+    (100, 10, 0.06),
+    (200, 50, 0.06),
+    (400, 100, 0.04),
+    (800, 180, 0.04),
+    (2400, 360, 0.02),
+)
+
+
+class FacebookJobSpec(SyntheticJobSpec):
+    """Facebook-like jobs with *correlated* map/reduce counts.
+
+    A job-size bin is drawn first; its map and reduce counts come as a
+    pair, so the big-jobs-have-reduces structure of the production
+    workload survives.  Durations follow the paper's LogNormal fits; the
+    fitted reduce-task duration covers the whole reduce task
+    (shuffle + sort + reduce), split here by ``shuffle_fraction``.
+    """
+
+    def __init__(
+        self,
+        bins: Sequence[tuple[int, int, float]] = FACEBOOK_JOB_BINS,
+        *,
+        shuffle_fraction: float = 1.0 / 3.0,
+        duration_scale: float = 1e-3,
+    ) -> None:
+        if not bins:
+            raise ValueError("at least one job-size bin is required")
+        if not 0.0 < shuffle_fraction < 1.0:
+            raise ValueError(f"shuffle_fraction must be in (0, 1), got {shuffle_fraction}")
+        self._bins = [(int(m), int(r), float(w)) for m, r, w in bins]
+        weights = np.array([w for _, _, w in self._bins])
+        if np.any(weights <= 0):
+            raise ValueError("bin fractions must be positive")
+        self._bin_weights = weights / weights.sum()
+        self.shuffle_fraction = shuffle_fraction
+
+        map_mu, map_sigma = FACEBOOK_MAP_LOGNORMAL
+        red_mu, red_sigma = FACEBOOK_REDUCE_LOGNORMAL
+        map_dist = LogNormal(map_mu, map_sigma, scale=duration_scale)
+        # Splitting a LogNormal total by a constant fraction shifts only mu.
+        shuffle_dist = LogNormal(
+            red_mu + float(np.log(shuffle_fraction)), red_sigma, scale=duration_scale
+        )
+        reduce_dist = LogNormal(
+            red_mu + float(np.log(1.0 - shuffle_fraction)), red_sigma, scale=duration_scale
+        )
+        super().__init__(
+            name="Facebook",
+            num_maps=TaskCount([m for m, _, _ in self._bins], self._bin_weights),
+            num_reduces=TaskCount([max(r, 0) for _, r, _ in self._bins], self._bin_weights),
+            map_durations=map_dist,
+            typical_shuffle=shuffle_dist,
+            first_shuffle=shuffle_dist,
+            reduce_durations=reduce_dist,
+        )
+
+    def make_profile(self, rng: np.random.Generator, name: Optional[str] = None) -> JobProfile:
+        bin_idx = int(rng.choice(len(self._bins), p=self._bin_weights))
+        n_m, n_r, _ = self._bins[bin_idx]
+        empty = np.empty(0)
+        return JobProfile(
+            name=name or self.name,
+            num_maps=n_m,
+            num_reduces=n_r,
+            map_durations=self.map_durations.sample(rng, n_m) if n_m else empty,
+            first_shuffle_durations=(
+                self.first_shuffle.sample(rng, n_r) if n_r else empty
+            ),
+            typical_shuffle_durations=(
+                self.typical_shuffle.sample(rng, n_r) if n_r else empty
+            ),
+            reduce_durations=self.reduce_durations.sample(rng, n_r) if n_r else empty,
+        )
+
+
+def facebook_trace_generator(
+    arrivals: ArrivalProcess,
+    *,
+    deadline_policy: Optional[DeadlineFactorPolicy] = None,
+    seed: int | np.random.Generator = 0,
+    shuffle_fraction: float = 1.0 / 3.0,
+) -> SyntheticTraceGen:
+    """A :class:`SyntheticTraceGen` producing the Facebook-like workload."""
+    return SyntheticTraceGen(
+        [FacebookJobSpec(shuffle_fraction=shuffle_fraction)],
+        arrivals,
+        deadline_policy=deadline_policy,
+        seed=seed,
+    )

@@ -1,0 +1,117 @@
+"""A GridMix-style synthetic cluster workload.
+
+GridMix is Hadoop's own synthetic load generator (the paper uses its
+random text writer to produce the Sort datasets, Section IV-C).  The
+classic GridMix2 mix stresses a cluster with a fixed blend of job
+classes at three size tiers — many small "web query"-like jobs, some
+medium aggregations, a few monster sorts.
+
+This module models that blend as SimMR job specs so a GridMix-shaped
+what-if load is one call away.  Class proportions follow GridMix2's
+defaults (percentages of submitted jobs): webdataScan-heavy small tier,
+thinner medium tier, rare large jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..trace.arrivals import ArrivalProcess
+from ..trace.deadlines import DeadlineFactorPolicy
+from ..trace.distributions import Exponential, Gamma, Uniform
+from ..trace.synthetic import SyntheticJobSpec, SyntheticTraceGen, TaskCount
+
+__all__ = ["GRIDMIX_MIX", "gridmix_specs", "gridmix_trace_generator"]
+
+
+def gridmix_specs() -> dict[str, SyntheticJobSpec]:
+    """The GridMix2-style job classes, keyed by class name."""
+    return {
+        # Small I/O-light jobs: the dominant class by count.
+        "webdataScan.small": SyntheticJobSpec(
+            name="webdataScan.small",
+            num_maps=TaskCount([2, 3, 5], [0.4, 0.4, 0.2]),
+            num_reduces=0,
+            map_durations=Exponential(12.0),
+            typical_shuffle=Uniform(1.0, 2.0),
+            reduce_durations=Uniform(1.0, 2.0),
+        ),
+        "webdataScan.medium": SyntheticJobSpec(
+            name="webdataScan.medium",
+            num_maps=TaskCount([40, 60, 80], [0.3, 0.4, 0.3]),
+            num_reduces=0,
+            map_durations=Exponential(18.0),
+            typical_shuffle=Uniform(1.0, 2.0),
+            reduce_durations=Uniform(1.0, 2.0),
+        ),
+        # Sorts: shuffle-bound, with reduces.
+        "streamSort.medium": SyntheticJobSpec(
+            name="streamSort.medium",
+            num_maps=TaskCount([60, 90], [0.5, 0.5]),
+            num_reduces=TaskCount([15, 25], [0.5, 0.5]),
+            map_durations=Gamma(shape=4.0, scale=3.0),
+            typical_shuffle=Uniform(20.0, 35.0),
+            first_shuffle=Uniform(24.0, 40.0),
+            reduce_durations=Gamma(shape=5.0, scale=3.0),
+        ),
+        "streamSort.large": SyntheticJobSpec(
+            name="streamSort.large",
+            num_maps=TaskCount([300, 500], [0.6, 0.4]),
+            num_reduces=TaskCount([60, 90], [0.6, 0.4]),
+            map_durations=Gamma(shape=4.0, scale=4.0),
+            typical_shuffle=Uniform(40.0, 70.0),
+            first_shuffle=Uniform(48.0, 80.0),
+            reduce_durations=Gamma(shape=6.0, scale=4.0),
+        ),
+        # Combiner-style aggregation: CPU-bound maps, tiny reduces.
+        "combiner.medium": SyntheticJobSpec(
+            name="combiner.medium",
+            num_maps=TaskCount([50, 100], [0.5, 0.5]),
+            num_reduces=TaskCount([5, 10], [0.5, 0.5]),
+            map_durations=Gamma(shape=9.0, scale=4.0),
+            typical_shuffle=Uniform(3.0, 8.0),
+            reduce_durations=Uniform(2.0, 6.0),
+        ),
+        # The rare "monster query": a three-stage pipeline's heavy stage.
+        "monsterQuery.large": SyntheticJobSpec(
+            name="monsterQuery.large",
+            num_maps=TaskCount([400, 800], [0.7, 0.3]),
+            num_reduces=TaskCount([100, 150], [0.7, 0.3]),
+            map_durations=Gamma(shape=6.0, scale=8.0),
+            typical_shuffle=Uniform(30.0, 60.0),
+            first_shuffle=Uniform(36.0, 70.0),
+            reduce_durations=Gamma(shape=8.0, scale=5.0),
+        ),
+    }
+
+
+#: Class name -> fraction of submitted jobs (GridMix2-style proportions:
+#: small scans dominate, monster queries are rare).
+GRIDMIX_MIX: dict[str, float] = {
+    "webdataScan.small": 0.40,
+    "webdataScan.medium": 0.20,
+    "streamSort.medium": 0.15,
+    "combiner.medium": 0.12,
+    "streamSort.large": 0.08,
+    "monsterQuery.large": 0.05,
+}
+
+
+def gridmix_trace_generator(
+    arrivals: ArrivalProcess,
+    *,
+    deadline_policy: Optional[DeadlineFactorPolicy] = None,
+    seed: int | np.random.Generator = 0,
+) -> SyntheticTraceGen:
+    """A :class:`SyntheticTraceGen` over the GridMix class mix."""
+    specs = gridmix_specs()
+    names = list(GRIDMIX_MIX)
+    return SyntheticTraceGen(
+        [specs[name] for name in names],
+        arrivals,
+        mix=[GRIDMIX_MIX[name] for name in names],
+        deadline_policy=deadline_policy,
+        seed=seed,
+    )

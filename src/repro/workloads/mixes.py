@@ -1,0 +1,79 @@
+"""Workload mixes for the scheduler case study (paper Section V-B).
+
+"For the real workload trace, we use a mix of the six realistic
+applications with different input dataset sizes ... We generate an
+equally probable random permutation of arrival of these jobs and assume
+that the inter-arrival time of the jobs is exponential."  Deadlines are
+uniform in ``[T_J, df * T_J]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.cluster import ClusterConfig
+from ..core.job import JobProfile, TraceJob
+from ..trace.arrivals import ExponentialArrivals
+from ..trace.deadlines import DeadlineFactorPolicy
+from .apps import APP_NAMES, sample_executions
+
+__all__ = ["testbed_mix_profiles", "permuted_deadline_trace"]
+
+#: Dataset-size multipliers standing in for the paper's three input
+#: datasets per application (e.g. 32/40/43 GB for WordCount).
+DEFAULT_DATASET_SCALES: tuple[float, ...] = (0.8, 1.0, 1.2)
+
+
+def testbed_mix_profiles(
+    executions_per_app: int = 3,
+    *,
+    dataset_scales: Optional[Sequence[float]] = DEFAULT_DATASET_SCALES,
+    seed: int | np.random.Generator = 0,
+    apps: Sequence[str] = APP_NAMES,
+) -> list[JobProfile]:
+    """Job templates of the testbed mix: each app on several datasets."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    profiles: list[JobProfile] = []
+    for name in apps:
+        profiles.extend(
+            sample_executions(
+                name,
+                executions_per_app,
+                seed=rng,
+                dataset_scales=tuple(dataset_scales) if dataset_scales else None,
+            )
+        )
+    return profiles
+
+
+def permuted_deadline_trace(
+    profiles: Sequence[JobProfile],
+    mean_interarrival: float,
+    deadline_factor: float,
+    cluster: ClusterConfig,
+    *,
+    seed: int | np.random.Generator = 0,
+    min_map_percent_completed: float = 0.05,
+) -> list[TraceJob]:
+    """One randomized case-study trace.
+
+    The given job templates are permuted uniformly at random, submitted
+    with exponential inter-arrival times (first job at time 0), and each
+    job gets a deadline uniform in ``[T_J, df * T_J]`` relative to its
+    submission.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    order = rng.permutation(len(profiles))
+    arrivals = ExponentialArrivals(mean_interarrival).sample(len(profiles), rng)
+    policy = DeadlineFactorPolicy(
+        deadline_factor, cluster, min_map_percent_completed=min_map_percent_completed
+    )
+    trace: list[TraceJob] = []
+    for pos, idx in enumerate(order):
+        profile = profiles[int(idx)]
+        submit = float(arrivals[pos])
+        deadline = policy.deadline_for(profile, submit, rng)
+        trace.append(TraceJob(profile, submit, deadline))
+    return trace

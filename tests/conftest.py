@@ -1,0 +1,76 @@
+"""Shared fixtures for the SimMR test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, JobProfile, TraceJob
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cluster64() -> ClusterConfig:
+    """The paper's testbed shape: 64 map + 64 reduce slots."""
+    return ClusterConfig(64, 64)
+
+
+def make_constant_profile(
+    name: str = "const",
+    num_maps: int = 8,
+    num_reduces: int = 4,
+    map_s: float = 10.0,
+    first_shuffle_s: float = 5.0,
+    typical_shuffle_s: float = 4.0,
+    reduce_s: float = 3.0,
+) -> JobProfile:
+    """A profile with constant durations — analytically predictable."""
+    return JobProfile(
+        name=name,
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        map_durations=np.full(max(num_maps, 1), map_s) if num_maps else np.empty(0),
+        first_shuffle_durations=(
+            np.full(max(num_reduces, 1), first_shuffle_s) if num_reduces else np.empty(0)
+        ),
+        typical_shuffle_durations=(
+            np.full(max(num_reduces, 1), typical_shuffle_s) if num_reduces else np.empty(0)
+        ),
+        reduce_durations=np.full(max(num_reduces, 1), reduce_s) if num_reduces else np.empty(0),
+    )
+
+
+def make_random_profile(
+    rng: np.random.Generator,
+    name: str = "rand",
+    num_maps: int = 20,
+    num_reduces: int = 10,
+) -> JobProfile:
+    return JobProfile(
+        name=name,
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        map_durations=rng.uniform(1, 30, num_maps) if num_maps else np.empty(0),
+        first_shuffle_durations=rng.uniform(2, 8, num_reduces) if num_reduces else np.empty(0),
+        typical_shuffle_durations=rng.uniform(2, 8, num_reduces) if num_reduces else np.empty(0),
+        reduce_durations=rng.uniform(0.5, 5, num_reduces) if num_reduces else np.empty(0),
+    )
+
+
+@pytest.fixture
+def constant_profile() -> JobProfile:
+    return make_constant_profile()
+
+
+@pytest.fixture
+def random_profile(rng: np.random.Generator) -> JobProfile:
+    return make_random_profile(rng)
+
+
+@pytest.fixture
+def single_job_trace(constant_profile: JobProfile) -> list[TraceJob]:
+    return [TraceJob(constant_profile, 0.0)]

@@ -1,0 +1,182 @@
+"""Tests for the simmr command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import TraceJob
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.trace.schema import load_trace
+
+from conftest import make_random_profile
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.json"])
+        assert args.jobs == 20
+        assert args.workload == "mix"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestGenerate:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["generate", str(out), "--jobs", "5", "--seed", "1"]) == 0
+        trace = load_trace(out)
+        assert len(trace) == 5
+        assert "wrote 5 jobs" in capsys.readouterr().out
+
+    def test_single_app_workload(self, tmp_path):
+        out = tmp_path / "t.json"
+        main(["generate", str(out), "--jobs", "3", "--workload", "Sort"])
+        assert all(j.profile.name == "Sort" for j in load_trace(out))
+
+    def test_deadline_factor(self, tmp_path):
+        out = tmp_path / "t.json"
+        main(["generate", str(out), "--jobs", "3", "--deadline-factor", "2.0"])
+        assert all(j.deadline is not None for j in load_trace(out))
+
+    def test_facebook_workload(self, tmp_path):
+        out = tmp_path / "t.json"
+        main(["generate", str(out), "--jobs", "4", "--workload", "facebook"])
+        assert len(load_trace(out)) == 4
+
+
+class TestProfileAndReplay:
+    @pytest.fixture
+    def history_file(self, tmp_path, rng):
+        cfg = EmulatorConfig(num_nodes=4, heartbeat_interval=1.0, seed=0)
+        trace = [TraceJob(make_random_profile(rng, "app", 6, 3), 0.0)]
+        result = HadoopClusterEmulator(cfg).run(trace)
+        path = tmp_path / "history.log"
+        path.write_text(result.history_text())
+        return path
+
+    def test_profile_subcommand(self, history_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["profile", str(history_file), str(out)]) == 0
+        assert len(load_trace(out)) == 1
+        assert "profiled 1 jobs" in capsys.readouterr().out
+
+    def test_replay_subcommand(self, history_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        main(["profile", str(history_file), str(out)])
+        assert main(["replay", str(out), "--scheduler", "fifo"]) == 0
+        text = capsys.readouterr().out
+        assert "makespan" in text
+        assert "app" in text
+
+    def test_compare_subcommand(self, history_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        main(["profile", str(history_file), str(out)])
+        assert main(["compare", str(out), "--schedulers", "fifo,maxedf"]) == 0
+        text = capsys.readouterr().out
+        assert "FIFO" in text and "MaxEDF" in text
+
+
+class TestExperimentCommand:
+    def test_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 map waves" in out
+
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "4 map waves" in capsys.readouterr().out
+
+
+class TestTraceTools:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        out = tmp_path / "trace.json"
+        main(["generate", str(out), "--jobs", "5", "--seed", "2",
+              "--mean-interarrival", "500"])
+        return out
+
+    def test_stats(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "5 jobs" in out
+        assert "offered load" in out
+
+    def test_compact(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "compact.json"
+        assert main(["compact", str(trace_file), str(out), "--max-gap", "10"]) == 0
+        from repro.trace.schema import load_trace
+        compacted = load_trace(out)
+        gaps = [
+            b.submit_time - a.submit_time
+            for a, b in zip(compacted, compacted[1:])
+        ]
+        assert all(g <= 10.0 + 1e-9 for g in gaps)
+
+    def test_scale(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "big.json"
+        assert main(["scale", str(trace_file), str(out), "3.0"]) == 0
+        from repro.trace.schema import load_trace
+        original = load_trace(trace_file)
+        scaled = load_trace(out)
+        assert sum(j.profile.num_maps for j in scaled) > 2 * sum(
+            j.profile.num_maps for j in original
+        )
+        assert "x3" in capsys.readouterr().out
+
+
+class TestReplayOutput:
+    def test_output_log_and_csv(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["generate", str(trace), "--jobs", "3", "--seed", "4"])
+        out_json = tmp_path / "result.json"
+        out_csv = tmp_path / "jobs.csv"
+        assert main([
+            "replay", str(trace), "--output", str(out_json), "--csv", str(out_csv)
+        ]) == 0
+        from repro.core.results_io import load_result
+        result = load_result(out_json)
+        assert len(result.jobs) == 3
+        assert len(result.task_records) > 0
+        assert out_csv.read_text().startswith("job_id,")
+
+
+class TestFastExperimentIds:
+    def test_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "KS distances" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "KL divergence" in capsys.readouterr().out
+
+    def test_locality_with_plot(self, capsys):
+        assert main(["experiment", "locality", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "node_local_pct" in out
+        assert "node-local" in out  # the rendered plot legend
+
+
+class TestProgressPlot:
+    def test_fig1_plot(self, capsys):
+        assert main(["experiment", "fig1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o=map" in out and "x=shuffle" in out and "+=reduce" in out
+
+
+class TestReplaySchedulerVariants:
+    @pytest.mark.parametrize("name", ["fair", "dp", "flex"])
+    def test_replay_with_each_registry_policy(self, name, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["generate", str(trace), "--jobs", "3", "--seed", "6"])
+        assert main(["replay", str(trace), "--scheduler", name]) == 0
+        assert "makespan" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""Cross-simulator consistency properties (SimMR / emulator / Mumak).
+
+Three independent implementations process the same traces; where their
+models coincide, so must their outputs.  These properties pin down the
+*agreements* — the disagreements (shuffle handling, heartbeat
+quantization) are the paper's results and are asserted elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.mumak.simulator import MumakSimulator
+from repro.schedulers import FIFOScheduler
+
+from conftest import make_constant_profile, make_random_profile
+
+
+@st.composite
+def map_only_traces(draw, max_jobs=4):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=500)))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=50.0))
+        num_maps = draw(st.integers(min_value=1, max_value=12))
+        jobs.append(TraceJob(make_random_profile(rng, f"j{i}", num_maps, 0), t))
+    return jobs
+
+
+class TestSimMRvsMumak:
+    @settings(max_examples=25, deadline=None)
+    @given(trace=map_only_traces())
+    def test_map_only_jobs_agree_up_to_heartbeats(self, trace):
+        """Without reduces there is no shuffle to disagree about: Mumak
+        and SimMR differ only by heartbeat quantization."""
+        nodes = 8
+        simmr = simulate(trace, FIFOScheduler(), ClusterConfig(nodes, nodes))
+        heartbeat = 0.05
+        mumak = MumakSimulator(num_nodes=nodes, heartbeat_interval=heartbeat).run(trace)
+        for i in range(len(trace)):
+            a = simmr.jobs[i].completion_time
+            b = mumak.jobs[i].completion_time
+            # Each wave start may slip by up to one heartbeat; bound by
+            # task count (generous: every task slips).
+            slack = heartbeat * (trace[i].profile.num_maps + 1) * len(trace)
+            assert b == pytest.approx(a, abs=slack + 1e-6)
+        assert mumak.makespan >= simmr.makespan - 1e-9
+
+    def test_mumak_never_beats_simmr_with_shuffle(self):
+        """With reduces present Mumak's estimate is <= SimMR's (it drops
+        shuffle time and nothing else differs in its favour)."""
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            profile = make_random_profile(r, "j", 12, 6)
+            trace = [TraceJob(profile, 0.0)]
+            simmr = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+            mumak = MumakSimulator(num_nodes=8, heartbeat_interval=0.05).run(trace)
+            assert mumak.jobs[0].duration <= simmr.jobs[0].duration + 1.0
+
+
+class TestSimMRvsEmulator:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_noiseless_emulator_brackets_simmr(self, seed):
+        """With zero noise and tiny heartbeats the emulator converges on
+        the engine's task-level schedule."""
+        rng = np.random.default_rng(seed)
+        profile = make_random_profile(rng, "j", 10, 4)
+        trace = [TraceJob(profile, 0.0)]
+        simmr = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+        cfg = EmulatorConfig(
+            num_nodes=8, heartbeat_interval=0.01,
+            node_speed_sigma=0.0, task_jitter_sigma=0.0, seed=0,
+        )
+        emu = HadoopClusterEmulator(cfg).run(trace)
+        # Every emulated start is heartbeat-delayed, never early: the
+        # emulator can only be (slightly) slower.
+        assert emu.jobs[0].duration >= simmr.jobs[0].duration - 1e-6
+        # ... and with 10ms heartbeats the gap is a few percent at most.
+        assert emu.jobs[0].duration <= simmr.jobs[0].duration * 1.05 + 1.0
+
+
+class TestEmulatorInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_per_node_slots_and_completion(self, seed):
+        rng = np.random.default_rng(seed)
+        trace = [
+            TraceJob(make_random_profile(rng, f"j{i}", 8, 3), float(i * 2))
+            for i in range(3)
+        ]
+        cfg = EmulatorConfig(num_nodes=4, heartbeat_interval=1.0, seed=seed)
+        result = HadoopClusterEmulator(cfg).run(trace)
+        assert all(j.completion_time is not None for j in result.jobs)
+        for node_id in range(4):
+            for kind, limit in (("map", 1), ("reduce", 1)):
+                intervals = [
+                    (t.start, t.end)
+                    for t in result.tasks
+                    if t.kind == kind and t.node_id == node_id
+                ]
+                events = sorted(
+                    [(s, 1) for s, _ in intervals] + [(e, -1) for _, e in intervals],
+                    key=lambda x: (x[0], x[1]),
+                )
+                running = 0
+                for _, d in events:
+                    running += d
+                    assert running <= limit

@@ -1,0 +1,112 @@
+"""Tests for the Dynamic Priority (budget-based) scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, Job, TraceJob, simulate
+from repro.schedulers import DynamicPriorityScheduler, UserAccount
+
+from conftest import make_constant_profile
+
+
+def job_for_user(job_id: int, name: str, **profile_kw) -> Job:
+    profile = make_constant_profile(name=name, **profile_kw)
+    return Job(job_id, TraceJob(profile, float(job_id)))
+
+
+class TestUserAccount:
+    def test_budget_depletes(self):
+        acct = UserAccount("u", budget=100.0, spending_rate=2.0)
+        acct.charge(30.0)  # 30 slot-seconds at rate 2
+        assert acct.remaining == pytest.approx(40.0)
+        assert acct.paying
+        acct.charge(30.0)
+        assert not acct.paying
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserAccount("u", budget=-1.0, spending_rate=1.0)
+        with pytest.raises(ValueError):
+            UserAccount("u", budget=1.0, spending_rate=0.0)
+
+
+class TestDynamicPriority:
+    def test_higher_bid_preferred(self):
+        sched = DynamicPriorityScheduler(
+            {"alice": (1000.0, 4.0), "bob": (1000.0, 1.0)},
+            user_of=lambda j: j.profile.name,
+        )
+        alice, bob = job_for_user(0, "alice"), job_for_user(1, "bob")
+        # Equal usage: the higher spending rate wins the slot.
+        assert sched.choose_next_map_task([alice, bob]) is alice
+
+    def test_shares_proportional_to_rates(self):
+        sched = DynamicPriorityScheduler(
+            {"alice": (1e9, 3.0), "bob": (1e9, 1.0)},
+            user_of=lambda j: j.profile.name,
+        )
+        alice, bob = job_for_user(0, "alice"), job_for_user(1, "bob")
+        # Alice already runs 3 tasks, bob 1: usage/rate ties at 1.0 each;
+        # then submit-time order prefers alice (earlier).
+        alice.maps_dispatched = 3
+        bob.maps_dispatched = 1
+        assert sched.choose_next_map_task([alice, bob]) is alice
+        # One more alice task tips the ratio: bob's turn.
+        alice.maps_dispatched = 4
+        assert sched.choose_next_map_task([alice, bob]) is bob
+
+    def test_charges_on_dispatch(self):
+        sched = DynamicPriorityScheduler(
+            {"alice": (100.0, 1.0)}, user_of=lambda j: j.profile.name
+        )
+        alice = job_for_user(0, "alice", map_s=10.0)
+        sched.choose_next_map_task([alice])
+        assert sched.account("alice").spent == pytest.approx(10.0)
+
+    def test_broke_user_loses_priority(self):
+        sched = DynamicPriorityScheduler(
+            {"alice": (0.0, 10.0), "bob": (1000.0, 0.1)},
+            user_of=lambda j: j.profile.name,
+        )
+        alice, bob = job_for_user(0, "alice"), job_for_user(1, "bob")
+        # Alice bids high but has no budget: paying bob wins.
+        assert sched.choose_next_map_task([alice, bob]) is bob
+
+    def test_all_broke_falls_back_to_fifo(self):
+        sched = DynamicPriorityScheduler(
+            {"alice": (0.0, 1.0), "bob": (0.0, 1.0)},
+            user_of=lambda j: j.profile.name,
+        )
+        alice, bob = job_for_user(0, "alice"), job_for_user(1, "bob")
+        assert sched.choose_next_map_task([alice, bob]) is alice  # earlier submit
+
+    def test_unknown_user_gets_default_account(self):
+        sched = DynamicPriorityScheduler(default_account=(50.0, 2.0))
+        job = job_for_user(0, "mystery")
+        sched.choose_next_map_task([job])
+        acct = sched.account("mystery")
+        assert acct.budget == 50.0
+        assert acct.spending_rate == 2.0
+
+    def test_empty_queue(self):
+        sched = DynamicPriorityScheduler()
+        assert sched.choose_next_map_task([]) is None
+        assert sched.choose_next_reduce_task([]) is None
+
+    def test_end_to_end_budget_buys_speed(self):
+        """Two identical jobs, one rich user, one poor: the rich user's
+        job finishes first despite later submission."""
+        profile_rich = make_constant_profile(name="rich", num_maps=20, num_reduces=0, map_s=10.0)
+        profile_poor = make_constant_profile(name="poor", num_maps=20, num_reduces=0, map_s=10.0)
+        trace = [TraceJob(profile_poor, 0.0), TraceJob(profile_rich, 0.0)]
+        sched = DynamicPriorityScheduler(
+            {"rich": (1e9, 10.0), "poor": (1e9, 1.0)},
+            user_of=lambda j: j.profile.name,
+        )
+        result = simulate(trace, sched, ClusterConfig(4, 4))
+        assert result.jobs[1].completion_time < result.jobs[0].completion_time
+
+    def test_tuple_accounts_accepted(self):
+        sched = DynamicPriorityScheduler({"u": (10.0, 2.0)})
+        assert sched.accounts["u"].spending_rate == 2.0

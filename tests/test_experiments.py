@@ -1,0 +1,206 @@
+"""Tests of the paper-reproduction experiments (small configurations).
+
+Each test runs a reduced version of an experiment and checks the *shape*
+the paper reports — the full-size runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_allocation_sweep,
+    run_shuffle_ablation,
+    run_slowstart_ablation,
+)
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.common import format_table, relative_error
+from repro.experiments.distributions import run_fig3_cdfs, run_table1_kl
+from repro.experiments.performance import make_performance_trace, run_performance
+from repro.experiments.progress import run_progress
+from repro.experiments.schedulers_facebook import run_deadline_comparison_facebook
+from repro.experiments.schedulers_real import run_deadline_comparison_real
+
+
+class TestCommon:
+    def test_relative_error(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(10.0)
+        assert relative_error(110.0, 100.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123}], title="T")
+        assert "T" in text
+        assert "0.12" in text
+        assert format_table([]) == "(no rows)"
+
+
+class TestProgress:
+    def test_figure1_wave_structure(self):
+        r = run_progress(128, 128)
+        assert r.map_waves == 2
+        assert r.reduce_waves == 2
+
+    def test_figure2_wave_structure(self):
+        r = run_progress(64, 64)
+        assert r.map_waves == 4
+        assert r.reduce_waves == 4
+
+    def test_fewer_slots_longer_makespan(self):
+        assert run_progress(64, 64).makespan > run_progress(128, 128).makespan
+
+    def test_first_shuffle_overlaps_map_stage(self):
+        r = run_progress(128, 128)
+        first_shuffle_start = min(s for s, _ in r.shuffle_intervals)
+        assert first_shuffle_start < r.map_stage_end
+        # ... but no shuffle completes before the map stage does.
+        assert min(e for _, e in r.shuffle_intervals) >= r.map_stage_end
+
+    def test_series_counts_bounded_by_slots(self):
+        r = run_progress(128, 128)
+        for row in r.series():
+            assert row["map_tasks"] <= 128
+            assert row["shuffle_tasks"] + row["reduce_tasks"] <= 128
+
+    def test_rows_and_str(self):
+        r = run_progress(128, 128)
+        assert len(r.rows()) > 10
+        assert "WordCount" in str(r)
+
+
+class TestDistributions:
+    def test_fig3_cdfs_nearly_identical(self):
+        r = run_fig3_cdfs()
+        # Same application under different allocations: KS distance small
+        # for every phase (the Figure 3 visual).
+        for phase, ks in r.ks.items():
+            assert ks < 0.25, f"{phase} KS {ks}"
+        assert len(r.rows()) == 15
+
+    def test_table1_same_app_below_cross_app_average(self):
+        r = run_table1_kl(executions=3, seed=1)
+        same_avgs = [
+            avg for phases in r.same_app.values() for (_, avg, _) in phases.values()
+        ]
+        cross_avgs = [avg for (_, avg, _) in r.cross_app.values()]
+        assert max(same_avgs) < min(cross_avgs)
+        assert len(r.rows()) == 7  # 6 apps + cross-app row
+
+    def test_table1_validation(self):
+        with pytest.raises(ValueError):
+            run_table1_kl(executions=1)
+
+
+class TestAccuracy:
+    def test_fifo_panel_shape(self):
+        r = run_accuracy("FIFO", executions_per_app=1, seed=3)
+        avg, mx = r.simmr_errors()
+        assert avg < 6.0   # paper: 2.7%
+        assert mx < 10.0   # paper: 6.6%
+        mavg, _ = r.mumak_errors()
+        assert mavg > 3 * avg  # Mumak is far worse (paper: 37% vs 2.7%)
+        assert r.mumak_underestimates()
+
+    def test_minedf_panel_shape(self):
+        r = run_accuracy("MinEDF", executions_per_app=1, seed=4)
+        avg, mx = r.simmr_errors()
+        assert avg < 6.0
+        assert mx < 12.0
+        assert r.mumak is None
+
+    def test_maxedf_panel_shape(self):
+        r = run_accuracy("MaxEDF", executions_per_app=1, seed=5)
+        avg, mx = r.simmr_errors()
+        assert avg < 6.0
+        assert mx < 12.0
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            run_accuracy("LIFO")
+
+
+class TestPerformance:
+    def test_simmr_faster_than_mumak(self):
+        r = run_performance(job_counts=(20, 40), mean_interarrival=100.0)
+        assert all(p.speedup > 1.0 for p in r.points)
+        assert r.points[0].num_jobs == 20
+
+    def test_trace_generation(self):
+        trace = make_performance_trace(30, seed=0)
+        assert len(trace) == 30
+        submits = [j.submit_time for j in trace]
+        assert submits == sorted(submits)
+
+    def test_events_per_second_positive(self):
+        r = run_performance(job_counts=(20,))
+        assert r.peak_events_per_second() > 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_performance(job_counts=())
+
+
+class TestDeadlineSweeps:
+    def test_real_workload_shape(self):
+        r = run_deadline_comparison_real(
+            deadline_factors=(1.0, 3.0),
+            mean_interarrivals=(10.0, 1000.0, 100000.0),
+            runs=3,
+            executions_per_app=1,
+        )
+        # Metric decreases as arrivals spread out.
+        for df in (1.0, 3.0):
+            series = r.series(df, "MinEDF")
+            assert series[0][1] >= series[-1][1]
+        # At a relaxed deadline factor MinEDF is no worse than MaxEDF.
+        assert r.minedf_wins(3.0, tolerance=1.0)
+        assert len(r.rows()) == 6
+
+    def test_df_one_policies_nearly_coincide(self):
+        r = run_deadline_comparison_real(
+            deadline_factors=(1.0,),
+            mean_interarrivals=(100.0,),
+            runs=4,
+            executions_per_app=1,
+        )
+        cell = r.cells[(1.0, 100.0)]
+        # df=1 -> minimal allocation == maximal allocation (paper Fig 7a);
+        # allow small slack for model-rounding effects.
+        assert cell["MinEDF"] == pytest.approx(cell["MaxEDF"], rel=0.35, abs=2.0)
+
+    def test_facebook_workload_shape(self):
+        r = run_deadline_comparison_facebook(
+            deadline_factors=(2.0,),
+            mean_interarrivals=(10.0, 100000.0),
+            runs=3,
+            jobs_per_trace=30,
+        )
+        assert r.minedf_wins(2.0, tolerance=1.0)
+        assert r.workload == "synthetic Facebook"
+
+
+class TestAblations:
+    def test_shuffle_ablation_increases_error(self):
+        r = run_shuffle_ablation(seed=0)
+        rows = r.rows()
+        assert len(rows) == 6
+        # Stripping the shuffle must hurt accuracy overall (it is the
+        # Mumak failure mode isolated inside SimMR's engine).
+        with_sh = np.mean([row["with_shuffle_err_pct"] for row in rows])
+        without = np.mean([row["without_shuffle_err_pct"] for row in rows])
+        assert without > 2 * with_sh
+
+    def test_slowstart_sweep_shape(self):
+        r = run_slowstart_ablation(thresholds=(0.0, 0.5, 1.0))
+        rows = r.rows()
+        assert len(rows) == 3
+        # Solo completion is never faster with a later reduce start.
+        solos = [row["solo_duration_s"] for row in rows]
+        assert solos[0] <= solos[-1] + 1e-6
+
+    def test_allocation_sweep_monotone(self):
+        r = run_allocation_sweep()
+        assert r.monotone_nonincreasing()
+        assert len(r.rows()) == 4

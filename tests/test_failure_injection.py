@@ -1,0 +1,106 @@
+"""Tests for task-failure injection in the Hadoop emulator.
+
+Hadoop retries failed attempts (up to ``mapred.map.max.attempts``); the
+emulator reproduces that, and MRProfiler must extract clean profiles
+from logs littered with FAILED attempts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TraceJob
+from repro.hadoop import EmulatorConfig, HadoopClusterEmulator
+from repro.mrprofiler import parse_history, profile_history
+
+from conftest import make_constant_profile
+
+
+def run_with_failures(rate: float, num_maps: int = 12, num_reduces: int = 4, seed: int = 0):
+    profile = make_constant_profile(
+        num_maps=num_maps, num_reduces=num_reduces, map_s=20.0,
+        first_shuffle_s=5.0, reduce_s=4.0,
+    )
+    cfg = EmulatorConfig(
+        num_nodes=8, heartbeat_interval=1.0, task_failure_rate=rate, seed=seed
+    )
+    return HadoopClusterEmulator(cfg).run([TraceJob(profile, 0.0)])
+
+
+class TestFailureMechanics:
+    def test_job_completes_despite_failures(self):
+        result = run_with_failures(0.3)
+        assert result.jobs[0].completion_time is not None
+        failed = sum(1 for t in result.tasks if t.failed)
+        assert failed > 0
+
+    def test_every_task_eventually_succeeds(self):
+        result = run_with_failures(0.3)
+        succeeded = {
+            (t.kind, t.index) for t in result.tasks if not t.failed and not t.killed
+        }
+        assert len([k for k in succeeded if k[0] == "map"]) == 12
+        assert len([k for k in succeeded if k[0] == "reduce"]) == 4
+
+    def test_retries_get_fresh_attempt_numbers(self):
+        result = run_with_failures(0.4)
+        by_task: dict[tuple, list[int]] = {}
+        for t in result.tasks:
+            by_task.setdefault((t.kind, t.index), []).append(t.attempt)
+        for attempts in by_task.values():
+            assert len(set(attempts)) == len(attempts)  # unique
+            assert sorted(attempts) == list(range(len(attempts)))  # dense
+
+    def test_failures_slow_the_job(self):
+        clean = run_with_failures(0.0)
+        flaky = run_with_failures(0.4)
+        assert flaky.jobs[0].duration > clean.jobs[0].duration
+
+    def test_zero_rate_injects_nothing(self):
+        result = run_with_failures(0.0)
+        assert not any(t.failed for t in result.tasks)
+
+    def test_failed_attempt_ends_before_full_duration(self):
+        result = run_with_failures(0.4)
+        for t in result.tasks:
+            if t.kind == "map" and t.failed:
+                # Failure strikes partway through the ~20s work.
+                assert t.end - t.start < 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmulatorConfig(task_failure_rate=1.0)
+        with pytest.raises(ValueError):
+            EmulatorConfig(task_failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            EmulatorConfig(max_task_attempts=0)
+
+    def test_determinism(self):
+        a = run_with_failures(0.3, seed=5)
+        b = run_with_failures(0.3, seed=5)
+        assert a.completion_times() == b.completion_times()
+
+
+class TestFailuresInLogs:
+    def test_failed_attempts_logged(self):
+        result = run_with_failures(0.3)
+        history = result.history_text()
+        assert 'TASK_STATUS="FAILED"' in history
+
+    def test_profiler_extracts_clean_profile(self):
+        """MRProfiler must use only the successful attempts."""
+        result = run_with_failures(0.3)
+        profiled = profile_history(result.history_text())
+        profile = profiled[0].profile
+        assert profile.num_maps == 12
+        assert profile.num_reduces == 4
+        # Winning map attempts ran the full ~20s work (within noise).
+        assert np.all(profile.map_durations > 15.0)
+
+    def test_parser_keeps_failed_attempts_rumen_style(self):
+        result = run_with_failures(0.3)
+        parsed = parse_history(result.history_text())[0]
+        statuses = {a.status for a in parsed.all_map_attempts.values()}
+        assert "FAILED" in statuses
+        assert all(a.status == "SUCCESS" for a in parsed.map_attempts.values())

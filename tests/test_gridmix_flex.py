@@ -1,0 +1,106 @@
+"""Tests for the GridMix workload and the FLEX-style scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, Job, TraceJob, simulate
+from repro.schedulers import FIFOScheduler, FlexScheduler, FLEX_METRICS
+from repro.trace.arrivals import ExponentialArrivals, PeriodicArrivals
+from repro.workloads import GRIDMIX_MIX, gridmix_specs, gridmix_trace_generator
+
+from conftest import make_constant_profile
+
+
+class TestGridMix:
+    def test_mix_covers_all_specs(self):
+        assert set(GRIDMIX_MIX) == set(gridmix_specs())
+        assert sum(GRIDMIX_MIX.values()) == pytest.approx(1.0)
+
+    def test_small_jobs_dominate(self):
+        gen = gridmix_trace_generator(PeriodicArrivals(1.0), seed=0)
+        trace = gen.generate(400)
+        names = [j.profile.name for j in trace]
+        small = sum(1 for n in names if n == "webdataScan.small")
+        monster = sum(1 for n in names if n == "monsterQuery.large")
+        assert small > 100
+        assert monster < small
+
+    def test_scan_jobs_are_map_only(self, rng):
+        spec = gridmix_specs()["webdataScan.small"]
+        profile = spec.make_profile(rng)
+        assert profile.num_reduces == 0
+
+    def test_sorts_have_reduces(self, rng):
+        profile = gridmix_specs()["streamSort.large"].make_profile(rng)
+        assert profile.num_reduces >= 60
+
+    def test_trace_is_simulatable(self):
+        gen = gridmix_trace_generator(ExponentialArrivals(60.0), seed=1)
+        trace = gen.generate(25)
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(64, 64), record_tasks=False)
+        assert len(result.completion_times()) == 25
+
+
+class TestFlexScheduler:
+    def make_jobs(self):
+        small = make_constant_profile(name="small", num_maps=4, num_reduces=0, map_s=5.0)
+        big = make_constant_profile(name="big", num_maps=40, num_reduces=0, map_s=20.0)
+        return (
+            Job(0, TraceJob(big, 0.0, deadline=500.0)),
+            Job(1, TraceJob(small, 1.0, deadline=100.0)),
+        )
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError, match="unknown FLEX metric"):
+            FlexScheduler("throughput")
+        for metric in FLEX_METRICS:
+            assert metric in FlexScheduler(metric).name
+
+    def test_avg_response_prefers_small_jobs(self):
+        big, small = self.make_jobs()
+        sched = FlexScheduler("avg_response")
+        assert sched.choose_next_map_task([big, small]) is small
+
+    def test_makespan_prefers_large_jobs(self):
+        big, small = self.make_jobs()
+        sched = FlexScheduler("makespan")
+        assert sched.choose_next_map_task([big, small]) is big
+
+    def test_deadline_metric_is_edf(self):
+        big, small = self.make_jobs()
+        sched = FlexScheduler("deadline")
+        assert sched.choose_next_map_task([big, small]) is small  # deadline 100 < 500
+
+    def test_max_stretch_protects_waiting_small_jobs(self):
+        big, small = self.make_jobs()
+        sched = FlexScheduler("max_stretch")
+        # Simulate time passing: both waited since submission, but the
+        # small job's wait is a larger multiple of its size.
+        sched.on_job_arrival(small, 50.0, ClusterConfig(4, 4))
+        assert sched.choose_next_map_task([big, small]) is small
+
+    def test_remaining_work_updates_priorities(self):
+        big, small = self.make_jobs()
+        sched = FlexScheduler("avg_response")
+        # After most of the big job completes, it becomes the smaller
+        # remaining-work job.
+        big.maps_completed = 39
+        assert sched.choose_next_map_task([big, small]) is big
+
+    def test_empty_queue(self):
+        sched = FlexScheduler()
+        assert sched.choose_next_map_task([]) is None
+        assert sched.choose_next_reduce_task([]) is None
+
+    def test_avg_response_beats_fifo_on_mean_completion(self):
+        """SRPT ordering should reduce mean job duration on a bursty mix."""
+        small = make_constant_profile(name="s", num_maps=4, num_reduces=0, map_s=5.0)
+        big = make_constant_profile(name="b", num_maps=64, num_reduces=0, map_s=30.0)
+        trace = [TraceJob(big, 0.0), TraceJob(small, 1.0), TraceJob(small, 2.0)]
+        cluster = ClusterConfig(8, 8)
+        fifo = simulate(trace, FIFOScheduler(), cluster, record_tasks=False)
+        flex = simulate(trace, FlexScheduler("avg_response"), cluster, record_tasks=False)
+        mean = lambda r: np.mean(list(r.durations().values()))
+        assert mean(flex) < mean(fifo)

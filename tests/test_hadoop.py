@@ -1,0 +1,207 @@
+"""Tests for the Hadoop cluster emulator and history-log writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TraceJob
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.hadoop.history import BASE_EPOCH_MS, JobHistoryWriter, format_job_id, ms
+from repro.hadoop.node import TaskTracker
+from repro.schedulers import FIFOScheduler, MinEDFScheduler
+
+from conftest import make_constant_profile, make_random_profile
+
+
+class TestTaskTracker:
+    def test_slot_accounting(self):
+        node = TaskTracker(0, map_slots=2, reduce_slots=1)
+        node.occupy_map()
+        node.occupy_map()
+        assert node.free_map_slots == 0
+        with pytest.raises(RuntimeError):
+            node.occupy_map()
+        node.release_map()
+        assert node.free_map_slots == 1
+        with pytest.raises(RuntimeError):
+            node.release_reduce()
+
+    def test_hostname_stable(self):
+        assert TaskTracker(7).hostname == "node007"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskTracker(0, map_slots=-1)
+        with pytest.raises(ValueError):
+            TaskTracker(0, speed_factor=0.0)
+
+
+class TestHistoryWriter:
+    def test_ms_conversion(self):
+        assert ms(0.0) == BASE_EPOCH_MS
+        assert ms(1.5) == BASE_EPOCH_MS + 1500
+
+    def test_job_id_format(self):
+        assert format_job_id(0) == "job_201011010000_0001"
+        assert format_job_id(41) == "job_201011010000_0042"
+
+    def test_render_contains_all_records(self):
+        w = JobHistoryWriter(0, "WordCount")
+        w.job_submitted(0.0)
+        w.job_launched(0.1, 2, 1)
+        w.map_started(0, 1.0, "node000")
+        w.map_finished(0, 11.0, "node000")
+        w.reduce_started(0, 12.0, "node001")
+        w.reduce_finished(0, 20.0, 20.0, 25.0, "node001")
+        w.job_finished(25.0, 2, 1)
+        text = w.render()
+        assert 'JOBNAME="WordCount"' in text
+        assert 'TASK_TYPE="MAP"' in text
+        assert 'SHUFFLE_FINISHED=' in text
+        assert 'JOB_STATUS="SUCCESS"' in text
+        assert text.count("\n") == 7
+
+    def test_combine(self):
+        a, b = JobHistoryWriter(0, "A"), JobHistoryWriter(1, "B")
+        a.job_submitted(0.0)
+        b.job_submitted(1.0)
+        combined = JobHistoryWriter.combine([a, b])
+        assert 'JOBNAME="A"' in combined and 'JOBNAME="B"' in combined
+
+
+class TestEmulatorConfig:
+    def test_defaults_match_paper_testbed(self):
+        cfg = EmulatorConfig()
+        assert cfg.num_nodes == 64
+        assert cfg.map_slots_per_node == 1
+        assert cfg.reduce_slots_per_node == 1
+        agg = cfg.aggregate_cluster()
+        assert agg.map_slots == 64 and agg.reduce_slots == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmulatorConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            EmulatorConfig(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            EmulatorConfig(node_speed_sigma=-0.1)
+        with pytest.raises(ValueError):
+            EmulatorConfig(min_map_percent_completed=2.0)
+
+
+class TestEmulator:
+    def small_config(self, **kw):
+        defaults = dict(num_nodes=4, heartbeat_interval=1.0, seed=0)
+        defaults.update(kw)
+        return EmulatorConfig(**defaults)
+
+    def test_all_jobs_complete(self, rng):
+        trace = [
+            TraceJob(make_random_profile(rng, f"j{i}", 8, 4), float(i * 5)) for i in range(3)
+        ]
+        result = HadoopClusterEmulator(self.small_config()).run(trace)
+        assert all(j.completion_time is not None for j in result.jobs)
+        assert result.makespan == max(j.completion_time for j in result.jobs)
+
+    def test_noiseless_durations_match_profile(self):
+        """With zero noise, each map runs exactly its profile duration."""
+        cfg = self.small_config(node_speed_sigma=0.0, task_jitter_sigma=0.0)
+        profile = make_constant_profile(num_maps=4, num_reduces=0, map_s=10.0)
+        result = HadoopClusterEmulator(cfg).run([TraceJob(profile, 0.0)])
+        for task in result.tasks:
+            assert task.end - task.start == pytest.approx(10.0)
+
+    def test_heartbeat_quantizes_task_starts(self):
+        """Tasks start only on (staggered) heartbeats."""
+        cfg = self.small_config(node_speed_sigma=0.0, task_jitter_sigma=0.0)
+        profile = make_constant_profile(num_maps=4, num_reduces=0, map_s=10.0)
+        result = HadoopClusterEmulator(cfg).run([TraceJob(profile, 0.0)])
+        for task in result.tasks:
+            offset = cfg.heartbeat_interval * task.node_id / cfg.num_nodes
+            phase = (task.start - offset) % cfg.heartbeat_interval
+            assert min(phase, cfg.heartbeat_interval - phase) < 1e-9
+
+    def test_per_node_slots_respected(self, rng):
+        cfg = self.small_config(map_slots_per_node=2)
+        trace = [TraceJob(make_random_profile(rng, "big", 40, 8), 0.0)]
+        result = HadoopClusterEmulator(cfg).run(trace)
+        # At any instant, each node runs at most 2 maps.
+        for node_id in range(cfg.num_nodes):
+            intervals = [
+                (t.start, t.end)
+                for t in result.tasks
+                if t.kind == "map" and t.node_id == node_id
+            ]
+            events = sorted(
+                [(s, 1) for s, _ in intervals] + [(e, -1) for _, e in intervals],
+                key=lambda e: (e[0], e[1]),
+            )
+            running = 0
+            for _, d in events:
+                running += d
+                assert running <= 2
+
+    def test_first_wave_shuffle_completes_after_map_stage(self):
+        cfg = self.small_config(node_speed_sigma=0.0, task_jitter_sigma=0.0)
+        profile = make_constant_profile(
+            num_maps=8, num_reduces=2, map_s=10.0, first_shuffle_s=5.0, reduce_s=3.0
+        )
+        result = HadoopClusterEmulator(cfg).run([TraceJob(profile, 0.0)])
+        map_end = max(t.end for t in result.tasks if t.kind == "map")
+        for task in result.tasks:
+            if task.kind == "reduce" and task.first_wave:
+                assert task.shuffle_end == pytest.approx(map_end + 5.0)
+
+    def test_determinism(self, rng):
+        trace = [TraceJob(make_random_profile(rng, "j", 10, 5), 0.0)]
+        r1 = HadoopClusterEmulator(self.small_config()).run(trace)
+        r2 = HadoopClusterEmulator(self.small_config()).run(trace)
+        assert r1.completion_times() == r2.completion_times()
+
+    def test_history_parseable_by_mrprofiler(self, rng):
+        from repro.mrprofiler import profile_history
+
+        trace = [TraceJob(make_random_profile(rng, "app", 6, 3), 0.0)]
+        result = HadoopClusterEmulator(self.small_config()).run(trace)
+        profiled = profile_history(result.history_text())
+        assert len(profiled) == 1
+        assert profiled[0].profile.num_maps == 6
+        assert profiled[0].profile.num_reduces == 3
+
+    def test_minedf_caps_respected_in_emulator(self):
+        profile = make_constant_profile(num_maps=16, num_reduces=4, map_s=10.0)
+        cfg = self.small_config(
+            num_nodes=8, node_speed_sigma=0.0, task_jitter_sigma=0.0
+        )
+        trace = [TraceJob(profile, 0.0, deadline=1000.0)]
+        result = HadoopClusterEmulator(cfg, MinEDFScheduler()).run(trace)
+        # Loose deadline: the job must not use all 8 map slots at once.
+        intervals = [(t.start, t.end) for t in result.tasks if t.kind == "map"]
+        events = sorted(
+            [(s, 1) for s, _ in intervals] + [(e, -1) for _, e in intervals],
+            key=lambda e: (e[0], e[1]),
+        )
+        peak = running = 0
+        for _, d in events:
+            running += d
+            peak = max(peak, running)
+        assert peak < 8
+        assert result.jobs[0].completion_time <= 1000.0
+
+    def test_idle_gap_skipping_preserves_correctness(self, rng):
+        """Jobs separated by a huge gap still run correctly (and fast)."""
+        profile = make_constant_profile(num_maps=4, num_reduces=0, map_s=10.0)
+        trace = [TraceJob(profile, 0.0), TraceJob(profile, 50000.0)]
+        result = HadoopClusterEmulator(self.small_config()).run(trace)
+        assert result.jobs[1].start_time >= 50000.0
+        assert result.jobs[1].duration < 100.0
+        # Far fewer events than heartbeating through the 50000s gap would take.
+        assert result.events_processed < 10000
+
+    def test_relative_deadline_exceeded_metric(self):
+        profile = make_constant_profile(num_maps=4, num_reduces=0, map_s=10.0)
+        cfg = self.small_config(node_speed_sigma=0.0, task_jitter_sigma=0.0)
+        trace = [TraceJob(profile, 0.0, deadline=5.0)]  # impossible deadline
+        result = HadoopClusterEmulator(cfg).run(trace)
+        assert result.relative_deadline_exceeded() > 0.0

@@ -1,0 +1,127 @@
+"""End-to-end integration tests spanning the full SimMR pipeline.
+
+These follow the paper's Figure 4 data flow: cluster execution ->
+JobTracker logs -> MRProfiler -> Trace Database -> Simulator Engine ->
+output metrics, plus the synthetic branch through Synthetic TraceGen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.mrprofiler.profiler import profile_history
+from repro.mumak.rumen import extract_rumen_trace, rumen_to_trace
+from repro.mumak.simulator import MumakSimulator
+from repro.schedulers import FIFOScheduler, MaxEDFScheduler, MinEDFScheduler
+from repro.trace.database import TraceDatabase
+from repro.trace.arrivals import ExponentialArrivals
+from repro.trace.deadlines import DeadlineFactorPolicy
+from repro.trace.scaling import scale_profile
+from repro.trace.schema import load_trace, save_trace
+from repro.trace.synthetic import SyntheticTraceGen
+from repro.workloads.apps import make_app_specs
+
+from conftest import make_random_profile
+
+
+class TestValidationPipeline:
+    """The paper's core loop: emulate -> log -> profile -> replay."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        rng = np.random.default_rng(11)
+        specs = make_app_specs()
+        trace = [
+            TraceJob(specs["Sort"].make_profile(rng), 0.0),
+            TraceJob(specs["TFIDF"].make_profile(rng), 200.0),
+        ]
+        cfg = EmulatorConfig(seed=2)
+        actual = HadoopClusterEmulator(cfg, FIFOScheduler()).run(trace)
+        profiled = profile_history(actual.history_text())
+        return actual, profiled, cfg.aggregate_cluster()
+
+    def test_replay_within_five_percent(self, pipeline):
+        """The paper's headline: replayed completion times within ~5%."""
+        actual, profiled, cluster = pipeline
+        replay = [TraceJob(pj.profile, pj.submit_time) for pj in profiled]
+        sim = simulate(replay, FIFOScheduler(), cluster)
+        for i, pj in enumerate(profiled):
+            err = abs(sim.jobs[i].duration - pj.duration) / pj.duration
+            assert err < 0.06, f"{pj.profile.name}: {err:.1%}"
+
+    def test_mumak_underestimates_same_trace(self, pipeline):
+        actual, profiled, cluster = pipeline
+        history_trace = rumen_to_trace(
+            extract_rumen_trace(actual.history_text())
+        )
+        mumak = MumakSimulator(num_nodes=cluster.map_slots).run(history_trace)
+        for i, pj in enumerate(profiled):
+            assert mumak.jobs[i].duration < pj.duration
+
+    def test_trace_survives_database_round_trip(self, pipeline):
+        actual, profiled, cluster = pipeline
+        replay = [TraceJob(pj.profile, pj.submit_time) for pj in profiled]
+        with TraceDatabase() as db:
+            db.save_trace("validation", replay)
+            loaded = db.load_trace("validation")
+        direct = simulate(replay, FIFOScheduler(), cluster)
+        via_db = simulate(loaded, FIFOScheduler(), cluster)
+        assert direct.completion_times() == via_db.completion_times()
+
+    def test_trace_survives_json_round_trip(self, pipeline, tmp_path):
+        actual, profiled, cluster = pipeline
+        replay = [TraceJob(pj.profile, pj.submit_time) for pj in profiled]
+        path = tmp_path / "trace.json"
+        save_trace(replay, path)
+        loaded = load_trace(path)
+        direct = simulate(replay, FIFOScheduler(), cluster)
+        via_json = simulate(loaded, FIFOScheduler(), cluster)
+        assert direct.completion_times() == via_json.completion_times()
+
+
+class TestSyntheticPipeline:
+    def test_generate_with_deadlines_and_compare_schedulers(self):
+        cluster = ClusterConfig(16, 16)
+        gen = SyntheticTraceGen(
+            list(make_app_specs().values())[:3],
+            ExponentialArrivals(50.0),
+            deadline_policy=DeadlineFactorPolicy(2.0, cluster),
+            seed=5,
+        )
+        trace = gen.generate(8)
+        results = {
+            s.name: simulate(trace, s, cluster, record_tasks=False)
+            for s in (FIFOScheduler(), MaxEDFScheduler(), MinEDFScheduler())
+        }
+        # All runs complete all jobs; EDF policies should not be worse
+        # than deadline-blind FIFO on the deadline metric.
+        for result in results.values():
+            assert len(result.completion_times()) == 8
+        assert (
+            min(results["MaxEDF"].relative_deadline_exceeded(),
+                results["MinEDF"].relative_deadline_exceeded())
+            <= results["FIFO"].relative_deadline_exceeded() + 1e-9
+        )
+
+
+class TestScalingPipeline:
+    def test_scaled_trace_replays_proportionally(self, rng):
+        """Future-work feature: a 3x-scaled job takes ~3x as long when
+        the cluster is the bottleneck."""
+        profile = make_random_profile(rng, num_maps=64, num_reduces=16)
+        cluster = ClusterConfig(8, 8)
+        base = simulate([TraceJob(profile, 0.0)], FIFOScheduler(), cluster)
+        scaled = scale_profile(profile, 3.0, seed=1)
+        big = simulate([TraceJob(scaled, 0.0)], FIFOScheduler(), cluster)
+        ratio = big.makespan / base.makespan
+        assert 2.0 < ratio < 4.0
+
+    def test_scaled_profile_replayable_after_serialization(self, rng, tmp_path):
+        profile = scale_profile(make_random_profile(rng), 2.0)
+        path = tmp_path / "scaled.json"
+        save_trace([TraceJob(profile, 0.0)], path)
+        result = simulate(load_trace(path), FIFOScheduler(), ClusterConfig(8, 8))
+        assert result.jobs[0].completion_time is not None

@@ -1,0 +1,182 @@
+"""Tests for HDFS placement, locality modeling and delay scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TraceJob
+from repro.hadoop import EmulatorConfig, HadoopClusterEmulator
+from repro.hadoop.hdfs import HdfsPlacement, locality_of
+
+from conftest import make_constant_profile
+
+
+class TestHdfsPlacement:
+    def test_replicas_distinct(self, rng):
+        placement = HdfsPlacement(num_nodes=32, rack_size=16, replication=3)
+        for _ in range(100):
+            replicas = placement.place_block(rng)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            assert all(0 <= r < 32 for r in replicas)
+
+    def test_at_most_two_replicas_per_rack(self, rng):
+        placement = HdfsPlacement(num_nodes=48, rack_size=16, replication=3)
+        for _ in range(100):
+            replicas = placement.place_block(rng)
+            per_rack: dict[int, int] = {}
+            for r in replicas:
+                rack = placement.rack_of(r)
+                per_rack[rack] = per_rack.get(rack, 0) + 1
+            assert max(per_rack.values()) <= 2
+
+    def test_spans_two_racks_when_possible(self, rng):
+        placement = HdfsPlacement(num_nodes=32, rack_size=16, replication=3)
+        for _ in range(50):
+            racks = {placement.rack_of(r) for r in placement.place_block(rng)}
+            assert len(racks) == 2
+
+    def test_replication_clamped_to_cluster(self, rng):
+        placement = HdfsPlacement(num_nodes=2, rack_size=16, replication=3)
+        assert len(placement.place_block(rng)) == 2
+
+    def test_place_job(self, rng):
+        placement = HdfsPlacement(num_nodes=16, rack_size=8)
+        blocks = placement.place_job(10, rng)
+        assert len(blocks) == 10
+
+    def test_rack_of(self):
+        placement = HdfsPlacement(num_nodes=32, rack_size=16)
+        assert placement.rack_of(0) == 0
+        assert placement.rack_of(15) == 0
+        assert placement.rack_of(16) == 1
+        assert placement.num_racks == 2
+        with pytest.raises(ValueError):
+            placement.rack_of(99)
+
+    def test_locality_of(self):
+        placement = HdfsPlacement(num_nodes=32, rack_size=8)
+        replicas = (0, 9, 10)  # racks 0 and 1
+        assert locality_of(0, replicas, placement) == "node"
+        assert locality_of(3, replicas, placement) == "rack"   # rack 0
+        assert locality_of(25, replicas, placement) == "remote"  # rack 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HdfsPlacement(num_nodes=0)
+        with pytest.raises(ValueError):
+            HdfsPlacement(num_nodes=4, rack_size=0)
+        with pytest.raises(ValueError):
+            HdfsPlacement(num_nodes=4, replication=0)
+
+
+def small_jobs_trace(n_jobs: int = 30, maps: int = 4):
+    profile = make_constant_profile(num_maps=maps, num_reduces=0, map_s=12.0)
+    return [TraceJob(profile, i * 1.0) for i in range(n_jobs)]
+
+
+def run_locality(wait: float, seed: int = 2, **cfg_kw):
+    defaults = dict(
+        num_nodes=32, rack_size=16, heartbeat_interval=1.0,
+        model_locality=True, locality_wait=wait, seed=seed,
+    )
+    defaults.update(cfg_kw)
+    return HadoopClusterEmulator(EmulatorConfig(**defaults)).run(small_jobs_trace())
+
+
+class TestLocalityModeling:
+    def test_every_map_gets_a_locality_level(self):
+        result = run_locality(0.0)
+        for task in result.tasks:
+            if task.kind == "map":
+                assert task.locality in ("node", "rack", "remote")
+
+    def test_fractions_sum_to_one(self):
+        frac = run_locality(0.0).locality_fractions()
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_locality_off_records_nothing(self):
+        cfg = EmulatorConfig(num_nodes=8, heartbeat_interval=1.0, seed=0)
+        result = HadoopClusterEmulator(cfg).run(small_jobs_trace(4))
+        assert all(t.locality is None for t in result.tasks)
+        with pytest.raises(ValueError, match="model_locality"):
+            result.locality_fractions()
+
+    def test_non_local_maps_run_slower(self):
+        result = run_locality(0.0, node_speed_sigma=0.0, task_jitter_sigma=0.0)
+        durations = {"node": [], "rack": [], "remote": []}
+        for t in result.tasks:
+            if t.kind == "map":
+                durations[t.locality].append(t.end - t.start)
+        assert np.mean(durations["node"]) == pytest.approx(12.0)
+        if durations["rack"]:
+            assert np.mean(durations["rack"]) == pytest.approx(12.0 * 1.15, rel=1e-6)
+
+    def test_all_jobs_complete(self):
+        result = run_locality(3.0)
+        assert all(j.completion_time is not None for j in result.jobs)
+
+    def test_determinism(self):
+        a = run_locality(3.0, seed=7)
+        b = run_locality(3.0, seed=7)
+        assert a.completion_times() == b.completion_times()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmulatorConfig(locality_wait=-1.0)
+        with pytest.raises(ValueError):
+            EmulatorConfig(rack_penalty=0.9)
+        with pytest.raises(ValueError):
+            EmulatorConfig(rack_penalty=1.5, remote_penalty=1.2)
+
+
+class TestDelayScheduling:
+    def test_waiting_improves_node_locality(self):
+        """The delay-scheduling result: a few seconds of patience turns
+        most assignments node-local."""
+        greedy = run_locality(0.0).locality_fractions()
+        patient = run_locality(10.0).locality_fractions()
+        assert patient["node"] > greedy["node"] + 0.2
+
+    def test_monotone_in_wait(self):
+        fracs = [run_locality(w).locality_fractions()["node"] for w in (0.0, 3.0, 10.0)]
+        assert fracs[0] <= fracs[1] + 0.05
+        assert fracs[1] <= fracs[2] + 0.05
+
+    def test_waiting_does_not_explode_makespan(self):
+        """Short waits trade tiny scheduling delays for faster tasks."""
+        greedy = run_locality(0.0)
+        patient = run_locality(3.0)
+        assert patient.makespan < 1.2 * greedy.makespan
+
+    def test_works_with_failures_and_speculation(self):
+        result = run_locality(
+            3.0, task_failure_rate=0.15, speculative_execution=True,
+            node_speed_sigma=0.3,
+        )
+        assert all(j.completion_time is not None for j in result.jobs)
+        # Successful attempts still cover every task exactly once.
+        winners = {
+            (t.job_id, t.index)
+            for t in result.tasks
+            if t.kind == "map" and not t.failed and not t.killed
+        }
+        expected = {(j.job_id, i) for j in result.jobs for i in range(j.num_maps)}
+        assert winners == expected
+
+
+class TestRemoteLocality:
+    def test_remote_possible_with_many_racks(self):
+        """With >2 racks some assignments land off every replica rack."""
+        profile = make_constant_profile(num_maps=2, num_reduces=0, map_s=12.0)
+        trace = [TraceJob(profile, i * 0.5) for i in range(40)]
+        cfg = EmulatorConfig(
+            num_nodes=32, rack_size=4, heartbeat_interval=1.0,
+            model_locality=True, locality_wait=0.0, seed=1,
+        )
+        result = HadoopClusterEmulator(cfg).run(trace)
+        levels = {t.locality for t in result.tasks if t.kind == "map"}
+        assert "remote" in levels or "rack" in levels
+        frac = result.locality_fractions()
+        assert frac["node"] < 1.0

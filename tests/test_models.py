@@ -1,0 +1,237 @@
+"""Tests for the makespan bounds and the ARIA completion-time model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.models import (
+    estimate_completion_time,
+    greedy_makespan,
+    makespan_lower_bound,
+    makespan_upper_bound,
+    min_slots_for_deadline,
+    model_coefficients,
+)
+from repro.schedulers import CappedFIFOScheduler, FIFOScheduler
+
+from conftest import make_constant_profile, make_random_profile
+
+
+class TestMakespanBounds:
+    def test_greedy_single_slot_is_sum(self):
+        assert greedy_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_greedy_enough_slots_is_max(self):
+        assert greedy_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_greedy_balances(self):
+        # tasks 4,3,2,1 on 2 slots: (4,1) and (3,2) -> makespan 5
+        assert greedy_makespan([4.0, 3.0, 2.0, 1.0], 2) == pytest.approx(5.0)
+
+    def test_greedy_empty(self):
+        assert greedy_makespan([], 3) == 0.0
+
+    def test_greedy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            greedy_makespan([-1.0], 1)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            makespan_lower_bound(-1, 1.0, 2)
+        with pytest.raises(ValueError):
+            makespan_upper_bound(1, 1.0, 1.0, 0)
+
+    def test_zero_tasks(self):
+        assert makespan_lower_bound(0, 5.0, 3) == 0.0
+        assert makespan_upper_bound(0, 5.0, 5.0, 3) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_property_bounds_bracket_greedy(self, tasks, k):
+        """The paper's claim: n*avg/k <= greedy <= (n-1)*avg/k + max."""
+        arr = np.asarray(tasks)
+        greedy = greedy_makespan(tasks, k)
+        lower = makespan_lower_bound(len(tasks), float(arr.mean()), k)
+        upper = makespan_upper_bound(len(tasks), float(arr.mean()), float(arr.max()), k)
+        assert lower - 1e-9 <= greedy <= upper + 1e-9
+
+
+class TestAriaModel:
+    def test_constant_profile_lower_bound_exact(self):
+        """For constant durations with slots dividing the task count the
+        lower bound equals the true schedule."""
+        profile = make_constant_profile(
+            num_maps=8, num_reduces=4, map_s=10.0,
+            first_shuffle_s=5.0, typical_shuffle_s=4.0, reduce_s=3.0,
+        )
+        t_low = estimate_completion_time(profile, 4, 2, bound="lower")
+        # 2 map waves (20) + first shuffle 5 + (4/2 - 1) typical waves (4)
+        # + 2 reduce-phase waves (6) = 35
+        assert t_low == pytest.approx(20 + 5 + 4 + 6)
+
+    def test_bound_ordering(self, random_profile):
+        low = estimate_completion_time(random_profile, 4, 4, bound="lower")
+        avg = estimate_completion_time(random_profile, 4, 4, bound="average")
+        up = estimate_completion_time(random_profile, 4, 4, bound="upper")
+        assert low <= avg <= up
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_maps=st.integers(min_value=1, max_value=40),
+        num_reduces=st.integers(min_value=0, max_value=20),
+        map_slots=st.integers(min_value=1, max_value=16),
+        reduce_slots=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_bounds_bracket_simulation(
+        self, num_maps, num_reduces, map_slots, reduce_slots, seed
+    ):
+        """Engine completion time of a capped solo job lies within the
+        model's lower/upper bounds.
+
+        Shuffle/reduce durations are held constant per profile: with
+        heterogeneous per-task values the per-phase averages in the model
+        are approximations (the replay's wave sizes differ from the
+        recorded ones), so strict bracketing only holds for homogeneous
+        phases; the general case is covered with slack below.
+        """
+        rng = np.random.default_rng(seed)
+        profile = make_constant_profile(
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            map_s=float(rng.uniform(1, 30)),
+            first_shuffle_s=float(rng.uniform(2, 8)),
+            typical_shuffle_s=float(rng.uniform(2, 8)),
+            reduce_s=float(rng.uniform(0.5, 5)),
+        )
+        result = simulate(
+            [TraceJob(profile, 0.0)],
+            CappedFIFOScheduler(map_slots, reduce_slots),
+            ClusterConfig(map_slots, reduce_slots),
+            min_map_percent_completed=1.0,
+        )
+        actual = result.jobs[0].completion_time
+        low = estimate_completion_time(profile, map_slots, reduce_slots, bound="lower")
+        up = estimate_completion_time(profile, map_slots, reduce_slots, bound="upper")
+        assert low - 1e-6 <= actual <= up + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_maps=st.integers(min_value=1, max_value=40),
+        num_reduces=st.integers(min_value=0, max_value=20),
+        map_slots=st.integers(min_value=1, max_value=16),
+        reduce_slots=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_bounds_bracket_with_heterogeneity_slack(
+        self, num_maps, num_reduces, map_slots, reduce_slots, seed
+    ):
+        """With heterogeneous durations, bracketing holds up to the
+        per-phase duration spread (avg-vs-realized first wave effects)."""
+        profile = make_random_profile(
+            np.random.default_rng(seed), num_maps=num_maps, num_reduces=num_reduces
+        )
+        result = simulate(
+            [TraceJob(profile, 0.0)],
+            CappedFIFOScheduler(map_slots, reduce_slots),
+            ClusterConfig(map_slots, reduce_slots),
+            min_map_percent_completed=1.0,
+        )
+        actual = result.jobs[0].completion_time
+        low = estimate_completion_time(profile, map_slots, reduce_slots, bound="lower")
+        up = estimate_completion_time(profile, map_slots, reduce_slots, bound="upper")
+        slack = 0.0
+        for stats in (
+            profile.first_shuffle_stats,
+            profile.typical_shuffle_stats,
+            profile.reduce_stats,
+        ):
+            if stats.count:
+                slack += stats.max
+        assert low - slack - 1e-6 <= actual <= up + slack + 1e-6
+
+    def test_completion_time_needs_slots(self):
+        profile = make_constant_profile()
+        coeffs = model_coefficients(profile)
+        with pytest.raises(ValueError):
+            coeffs.completion_time(0, 4)
+
+
+class TestMinSlots:
+    def test_met_deadline_in_engine(self, cluster64):
+        profile = make_constant_profile(num_maps=32, num_reduces=16, map_s=10.0)
+        deadline = estimate_completion_time(profile, 8, 4, bound="upper") + 10
+        m, r = min_slots_for_deadline(profile, deadline, cluster64, bound="upper")
+        result = simulate(
+            [TraceJob(profile, 0.0)],
+            CappedFIFOScheduler(m, r),
+            cluster64,
+            min_map_percent_completed=1.0,
+        )
+        assert result.jobs[0].completion_time <= deadline + 1e-6
+
+    def test_demand_is_minimal(self, cluster64):
+        profile = make_constant_profile(num_maps=32, num_reduces=16, map_s=10.0)
+        deadline = 150.0
+        m, r = min_slots_for_deadline(profile, deadline, cluster64)
+        # Shrinking either dimension must break the (model) deadline.
+        coeffs = model_coefficients(profile)
+        if m > 1:
+            assert coeffs.completion_time(m - 1, max(r, 1)) > deadline
+        if r > 1:
+            assert coeffs.completion_time(max(m, 1), r - 1) > deadline
+
+    def test_looser_deadline_needs_fewer_slots(self, cluster64):
+        profile = make_constant_profile(num_maps=64, num_reduces=32, map_s=10.0)
+        m_tight, r_tight = min_slots_for_deadline(profile, 120.0, cluster64)
+        m_loose, r_loose = min_slots_for_deadline(profile, 1200.0, cluster64)
+        assert m_loose <= m_tight
+        assert r_loose <= r_tight
+        assert m_loose + r_loose < m_tight + r_tight
+
+    def test_infeasible_deadline_returns_max(self, cluster64):
+        profile = make_constant_profile(num_maps=640, num_reduces=64, map_s=100.0)
+        m, r = min_slots_for_deadline(profile, 1.0, cluster64)
+        assert m == cluster64.map_slots
+        assert r == min(cluster64.reduce_slots, 64)
+
+    def test_map_only_job(self, cluster64):
+        profile = make_constant_profile(num_maps=32, num_reduces=0, map_s=10.0)
+        m, r = min_slots_for_deadline(profile, 90.0, cluster64)
+        assert r == 0
+        assert 1 <= m <= 32
+        assert estimate_completion_time(profile, m, 1) <= 90.0
+
+    def test_invalid_deadline_rejected(self, cluster64):
+        profile = make_constant_profile()
+        with pytest.raises(ValueError):
+            min_slots_for_deadline(profile, 0.0, cluster64)
+        with pytest.raises(ValueError):
+            min_slots_for_deadline(profile, float("inf"), cluster64)
+
+    def test_demand_never_exceeds_task_counts(self, cluster64):
+        profile = make_constant_profile(num_maps=5, num_reduces=3, map_s=100.0)
+        m, r = min_slots_for_deadline(profile, 10.0, cluster64)
+        assert m <= 5
+        assert r <= 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        deadline=st.floats(min_value=5.0, max_value=5000.0),
+    )
+    def test_property_feasible_demand_meets_model_deadline(self, seed, deadline):
+        profile = make_random_profile(np.random.default_rng(seed), num_maps=30, num_reduces=12)
+        cluster = ClusterConfig(64, 64)
+        m, r = min_slots_for_deadline(profile, deadline, cluster)
+        t = estimate_completion_time(profile, max(m, 1), max(r, 1))
+        max_t = estimate_completion_time(profile, min(30, 64), min(12, 64))
+        # Either the demand meets the deadline, or the deadline is
+        # infeasible even at maximal allocation.
+        assert t <= deadline + 1e-9 or max_t > deadline

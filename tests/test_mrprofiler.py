@@ -1,0 +1,163 @@
+"""Tests for MRProfiler: history-log parsing and profile extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TraceJob
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.hadoop.history import BASE_EPOCH_MS, JobHistoryWriter
+from repro.mrprofiler.parser import parse_history
+from repro.mrprofiler.profiler import build_profile, profile_history, trace_from_history
+
+from conftest import make_constant_profile
+
+
+def synthetic_log() -> str:
+    """Hand-built two-job history log with known timings."""
+    w = JobHistoryWriter(0, "WordCount")
+    w.job_submitted(0.0)
+    w.job_launched(0.5, 2, 2)
+    w.map_started(0, 1.0, "node000")
+    w.map_started(1, 1.0, "node001")
+    # Reduce 0 starts during the map stage (first wave).
+    w.reduce_started(0, 6.0, "node002")
+    w.map_finished(0, 11.0, "node000")
+    w.map_finished(1, 13.0, "node001")  # map stage ends at 13
+    # First-wave shuffle finishes 4s after the map stage -> non-overlap 4.
+    w.reduce_finished(0, 17.0, 17.0, 20.0, "node002")
+    # Reduce 1 starts after the map stage (typical wave): shuffle 3s.
+    w.reduce_started(1, 20.0, "node002")
+    w.reduce_finished(1, 23.0, 23.0, 26.5, "node002")
+    w.job_finished(26.5, 2, 2)
+
+    v = JobHistoryWriter(1, "Sort")
+    v.job_submitted(30.0)
+    v.job_launched(30.5, 1, 0)
+    v.map_started(0, 31.0, "node003")
+    v.map_finished(0, 42.0, "node003")
+    v.job_finished(42.0, 1, 0)
+    return JobHistoryWriter.combine([w, v])
+
+
+class TestParser:
+    def test_parses_jobs_in_order(self):
+        jobs = parse_history(synthetic_log())
+        assert [j.name for j in jobs] == ["WordCount", "Sort"]
+        assert jobs[0].total_maps == 2
+        assert jobs[0].total_reduces == 2
+        assert jobs[0].status == "SUCCESS"
+
+    def test_timestamps_in_epoch_ms(self):
+        job = parse_history(synthetic_log())[0]
+        assert job.submit_ms == BASE_EPOCH_MS
+        assert job.finish_ms == BASE_EPOCH_MS + 26500
+
+    def test_attempt_merging(self):
+        """START and FINISH lines of one attempt merge into one record."""
+        job = parse_history(synthetic_log())[0]
+        att = job.map_attempts[0]
+        assert att.start_ms == BASE_EPOCH_MS + 1000
+        assert att.finish_ms == BASE_EPOCH_MS + 11000
+        assert att.hostname == "node000"
+        assert att.duration_s == pytest.approx(10.0)
+
+    def test_reduce_phase_timestamps(self):
+        job = parse_history(synthetic_log())[0]
+        att = job.reduce_attempts[0]
+        assert att.shuffle_finished_ms == BASE_EPOCH_MS + 17000
+        assert att.sort_finished_ms == BASE_EPOCH_MS + 17000
+        assert att.complete
+
+    def test_map_stage_end(self):
+        job = parse_history(synthetic_log())[0]
+        assert job.map_stage_end_ms == BASE_EPOCH_MS + 13000
+
+    def test_duration(self):
+        job = parse_history(synthetic_log())[0]
+        assert job.duration_s == pytest.approx(26.5)
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError, match="no job id"):
+            parse_history('Job USER="nobody"')
+
+    def test_blank_lines_ignored(self):
+        jobs = parse_history("\n\n" + synthetic_log() + "\n\n")
+        assert len(jobs) == 2
+
+    def test_accepts_iterable_of_lines(self):
+        jobs = parse_history(synthetic_log().splitlines())
+        assert len(jobs) == 2
+
+    def test_unknown_entities_skipped(self):
+        text = synthetic_log() + 'Meta VERSION="1"  JOBID="job_201011010000_0001"\n'
+        assert len(parse_history(text)) == 2
+
+
+class TestBuildProfile:
+    def test_durations(self):
+        job = parse_history(synthetic_log())[0]
+        profile = build_profile(job)
+        assert profile.num_maps == 2
+        assert profile.num_reduces == 2
+        assert np.allclose(profile.map_durations, [10.0, 12.0])
+        assert np.allclose(profile.reduce_durations, [3.0, 3.5])
+
+    def test_first_vs_typical_shuffle_split(self):
+        """First-wave reduce keeps only the post-map-stage part (4s);
+        the later wave records its full shuffle (3s) as typical."""
+        job = parse_history(synthetic_log())[0]
+        profile = build_profile(job)
+        assert np.allclose(profile.first_shuffle_durations, [4.0])
+        assert np.allclose(profile.typical_shuffle_durations, [3.0])
+
+    def test_map_only_job(self):
+        job = parse_history(synthetic_log())[1]
+        profile = build_profile(job)
+        assert profile.num_reduces == 0
+        assert np.allclose(profile.map_durations, [11.0])
+
+    def test_incomplete_attempt_raises(self):
+        w = JobHistoryWriter(0, "X")
+        w.job_submitted(0.0)
+        w.map_started(0, 1.0, "node000")  # never finished
+        with pytest.raises(ValueError, match="lacks start/finish"):
+            build_profile(parse_history(w.render())[0])
+
+
+class TestProfileHistory:
+    def test_submit_times_normalized(self):
+        profiled = profile_history(synthetic_log())
+        assert profiled[0].submit_time == 0.0
+        assert profiled[1].submit_time == pytest.approx(30.0)
+
+    def test_durations_recorded(self):
+        profiled = profile_history(synthetic_log())
+        assert profiled[0].duration == pytest.approx(26.5)
+        assert profiled[1].duration == pytest.approx(12.0)
+
+    def test_trace_from_history(self):
+        trace = trace_from_history(synthetic_log())
+        assert len(trace) == 2
+        assert isinstance(trace[0], TraceJob)
+        assert trace[0].profile.name == "WordCount"
+
+    def test_empty_log(self):
+        assert profile_history("") == []
+
+
+class TestRoundTrip:
+    def test_emulator_log_profiles_to_original_durations(self):
+        """With zero noise, profiling the emulator's log recovers the
+        original per-task durations exactly (modulo ms rounding)."""
+        cfg = EmulatorConfig(
+            num_nodes=4, node_speed_sigma=0.0, task_jitter_sigma=0.0, seed=0
+        )
+        profile = make_constant_profile(num_maps=8, num_reduces=2, map_s=10.0,
+                                        first_shuffle_s=5.0, reduce_s=3.0)
+        result = HadoopClusterEmulator(cfg).run([TraceJob(profile, 0.0)])
+        recovered = profile_history(result.history_text())[0].profile
+        assert np.allclose(recovered.map_durations, 10.0, atol=2e-3)
+        assert np.allclose(recovered.reduce_durations, 3.0, atol=2e-3)
+        assert np.allclose(recovered.first_shuffle_durations, 5.0, atol=2e-3)

@@ -1,0 +1,139 @@
+"""Tests for the Mumak baseline and the Rumen trace extractor."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.mumak.rumen import dumps_rumen, extract_rumen_trace, rumen_to_trace
+from repro.mumak.simulator import MumakSimulator
+from repro.schedulers import FIFOScheduler
+
+from conftest import make_constant_profile, make_random_profile
+
+
+class TestMumakReduceModel:
+    def test_reduce_completes_without_shuffle_time(self):
+        """Mumak: reduce runtime = all-maps time + reduce phase, shuffle
+        ignored — the paper's documented inaccuracy."""
+        profile = make_constant_profile(
+            num_maps=4, num_reduces=1, map_s=10.0,
+            first_shuffle_s=100.0, typical_shuffle_s=100.0, reduce_s=3.0,
+        )
+        mumak = MumakSimulator(num_nodes=4, heartbeat_interval=1.0)
+        result = mumak.run([TraceJob(profile, 0.0)])
+        # Maps ~10s (+heartbeat offsets) + reduce 3s; the 100s shuffle is
+        # completely absent from the estimate.
+        assert result.jobs[0].duration < 20.0
+
+    def test_underestimates_shuffle_heavy_jobs_vs_simmr(self, rng):
+        profile = make_random_profile(rng, num_maps=16, num_reduces=8)
+        simmr = simulate([TraceJob(profile, 0.0)], FIFOScheduler(), ClusterConfig(8, 8))
+        mumak = MumakSimulator(num_nodes=8, heartbeat_interval=0.5).run(
+            [TraceJob(profile, 0.0)]
+        )
+        assert mumak.jobs[0].duration < simmr.jobs[0].duration
+
+    def test_map_only_jobs_agree_with_simmr(self):
+        """Without reduces there is no shuffle to mis-model: Mumak and
+        SimMR should agree up to heartbeat quantization."""
+        profile = make_constant_profile(num_maps=8, num_reduces=0, map_s=10.0)
+        simmr = simulate([TraceJob(profile, 0.0)], FIFOScheduler(), ClusterConfig(8, 8))
+        mumak = MumakSimulator(num_nodes=8, heartbeat_interval=0.1).run(
+            [TraceJob(profile, 0.0)]
+        )
+        assert mumak.jobs[0].duration == pytest.approx(simmr.jobs[0].duration, abs=0.5)
+
+    def test_all_jobs_complete(self, rng):
+        trace = [
+            TraceJob(make_random_profile(rng, f"j{i}", 10, 4), float(i * 3))
+            for i in range(4)
+        ]
+        result = MumakSimulator(num_nodes=4, heartbeat_interval=1.0).run(trace)
+        assert all(j.completion_time is not None for j in result.jobs)
+        assert result.scheduler_name == "Mumak/FIFO"
+
+    def test_simulates_many_more_events_than_simmr(self, rng):
+        """Heartbeat simulation is Mumak's speed problem (Figure 6)."""
+        trace = [TraceJob(make_random_profile(rng, "j", 30, 10), 0.0)]
+        simmr = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+        mumak = MumakSimulator(num_nodes=8).run(trace)
+        assert mumak.events_processed > simmr.events_processed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MumakSimulator(num_nodes=0)
+        with pytest.raises(ValueError):
+            MumakSimulator(heartbeat_interval=0.0)
+
+
+class TestRumen:
+    def emulated_history(self, rng) -> str:
+        cfg = EmulatorConfig(num_nodes=4, heartbeat_interval=1.0, seed=0)
+        trace = [TraceJob(make_random_profile(rng, "app", 6, 3), 0.0)]
+        return HadoopClusterEmulator(cfg).run(trace).history_text()
+
+    def test_extracts_verbose_job_documents(self, rng):
+        docs = extract_rumen_trace(self.emulated_history(rng))
+        assert len(docs) == 1
+        job = docs[0]
+        # Rumen's "more than 40 properties": job-level keys plus nested
+        # task/attempt records.
+        assert len(job.keys()) > 20
+        assert len(job["mapTasks"]) == 6
+        assert len(job["reduceTasks"]) == 3
+        attempt = job["mapTasks"][0]["attempts"][0]
+        assert {"startTime", "finishTime", "hostName"} <= set(attempt)
+
+    def test_reduce_tasks_keep_phase_timestamps(self, rng):
+        docs = extract_rumen_trace(self.emulated_history(rng))
+        att = docs[0]["reduceTasks"][0]["attempts"][0]
+        assert att["shuffleFinished"] is not None
+        assert att["sortFinished"] is not None
+
+    def test_rumen_to_trace_round_trip(self, rng):
+        history = self.emulated_history(rng)
+        trace = rumen_to_trace(extract_rumen_trace(history))
+        assert len(trace) == 1
+        profile = trace[0].profile
+        assert profile.num_maps == 6
+        assert profile.num_reduces == 3
+        # Same profile the selective MRProfiler extracts.
+        from repro.mrprofiler import profile_history
+
+        mr = profile_history(history)[0].profile
+        assert np.allclose(profile.map_durations, mr.map_durations)
+        assert np.allclose(profile.reduce_durations, mr.reduce_durations)
+
+    def test_rumen_to_trace_empty(self):
+        assert rumen_to_trace([]) == []
+
+    def test_dumps_one_json_object_per_line(self, rng):
+        docs = extract_rumen_trace(self.emulated_history(rng))
+        text = dumps_rumen(docs)
+        lines = [ln for ln in text.splitlines() if ln]
+        assert len(lines) == len(docs)
+        assert json.loads(lines[0])["jobID"].startswith("job_")
+
+
+class TestMumakSchedulers:
+    def test_runs_real_schedulers_as_is(self):
+        """Mumak's design goal: plug in actual scheduler implementations."""
+        from repro.schedulers import MaxEDFScheduler
+
+        early = make_constant_profile(name="early", num_maps=6, num_reduces=0, map_s=10.0)
+        late = make_constant_profile(name="late", num_maps=6, num_reduces=0, map_s=10.0)
+        trace = [
+            TraceJob(late, 0.0, deadline=10000.0),
+            TraceJob(early, 0.5, deadline=100.0),
+        ]
+        mumak = MumakSimulator(num_nodes=3, heartbeat_interval=0.1,
+                               scheduler=MaxEDFScheduler())
+        result = mumak.run(trace)
+        assert result.scheduler_name == "Mumak/MaxEDF"
+        # The earlier-deadline job overtakes despite later submission.
+        assert result.jobs[1].completion_time < result.jobs[0].completion_time

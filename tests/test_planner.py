@@ -1,0 +1,114 @@
+"""Tests for the bisection-based cluster planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, TraceJob
+from repro.planner import ClusterPlanner
+from repro.schedulers import MinEDFScheduler
+
+from conftest import make_constant_profile
+
+
+@pytest.fixture
+def batch_trace():
+    """Four identical 16x10s-map jobs submitted together."""
+    profile = make_constant_profile(num_maps=16, num_reduces=0, map_s=10.0)
+    return [TraceJob(profile, 0.0) for _ in range(4)]
+
+
+class TestMakespanSizing:
+    def test_exact_boundary(self, batch_trace):
+        # 64 task-slots of work x 10s each = 640 task-seconds; finishing
+        # in 40s needs exactly 16 map slots (4 waves of 10s each... with
+        # 4 jobs x 16 maps = 64 tasks / 16 slots = 4 waves).
+        planner = ClusterPlanner()
+        cluster = planner.min_cluster_for_makespan(batch_trace, 40.0)
+        assert cluster is not None
+        assert cluster.map_slots == 16
+
+    def test_looser_target_needs_fewer_slots(self, batch_trace):
+        planner = ClusterPlanner()
+        tight = planner.min_cluster_for_makespan(batch_trace, 40.0)
+        loose = planner.min_cluster_for_makespan(batch_trace, 160.0)
+        assert loose.map_slots < tight.map_slots
+        assert loose.map_slots == 4  # 64 tasks / 4 slots = 16 waves = 160s
+
+    def test_infeasible_returns_none(self, batch_trace):
+        planner = ClusterPlanner(max_map_slots=128)
+        # 10s map duration floors any makespan.
+        assert planner.min_cluster_for_makespan(batch_trace, 5.0) is None
+
+    def test_answer_verified_by_replay(self, batch_trace):
+        planner = ClusterPlanner()
+        cluster = planner.min_cluster_for_makespan(batch_trace, 50.0)
+        result = planner.simulate(batch_trace, cluster.map_slots)
+        assert result.makespan <= 50.0
+        if cluster.map_slots > 1:
+            smaller = planner.simulate(batch_trace, cluster.map_slots - 1)
+            assert smaller.makespan > 50.0
+
+    def test_validation(self, batch_trace):
+        planner = ClusterPlanner()
+        with pytest.raises(ValueError):
+            planner.min_cluster_for_makespan(batch_trace, 0.0)
+        with pytest.raises(ValueError):
+            planner.min_cluster_for_makespan([], 10.0)
+        with pytest.raises(ValueError):
+            ClusterPlanner(reduce_ratio=0.0)
+        with pytest.raises(ValueError):
+            ClusterPlanner(max_map_slots=0)
+
+
+class TestDeadlineSizing:
+    def deadline_trace(self):
+        profile = make_constant_profile(num_maps=16, num_reduces=0, map_s=10.0)
+        return [
+            TraceJob(profile, 0.0, deadline=45.0),
+            TraceJob(profile, 0.0, deadline=90.0),
+        ]
+
+    def test_finds_minimal_cluster(self):
+        planner = ClusterPlanner()
+        cluster = planner.min_cluster_for_deadlines(self.deadline_trace())
+        assert cluster is not None
+        result = planner.simulate(self.deadline_trace(), cluster.map_slots)
+        assert not result.jobs_missed_deadline()
+
+    def test_requires_deadlines(self, batch_trace):
+        with pytest.raises(ValueError, match="deadline"):
+            ClusterPlanner().min_cluster_for_deadlines(batch_trace)
+
+    def test_works_with_minedf(self):
+        planner = ClusterPlanner(scheduler_factory=MinEDFScheduler)
+        cluster = planner.min_cluster_for_deadlines(self.deadline_trace())
+        assert cluster is not None
+        result = planner.simulate(self.deadline_trace(), cluster.map_slots)
+        assert not result.jobs_missed_deadline()
+
+
+class TestUtilitySizing:
+    def test_budgeted_misses_allow_smaller_cluster(self):
+        profile = make_constant_profile(num_maps=16, num_reduces=0, map_s=10.0)
+        trace = [TraceJob(profile, 0.0, deadline=45.0) for _ in range(3)]
+        planner = ClusterPlanner()
+        strict = planner.min_cluster_for_utility(trace, 0.0)
+        relaxed = planner.min_cluster_for_utility(trace, 2.0)
+        assert relaxed.map_slots <= strict.map_slots
+
+    def test_negative_budget_rejected(self, batch_trace):
+        with pytest.raises(ValueError):
+            ClusterPlanner().min_cluster_for_utility(batch_trace, -1.0)
+
+
+class TestClusterShape:
+    def test_reduce_ratio(self):
+        planner = ClusterPlanner(reduce_ratio=0.5)
+        cluster = planner.cluster_of(10)
+        assert cluster == ClusterConfig(10, 5)
+
+    def test_ratio_rounds_up_to_one(self):
+        planner = ClusterPlanner(reduce_ratio=0.1)
+        assert planner.cluster_of(1).reduce_slots == 1

@@ -1,0 +1,87 @@
+"""Tests for profile comparison (the Section II 'same application?' test)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.mrprofiler.compare import compare_profiles
+from repro.workloads import app_spec
+
+from conftest import make_constant_profile
+
+
+class TestCompareProfiles:
+    def test_same_app_executions_similar(self):
+        rng = np.random.default_rng(0)
+        spec = app_spec("WordCount")
+        a, b = spec.make_profile(rng), spec.make_profile(rng)
+        comparison = compare_profiles(a, b)
+        assert comparison.same_application
+        assert all(p.kl_divergence < 1.0 for p in comparison.phases)
+
+    @pytest.mark.parametrize("other", ["Sort", "Twitter", "Bayes"])
+    def test_different_apps_dissimilar(self, other):
+        rng = np.random.default_rng(1)
+        a = app_spec("WordCount").make_profile(rng)
+        b = app_spec(other).make_profile(rng)
+        assert not compare_profiles(a, b).same_application
+
+    def test_three_phases_compared(self):
+        rng = np.random.default_rng(2)
+        spec = app_spec("Sort")
+        comparison = compare_profiles(spec.make_profile(rng), spec.make_profile(rng))
+        assert {p.phase for p in comparison.phases} == {"map", "shuffle", "reduce"}
+
+    def test_map_only_profiles_compare_maps(self):
+        a = make_constant_profile(num_maps=8, num_reduces=0)
+        b = make_constant_profile(num_maps=8, num_reduces=0)
+        comparison = compare_profiles(a, b)
+        assert [p.phase for p in comparison.phases] == ["map"]
+        assert comparison.same_application
+
+    def test_mixed_structures_compare_shared_phases(self):
+        a = make_constant_profile(num_maps=8, num_reduces=0)
+        b = make_constant_profile(num_maps=8, num_reduces=4)
+        comparison = compare_profiles(a, b)
+        assert [p.phase for p in comparison.phases] == ["map"]
+
+    def test_no_shared_phases_raises(self):
+        a = make_constant_profile(num_maps=8, num_reduces=0)
+        b = make_constant_profile(num_maps=0, num_reduces=4)
+        with pytest.raises(ValueError, match="no comparable phases"):
+            compare_profiles(a, b)
+
+    def test_threshold_validation(self):
+        a = make_constant_profile()
+        with pytest.raises(ValueError):
+            compare_profiles(a, a, kl_threshold=0.0)
+
+    def test_str_shows_verdict(self):
+        a = make_constant_profile()
+        text = str(compare_profiles(a, a))
+        assert "SAME application" in text
+
+
+class TestCLICommands:
+    def test_diff_profiles_exit_codes(self, tmp_path):
+        wc = tmp_path / "wc.json"
+        sort = tmp_path / "sort.json"
+        main(["generate", str(wc), "--jobs", "2", "--workload", "WordCount", "--seed", "1"])
+        main(["generate", str(sort), "--jobs", "1", "--workload", "Sort", "--seed", "2"])
+        # Same app (two executions within one trace): exit 0.
+        assert main(["diff-profiles", str(wc), str(wc), "--job-b", "1"]) == 0
+        # Different apps: exit 1.
+        assert main(["diff-profiles", str(wc), str(sort)]) == 1
+
+    def test_diff_profiles_bad_index(self, tmp_path, capsys):
+        wc = tmp_path / "wc.json"
+        main(["generate", str(wc), "--jobs", "1", "--workload", "WordCount"])
+        assert main(["diff-profiles", str(wc), str(wc), "--job-b", "9"]) == 2
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--executions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "replay error" in out

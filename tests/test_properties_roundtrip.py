@@ -1,0 +1,162 @@
+"""Cross-subsystem property tests (hypothesis): round trips and exact laws.
+
+These tie the pieces together: profiles survive the emulator-to-
+MRProfiler loop, traces and results survive serialization, and the
+engine's map stage is *exactly* the greedy-makespan schedule the ARIA
+model assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.core.results_io import result_from_dict, result_to_dict
+from repro.hadoop.emulator import EmulatorConfig, HadoopClusterEmulator
+from repro.models.bounds import greedy_makespan
+from repro.mrprofiler.profiler import profile_history
+from repro.schedulers import FIFOScheduler
+from repro.trace.database import TraceDatabase
+from repro.trace.schema import trace_from_dict, trace_to_dict
+
+durations = st.floats(min_value=0.5, max_value=200.0)
+
+
+@st.composite
+def small_profiles(draw):
+    from conftest import make_constant_profile
+
+    num_maps = draw(st.integers(min_value=1, max_value=10))
+    num_reduces = draw(st.integers(min_value=0, max_value=5))
+    return make_constant_profile(
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        map_s=draw(durations),
+        first_shuffle_s=draw(durations),
+        typical_shuffle_s=draw(durations),
+        reduce_s=draw(durations),
+    )
+
+
+@st.composite
+def random_array_profiles(draw, max_maps=15, max_reduces=8):
+    from repro.core import JobProfile
+
+    num_maps = draw(st.integers(min_value=1, max_value=max_maps))
+    num_reduces = draw(st.integers(min_value=0, max_value=max_reduces))
+    kwargs = dict(
+        name=draw(st.sampled_from(["alpha", "beta", "gamma"])),
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        map_durations=np.array(
+            draw(st.lists(durations, min_size=num_maps, max_size=num_maps))
+        ),
+        first_shuffle_durations=(
+            np.array(draw(st.lists(durations, min_size=1, max_size=4)))
+            if num_reduces
+            else np.empty(0)
+        ),
+        typical_shuffle_durations=(
+            np.array(draw(st.lists(durations, min_size=1, max_size=4)))
+            if num_reduces
+            else np.empty(0)
+        ),
+        reduce_durations=(
+            np.array(draw(st.lists(durations, min_size=num_reduces, max_size=num_reduces)))
+            if num_reduces
+            else np.empty(0)
+        ),
+    )
+    return JobProfile(**kwargs)
+
+
+class TestEmulatorProfilerRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(profile=random_array_profiles())
+    def test_zero_noise_recovers_durations(self, profile):
+        """emulate (no noise) -> history log -> MRProfiler ~= identity."""
+        cfg = EmulatorConfig(
+            num_nodes=8, heartbeat_interval=1.0,
+            node_speed_sigma=0.0, task_jitter_sigma=0.0, seed=0,
+        )
+        result = HadoopClusterEmulator(cfg).run([TraceJob(profile, 0.0)])
+        recovered = profile_history(result.history_text())[0].profile
+        assert recovered.num_maps == profile.num_maps
+        assert recovered.num_reduces == profile.num_reduces
+        # Map durations survive exactly (up to log ms rounding); the
+        # recorded order may differ from the profile array's cyclic order,
+        # so compare as multisets.
+        expected = sorted(profile.map_duration(i) for i in range(profile.num_maps))
+        got = sorted(recovered.map_durations)
+        assert np.allclose(got, expected, atol=2.5e-3)
+        expected_red = sorted(profile.reduce_duration(i) for i in range(profile.num_reduces))
+        assert np.allclose(sorted(recovered.reduce_durations), expected_red, atol=2.5e-3)
+
+
+class TestSerializationRoundTrips:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        profiles=st.lists(random_array_profiles(), min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_trace_round_trip(self, profiles, data):
+        trace = []
+        t = 0.0
+        for i, profile in enumerate(profiles):
+            t += data.draw(st.floats(min_value=0, max_value=100))
+            deadline = data.draw(
+                st.one_of(st.none(), st.floats(min_value=t + 1, max_value=t + 1e5))
+            )
+            depends_on = (
+                data.draw(st.one_of(st.none(), st.integers(min_value=0, max_value=i - 1)))
+                if i > 0
+                else None
+            )
+            trace.append(TraceJob(profile, t, deadline, depends_on))
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert len(rebuilt) == len(trace)
+        for a, b in zip(trace, rebuilt):
+            assert a.submit_time == b.submit_time
+            assert a.deadline == b.deadline
+            assert a.depends_on == b.depends_on
+            assert np.array_equal(a.profile.map_durations, b.profile.map_durations)
+
+    @settings(max_examples=15, deadline=None)
+    @given(profile=random_array_profiles(), seed=st.integers(min_value=0, max_value=100))
+    def test_result_round_trip_preserves_replay(self, profile, seed):
+        rng = np.random.default_rng(seed)
+        trace = [TraceJob(profile, float(rng.uniform(0, 10)))]
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(4, 4))
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.completion_times() == result.completion_times()
+        assert rebuilt.makespan == result.makespan
+
+    @settings(max_examples=15, deadline=None)
+    @given(profile=random_array_profiles())
+    def test_database_round_trip_replays_identically(self, profile):
+        trace = [TraceJob(profile, 0.0)]
+        with TraceDatabase() as db:
+            db.save_trace("t", trace)
+            loaded = db.load_trace("t")
+        a = simulate(trace, FIFOScheduler(), ClusterConfig(4, 4))
+        b = simulate(loaded, FIFOScheduler(), ClusterConfig(4, 4))
+        assert a.completion_times() == b.completion_times()
+
+
+class TestEngineGreedyLaw:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        profile=random_array_profiles(max_reduces=0),
+        map_slots=st.integers(min_value=1, max_value=8),
+    )
+    def test_map_stage_is_exactly_greedy_makespan(self, profile, map_slots):
+        """The engine's map stage equals the greedy assignment the ARIA
+        bounds are proven against — same durations, same dispatch order."""
+        result = simulate(
+            [TraceJob(profile, 0.0)], FIFOScheduler(), ClusterConfig(map_slots, 1)
+        )
+        durations_in_order = [profile.map_duration(i) for i in range(profile.num_maps)]
+        expected = greedy_makespan(durations_in_order, map_slots)
+        assert result.jobs[0].map_stage_end == pytest.approx(expected)

@@ -1,0 +1,100 @@
+"""Tests for the terminal plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.render import bar_chart, line_plot, sparkline
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        text = line_plot(
+            {"a": [(1.0, 1.0), (2.0, 2.0)], "b": [(1.0, 2.0), (2.0, 1.0)]},
+            title="T",
+        )
+        assert "T" in text
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_log_x_axis(self):
+        text = line_plot(
+            {"s": [(1.0, 0.0), (10.0, 1.0), (100.0, 2.0), (1000.0, 3.0)]},
+            logx=True,
+            xlabel="load",
+        )
+        assert "(log scale)" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="log-scale"):
+            line_plot({"s": [(0.0, 1.0)]}, logx=True)
+
+    def test_extremes_placed_at_corners(self):
+        text = line_plot({"s": [(0.0, 0.0), (1.0, 1.0)]}, width=20, height=6)
+        rows = [ln for ln in text.splitlines() if "|" in ln]
+        assert rows[0].rstrip().endswith("o")  # max lands top-right
+        assert rows[-1].split("|")[1][0] == "o"  # min lands bottom-left
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": []})
+        with pytest.raises(ValueError):
+            line_plot({"s": [(0, 0)]}, width=2)
+
+    def test_flat_series_renders(self):
+        text = line_plot({"s": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "o" in text
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        line_a, line_b = text.splitlines()
+        assert line_a.count("#") == 20
+        assert line_b.count("#") == 10
+
+    def test_reference_marker(self):
+        text = bar_chart([("x", 50.0)], width=20, reference=100.0)
+        assert "|" in text
+        assert "marks" in text
+
+    def test_title(self):
+        assert bar_chart([("a", 1.0)], title="Accuracy").startswith("Accuracy")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0)])
+        assert "#" not in text
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert line[0] == " "
+        assert line[-1] == "█"
+        assert len(line) == 5
+
+    def test_constant(self):
+        assert len(sparkline([5.0, 5.0])) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestLogYAxis:
+    def test_logy_labels_in_original_units(self):
+        from repro.render import line_plot
+
+        text = line_plot(
+            {"s": [(0.0, 1.0), (1.0, 100.0), (2.0, 10000.0)]}, logy=True
+        )
+        # Axis labels come back in data units, not exponents.
+        assert "1.0e+04" in text or "10000" in text

@@ -1,0 +1,86 @@
+"""Tests for output-log serialization (JSON + CSV) and the Rumen loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.core.results_io import (
+    jobs_to_csv,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.mumak import dumps_rumen, loads_rumen
+from repro.schedulers import FIFOScheduler
+
+from conftest import make_constant_profile
+
+
+@pytest.fixture
+def result():
+    profile = make_constant_profile(num_maps=4, num_reduces=2)
+    trace = [TraceJob(profile, 0.0, deadline=100.0), TraceJob(profile, 5.0)]
+    return simulate(trace, FIFOScheduler(), ClusterConfig(4, 4))
+
+
+class TestResultJSON:
+    def test_round_trip(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.scheduler_name == result.scheduler_name
+        assert rebuilt.makespan == result.makespan
+        assert rebuilt.completion_times() == result.completion_times()
+        assert len(rebuilt.task_records) == len(result.task_records)
+        assert rebuilt.relative_deadline_exceeded() == pytest.approx(
+            result.relative_deadline_exceeded()
+        )
+
+    def test_task_records_preserved(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        orig = result.task_records_for(0, "reduce")[0]
+        back = rebuilt.task_records_for(0, "reduce")[0]
+        assert back.start == orig.start
+        assert back.shuffle_end == orig.shuffle_end
+        assert back.first_wave == orig.first_wave
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.completion_times() == result.completion_times()
+
+    def test_version_checked(self, result):
+        doc = result_to_dict(result)
+        doc["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(doc)
+
+
+class TestCSV:
+    def test_header_and_rows(self, result):
+        csv_text = jobs_to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("job_id,name,submit_time")
+        assert len(lines) == 1 + len(result.jobs)
+        assert "const" in lines[1]
+
+    def test_deadline_column(self, result):
+        csv_text = jobs_to_csv(result)
+        first_row = csv_text.strip().splitlines()[1].split(",")
+        assert first_row[7] == "100.0"  # deadline
+        assert first_row[8] in ("True", "False")  # met_deadline
+
+
+class TestRumenLoader:
+    def test_round_trip(self):
+        docs = [{"jobID": "job_1", "mapTasks": []}, {"jobID": "job_2", "mapTasks": []}]
+        text = dumps_rumen(docs)
+        assert loads_rumen(text) == docs
+
+    def test_blank_lines_skipped(self):
+        assert loads_rumen("\n\n{}\n\n") == [{}]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_rumen('{}\n{"broken": \n')

@@ -1,0 +1,142 @@
+"""Tests for pluggable shuffle models (the network-integration seam)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ClusterConfig,
+    NetworkShuffleModel,
+    ShuffleContext,
+    SimulatorEngine,
+    TraceJob,
+    TraceShuffleModel,
+    simulate,
+)
+from repro.schedulers import FIFOScheduler
+
+from conftest import make_constant_profile
+
+
+def run_with_model(profile, model, map_slots=4, reduce_slots=4, **kw):
+    engine = SimulatorEngine(
+        ClusterConfig(map_slots, reduce_slots),
+        FIFOScheduler(),
+        shuffle_model=model,
+        **kw,
+    )
+    return engine.run([TraceJob(profile, 0.0)])
+
+
+class TestTraceShuffleModel:
+    def test_equals_default_engine_behaviour(self):
+        profile = make_constant_profile(
+            num_maps=8, num_reduces=4, map_s=10.0, first_shuffle_s=5.0,
+            typical_shuffle_s=4.0, reduce_s=3.0,
+        )
+        default = simulate([TraceJob(profile, 0.0)], FIFOScheduler(), ClusterConfig(4, 2))
+        explicit = run_with_model(profile, TraceShuffleModel(), 4, 2)
+        assert default.completion_times() == explicit.completion_times()
+
+    def test_first_vs_typical_selection(self):
+        profile = make_constant_profile(first_shuffle_s=9.0, typical_shuffle_s=2.0)
+        from repro.core.job import Job
+
+        job = Job(0, TraceJob(profile, 0.0))
+        model = TraceShuffleModel()
+        first = model.shuffle_duration(ShuffleContext(job, 0, True, 1))
+        typical = model.shuffle_duration(ShuffleContext(job, 0, False, 1))
+        assert first == 9.0
+        assert typical == 2.0
+
+
+class TestNetworkShuffleModel:
+    def test_duration_is_bytes_over_bandwidth(self):
+        model = NetworkShuffleModel(
+            bytes_per_reduce=1e9, bisection_bandwidth=1e8, first_wave_fraction=1.0
+        )
+        from repro.core.job import Job
+
+        job = Job(0, TraceJob(make_constant_profile(), 0.0))
+        # 1 GB over 100 MB/s, alone on the fabric: 10s.
+        assert model.shuffle_duration(ShuffleContext(job, 0, False, 1)) == pytest.approx(10.0)
+
+    def test_contention_slows_flows(self):
+        model = NetworkShuffleModel(1e9, 1e8, first_wave_fraction=1.0)
+        from repro.core.job import Job
+
+        job = Job(0, TraceJob(make_constant_profile(), 0.0))
+        alone = model.shuffle_duration(ShuffleContext(job, 0, False, 1))
+        crowded = model.shuffle_duration(ShuffleContext(job, 0, False, 4))
+        assert crowded == pytest.approx(4 * alone)
+
+    def test_per_flow_cap_limits_lone_flow(self):
+        model = NetworkShuffleModel(1e9, 1e10, per_flow_cap=1e8, first_wave_fraction=1.0)
+        from repro.core.job import Job
+
+        job = Job(0, TraceJob(make_constant_profile(), 0.0))
+        # The fabric is huge, but the NIC caps the flow at 100 MB/s.
+        assert model.shuffle_duration(ShuffleContext(job, 0, False, 1)) == pytest.approx(10.0)
+
+    def test_callable_bytes(self):
+        model = NetworkShuffleModel(
+            bytes_per_reduce=lambda job, index: 1e8 * (index + 1),
+            bisection_bandwidth=1e8,
+            first_wave_fraction=1.0,
+        )
+        from repro.core.job import Job
+
+        job = Job(0, TraceJob(make_constant_profile(), 0.0))
+        assert model.shuffle_duration(ShuffleContext(job, 0, False, 1)) == pytest.approx(1.0)
+        assert model.shuffle_duration(ShuffleContext(job, 2, False, 1)) == pytest.approx(3.0)
+
+    def test_first_wave_fraction(self):
+        model = NetworkShuffleModel(1e9, 1e8, first_wave_fraction=0.5)
+        from repro.core.job import Job
+
+        job = Job(0, TraceJob(make_constant_profile(), 0.0))
+        full = model.shuffle_duration(ShuffleContext(job, 0, False, 1))
+        first = model.shuffle_duration(ShuffleContext(job, 0, True, 1))
+        assert first == pytest.approx(0.5 * full)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkShuffleModel(1e9, 0.0)
+        with pytest.raises(ValueError):
+            NetworkShuffleModel(1e9, 1e8, per_flow_cap=0.0)
+        with pytest.raises(ValueError):
+            NetworkShuffleModel(1e9, 1e8, first_wave_fraction=0.0)
+
+
+class TestEngineIntegration:
+    def test_network_model_drives_completion(self):
+        """The recorded shuffle durations are ignored under the model."""
+        profile = make_constant_profile(
+            num_maps=4, num_reduces=1, map_s=10.0,
+            first_shuffle_s=999.0, typical_shuffle_s=999.0, reduce_s=2.0,
+        )
+        # 200 MB at 100 MB/s, one flow, first wave priced in full.
+        model = NetworkShuffleModel(2e8, 1e8, first_wave_fraction=1.0)
+        result = run_with_model(profile, model, 4, 1)
+        # maps end at 10; shuffle 2s; reduce 2s -> done at 14.
+        assert result.jobs[0].completion_time == pytest.approx(14.0)
+
+    def test_bigger_fabric_speeds_up_shuffle_heavy_job(self):
+        profile = make_constant_profile(
+            num_maps=4, num_reduces=8, map_s=5.0, reduce_s=1.0
+        )
+        slow = run_with_model(profile, NetworkShuffleModel(5e8, 5e7), 4, 4)
+        fast = run_with_model(profile, NetworkShuffleModel(5e8, 5e8), 4, 4)
+        assert fast.makespan < slow.makespan
+
+    def test_contention_visible_across_waves(self):
+        """With many reduces sharing the fabric, each wave's shuffle is
+        slower than a lone flow would be."""
+        profile = make_constant_profile(num_maps=2, num_reduces=8, map_s=5.0, reduce_s=1.0)
+        model = NetworkShuffleModel(1e8, 1e8, first_wave_fraction=1.0)
+        result = run_with_model(profile, model, 2, 4, min_map_percent_completed=1.0)
+        reduces = result.task_records_for(0, "reduce")
+        shuffle_times = [r.shuffle_end - r.start for r in reduces]
+        # Four concurrent flows at 100 MB/s fabric, 100 MB each: ~4s,
+        # never the 1s a lone flow would take.
+        assert min(shuffle_times) > 1.5

@@ -1,0 +1,93 @@
+"""Tests for the what-if sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import ClusterConfig, TraceJob
+from repro.schedulers import FIFOScheduler, MinEDFScheduler
+from repro.sweep import run_sweep
+
+from conftest import make_constant_profile
+
+
+@pytest.fixture
+def trace():
+    profile = make_constant_profile(num_maps=16, num_reduces=4, map_s=10.0)
+    return [TraceJob(profile, 0.0, deadline=100.0), TraceJob(profile, 5.0)]
+
+
+class TestRunSweep:
+    def test_cartesian_product(self, trace):
+        result = run_sweep(
+            trace,
+            schedulers=("fifo", "maxedf"),
+            clusters=(ClusterConfig(8, 8), ClusterConfig(16, 16)),
+            slowstarts=(0.05, 1.0),
+        )
+        assert len(result.cells) == 2 * 2 * 2
+        schedulers = {c.scheduler for c in result.cells}
+        assert schedulers == {"FIFO", "MaxEDF"}
+
+    def test_metrics_sane(self, trace):
+        result = run_sweep(trace, schedulers=("fifo",), clusters=(ClusterConfig(8, 8),))
+        cell = result.cells[0]
+        assert cell.makespan > 0
+        assert cell.mean_duration <= cell.makespan
+        assert cell.p95_duration >= cell.mean_duration
+
+    def test_bigger_cluster_never_slower(self, trace):
+        result = run_sweep(
+            trace,
+            schedulers=("fifo",),
+            clusters=(ClusterConfig(4, 4), ClusterConfig(32, 32)),
+        )
+        small, big = result.cells
+        assert big.makespan <= small.makespan
+
+    def test_best_by(self, trace):
+        result = run_sweep(
+            trace,
+            schedulers=("fifo", "minedf"),
+            clusters=(ClusterConfig(8, 8), ClusterConfig(32, 32)),
+        )
+        best = result.best_by("makespan")
+        assert best.makespan == min(c.makespan for c in result.cells)
+        with pytest.raises(ValueError, match="unknown metric"):
+            result.best_by("happiness")
+
+    def test_factory_mapping(self, trace):
+        result = run_sweep(
+            trace,
+            schedulers={"custom": lambda: MinEDFScheduler(bound="upper")},
+            clusters=(ClusterConfig(8, 8),),
+        )
+        assert result.cells[0].scheduler == "MinEDF"
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError, match="empty trace"):
+            run_sweep([])
+        with pytest.raises(ValueError, match="at least one scheduler"):
+            run_sweep(trace, schedulers={})
+
+
+class TestSweepCLI:
+    def test_sweep_command(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate", str(trace_path), "--jobs", "4", "--seed", "1",
+              "--deadline-factor", "2.0"])
+        assert main([
+            "sweep", str(trace_path), "--schedulers", "fifo,minedf",
+            "--map-slots", "32,64", "--best-by", "makespan",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "What-if sweep (4 cells)" in out
+        assert "best makespan" in out
+
+    def test_mismatched_slot_lists(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate", str(trace_path), "--jobs", "2", "--seed", "1"])
+        assert main([
+            "sweep", str(trace_path), "--map-slots", "32,64", "--reduce-slots", "32",
+        ]) == 2

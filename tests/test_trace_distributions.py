@@ -1,0 +1,143 @@
+"""Tests for the duration-distribution family used by Synthetic TraceGen."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.distributions import (
+    Constant,
+    DurationDistribution,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+    from_spec,
+)
+
+ALL_DISTS = [
+    Constant(5.0),
+    Uniform(1.0, 9.0),
+    Exponential(4.0),
+    LogNormal(2.0, 0.5),
+    TruncatedNormal(10.0, 3.0),
+    Gamma(4.0, 2.5),
+    Weibull(2.0, 7.0),
+    Empirical([1.0, 2.0, 3.0, 4.0]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+class TestCommonBehaviour:
+    def test_samples_non_negative(self, dist, rng):
+        samples = dist.sample(rng, 500)
+        assert samples.shape == (500,)
+        assert np.all(samples >= 0)
+        assert np.all(np.isfinite(samples))
+
+    def test_sampling_deterministic_under_seed(self, dist):
+        a = dist.sample(np.random.default_rng(7), 100)
+        b = dist.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+    def test_empirical_mean_approaches_analytic(self, dist):
+        samples = dist.sample(np.random.default_rng(0), 40000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.08)
+
+    def test_spec_round_trip(self, dist):
+        rebuilt = from_spec(dist.to_spec())
+        assert rebuilt == dist
+        a = dist.sample(np.random.default_rng(3), 50)
+        b = rebuilt.sample(np.random.default_rng(3), 50)
+        assert np.array_equal(a, b)
+
+    def test_repr_contains_params(self, dist):
+        assert type(dist).__name__ in repr(dist)
+
+
+class TestValidation:
+    def test_constant_negative(self):
+        with pytest.raises(ValueError):
+            Constant(-1.0)
+
+    def test_uniform_inverted_range(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 1.0)
+
+    def test_exponential_zero_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_lognormal_bad_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormal(1.0, 0.0)
+
+    def test_truncnormal_negative_mu(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(-5.0, 1.0)
+
+    def test_gamma_bad_shape(self):
+        with pytest.raises(ValueError):
+            Gamma(0.0, 1.0)
+
+    def test_weibull_bad_scale(self):
+        with pytest.raises(ValueError):
+            Weibull(1.0, -1.0)
+
+    def test_empirical_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_empirical_negative_values(self):
+        with pytest.raises(ValueError):
+            Empirical([1.0, -2.0])
+
+    def test_from_spec_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            from_spec({"kind": "zipf"})
+
+    def test_from_spec_missing_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            from_spec({"mean": 1.0})
+
+
+class TestSpecifics:
+    def test_constant_is_constant(self, rng):
+        assert np.all(Constant(3.0).sample(rng, 10) == 3.0)
+
+    def test_uniform_range(self, rng):
+        samples = Uniform(2.0, 4.0).sample(rng, 1000)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 4.0
+
+    def test_lognormal_scale_converts_units(self, rng):
+        """The paper's Facebook fits are in ms; scale=1e-3 yields seconds."""
+        ms = LogNormal(9.9511, 1.6764)
+        s = LogNormal(9.9511, 1.6764, scale=1e-3)
+        assert s.mean() == pytest.approx(ms.mean() / 1000.0)
+
+    def test_lognormal_median(self):
+        # Median of LN(mu, sigma) is exp(mu).
+        samples = LogNormal(2.0, 0.8).sample(np.random.default_rng(0), 40000)
+        assert np.median(samples) == pytest.approx(np.exp(2.0), rel=0.05)
+
+    def test_truncnormal_no_negatives_even_with_wide_sigma(self, rng):
+        samples = TruncatedNormal(1.0, 5.0).sample(rng, 5000)
+        assert np.all(samples >= 0)
+
+    def test_empirical_resamples_original_values(self, rng):
+        values = [1.0, 5.0, 9.0]
+        samples = Empirical(values).sample(rng, 200)
+        assert set(np.unique(samples)) <= set(values)
+
+    @given(st.floats(min_value=0.5, max_value=50.0), st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_weibull_mean_formula(self, scale, shape):
+        import math
+
+        dist = Weibull(shape, scale)
+        assert dist.mean() == pytest.approx(scale * math.gamma(1 + 1 / shape))

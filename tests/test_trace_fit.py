@@ -1,0 +1,152 @@
+"""Tests for fitting generative job specs from recorded profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import JobProfile
+from repro.stats.kl import histogram_kl
+from repro.trace.distributions import Empirical, Exponential, Gamma, LogNormal
+from repro.trace.fit import fit_duration_distribution, fit_spec_from_profiles
+from repro.workloads import app_spec
+
+from conftest import make_constant_profile
+
+
+class TestFitDurationDistribution:
+    def test_recovers_lognormal(self):
+        rng = np.random.default_rng(0)
+        sample = rng.lognormal(3.0, 0.5, 5000)
+        dist = fit_duration_distribution(sample)
+        assert isinstance(dist, LogNormal)
+        assert dist.mu == pytest.approx(3.0, abs=0.1)
+        assert dist.sigma == pytest.approx(0.5, abs=0.05)
+
+    def test_recovers_exponential_shape(self):
+        """Exponential data may also fit as Weibull(shape~1) or
+        Gamma(shape~1) — mathematically the same law; check the law."""
+        from repro.trace.distributions import Weibull
+
+        rng = np.random.default_rng(1)
+        dist = fit_duration_distribution(rng.exponential(7.0, 5000))
+        assert dist.mean() == pytest.approx(7.0, rel=0.1)
+        if isinstance(dist, Weibull):
+            assert dist.shape == pytest.approx(1.0, abs=0.05)
+        elif isinstance(dist, Gamma):
+            assert dist.shape == pytest.approx(1.0, abs=0.05)
+        else:
+            assert isinstance(dist, Exponential)
+
+    def test_small_samples_fall_back_to_empirical(self):
+        dist = fit_duration_distribution([1.0, 2.0, 3.0])
+        assert isinstance(dist, Empirical)
+
+    def test_constant_samples_fall_back_to_empirical(self):
+        dist = fit_duration_distribution([5.0] * 100)
+        assert isinstance(dist, Empirical)
+        assert dist.mean() == 5.0
+
+    def test_fitted_distribution_is_serializable(self):
+        from repro.trace.distributions import from_spec
+
+        rng = np.random.default_rng(2)
+        dist = fit_duration_distribution(rng.gamma(4.0, 2.0, 3000))
+        rebuilt = from_spec(dist.to_spec())
+        assert rebuilt == dist
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_duration_distribution([])
+
+
+class TestFitSpecFromProfiles:
+    def executions(self, app="Sort", n=3, seed=5):
+        rng = np.random.default_rng(seed)
+        return [app_spec(app).make_profile(rng) for _ in range(n)]
+
+    def test_generated_jobs_resemble_recordings(self):
+        """record -> fit -> generate keeps the duration distributions."""
+        recorded = self.executions("Sort")
+        spec = fit_spec_from_profiles(recorded)
+        rng = np.random.default_rng(9)
+        generated = spec.make_profile(rng)
+        assert generated.num_maps == recorded[0].num_maps
+        kl = histogram_kl(generated.map_durations, recorded[0].map_durations)
+        assert kl < 1.0
+        kl_red = histogram_kl(generated.reduce_durations, recorded[0].reduce_durations)
+        assert kl_red < 1.5
+
+    def test_task_counts_sampled_from_observed(self):
+        recorded = self.executions()
+        spec = fit_spec_from_profiles(recorded)
+        rng = np.random.default_rng(0)
+        counts = {spec.make_profile(rng).num_maps for _ in range(10)}
+        assert counts <= {p.num_maps for p in recorded}
+
+    def test_refuses_to_blend_different_applications(self):
+        rng = np.random.default_rng(3)
+        mixed = [app_spec("Sort").make_profile(rng), app_spec("WordCount").make_profile(rng)]
+        with pytest.raises(ValueError, match="same application"):
+            fit_spec_from_profiles(mixed)
+
+    def test_check_can_be_disabled(self):
+        rng = np.random.default_rng(3)
+        mixed = [app_spec("Sort").make_profile(rng), app_spec("WordCount").make_profile(rng)]
+        spec = fit_spec_from_profiles(mixed, same_app_kl_threshold=None)
+        assert spec.name == "Sort"
+
+    def test_map_only_profiles(self):
+        profiles = [make_constant_profile(num_maps=50, num_reduces=0, map_s=10.0)]
+        spec = fit_spec_from_profiles(profiles)
+        rng = np.random.default_rng(0)
+        generated = spec.make_profile(rng)
+        assert generated.num_reduces == 0
+        assert np.all(generated.map_durations == 10.0)
+
+    def test_spec_round_trips_through_json(self):
+        from repro.trace.synthetic import SyntheticJobSpec
+
+        spec = fit_spec_from_profiles(self.executions())
+        rebuilt = SyntheticJobSpec.from_dict(spec.to_spec())
+        rng = np.random.default_rng(4)
+        a = spec.make_profile(np.random.default_rng(4))
+        b = rebuilt.make_profile(np.random.default_rng(4))
+        assert np.array_equal(a.map_durations, b.map_durations)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            fit_spec_from_profiles([])
+
+    def test_custom_name(self):
+        spec = fit_spec_from_profiles(self.executions(), name="nightly-sort")
+        assert spec.name == "nightly-sort"
+
+
+class TestCLIFitWorkflow:
+    def test_fit_then_generate(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace.schema import load_trace
+
+        recorded = tmp_path / "recorded.json"
+        spec_path = tmp_path / "spec.json"
+        generated = tmp_path / "generated.json"
+        main(["generate", str(recorded), "--jobs", "3", "--workload", "Sort",
+              "--seed", "1"])
+        assert main(["fit", str(recorded), str(spec_path), "--name", "sortish"]) == 0
+        assert "fitted spec 'sortish'" in capsys.readouterr().out
+        assert main(["generate", str(generated), "--jobs", "4",
+                     "--spec", str(spec_path), "--seed", "2"]) == 0
+        jobs = load_trace(generated)
+        assert len(jobs) == 4
+        assert all(j.profile.name == "sortish" for j in jobs)
+        # The generated jobs pass the same-application test vs recordings.
+        assert main(["diff-profiles", str(recorded), str(generated)]) == 0
+
+    def test_fit_rejects_mixed_trace(self, tmp_path):
+        from repro.cli import main
+
+        mixed = tmp_path / "mixed.json"
+        main(["generate", str(mixed), "--jobs", "8", "--workload", "mix", "--seed", "1"])
+        with pytest.raises(ValueError, match="same application"):
+            main(["fit", str(mixed), str(tmp_path / "out.json")])

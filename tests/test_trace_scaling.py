@@ -1,0 +1,83 @@
+"""Tests for the trace-scaling extension (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.kl import histogram_kl
+from repro.trace.scaling import scale_profile
+
+from conftest import make_constant_profile, make_random_profile
+
+
+class TestScaleCounts:
+    def test_doubles_task_counts(self, random_profile):
+        scaled = scale_profile(random_profile, 2.0)
+        assert scaled.num_maps == random_profile.num_maps * 2
+        assert scaled.num_reduces == random_profile.num_reduces * 2
+        assert scaled.map_durations.size == scaled.num_maps
+
+    def test_fractional_scale_rounds_up(self):
+        profile = make_constant_profile(num_maps=10, num_reduces=4)
+        scaled = scale_profile(profile, 1.25)
+        assert scaled.num_maps == 13
+        assert scaled.num_reduces == 5
+
+    def test_downscale_keeps_at_least_one_task(self):
+        profile = make_constant_profile(num_maps=10, num_reduces=4)
+        scaled = scale_profile(profile, 0.01)
+        assert scaled.num_maps == 1
+        assert scaled.num_reduces == 1
+
+    def test_map_only_profile(self):
+        profile = make_constant_profile(num_maps=6, num_reduces=0)
+        scaled = scale_profile(profile, 3.0)
+        assert scaled.num_maps == 18
+        assert scaled.num_reduces == 0
+
+    def test_default_name_encodes_scale(self, random_profile):
+        assert scale_profile(random_profile, 2.0).name == "rand@x2"
+        assert scale_profile(random_profile, 2.0, name="big").name == "big"
+
+
+class TestScaleDurations:
+    def test_durations_drawn_from_original_values(self, random_profile):
+        scaled = scale_profile(random_profile, 4.0, seed=1)
+        assert set(np.unique(scaled.map_durations)) <= set(random_profile.map_durations)
+        assert set(np.unique(scaled.reduce_durations)) <= set(
+            random_profile.reduce_durations
+        )
+
+    def test_duration_distribution_preserved(self, rng):
+        """Scaled task durations stay statistically close to the original
+        (small symmetric KL divergence) — the Section II invariance."""
+        profile = make_random_profile(rng, num_maps=300, num_reduces=100)
+        scaled = scale_profile(profile, 3.0, seed=2)
+        assert histogram_kl(profile.map_durations, scaled.map_durations) < 0.5
+
+    def test_deterministic_under_seed(self, random_profile):
+        a = scale_profile(random_profile, 2.5, seed=9)
+        b = scale_profile(random_profile, 2.5, seed=9)
+        assert np.array_equal(a.map_durations, b.map_durations)
+
+    def test_pinned_reduces_stretch_shuffle(self):
+        profile = make_constant_profile(
+            num_maps=4, num_reduces=4, typical_shuffle_s=3.0, reduce_s=2.0
+        )
+        scaled = scale_profile(profile, 2.0, scale_reduces=False)
+        assert scaled.num_reduces == 4
+        # Each reduce now pulls 2x the data: shuffle and reduce stretch.
+        assert np.all(scaled.typical_shuffle_durations == pytest.approx(6.0))
+        assert np.all(scaled.reduce_durations == pytest.approx(4.0))
+
+    def test_scaled_reduces_keep_duration_scale(self):
+        profile = make_constant_profile(num_maps=4, num_reduces=4, reduce_s=2.0)
+        scaled = scale_profile(profile, 2.0, scale_reduces=True)
+        assert scaled.num_reduces == 8
+        assert np.all(scaled.reduce_durations == pytest.approx(2.0))
+
+    def test_invalid_scale_rejected(self, random_profile):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                scale_profile(random_profile, bad)

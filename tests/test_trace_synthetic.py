@@ -1,0 +1,155 @@
+"""Tests for Synthetic TraceGen, job specs and task-count models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig
+from repro.trace.arrivals import ExponentialArrivals, PeriodicArrivals
+from repro.trace.deadlines import DeadlineFactorPolicy
+from repro.trace.distributions import Constant, Uniform
+from repro.trace.synthetic import SyntheticJobSpec, SyntheticTraceGen, TaskCount
+
+
+def simple_spec(name: str = "app", maps=6, reduces=3) -> SyntheticJobSpec:
+    return SyntheticJobSpec(
+        name=name,
+        num_maps=maps,
+        num_reduces=reduces,
+        map_durations=Uniform(1.0, 5.0),
+        typical_shuffle=Constant(2.0),
+        reduce_durations=Constant(1.0),
+    )
+
+
+class TestTaskCount:
+    def test_fixed(self, rng):
+        tc = TaskCount(7)
+        assert all(tc.sample(rng) == 7 for _ in range(10))
+        assert tc.max == 7
+
+    def test_choice_respects_support(self, rng):
+        tc = TaskCount([1, 10, 100], weights=[0.5, 0.3, 0.2])
+        draws = {tc.sample(rng) for _ in range(300)}
+        assert draws <= {1, 10, 100}
+        assert tc.max == 100
+
+    def test_choice_frequencies(self):
+        rng = np.random.default_rng(0)
+        tc = TaskCount([0, 1], weights=[0.25, 0.75])
+        draws = np.array([tc.sample(rng) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(0.75, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskCount([])
+        with pytest.raises(ValueError):
+            TaskCount([-1])
+        with pytest.raises(ValueError):
+            TaskCount([1, 2], weights=[1.0])
+        with pytest.raises(ValueError):
+            TaskCount([1, 2], weights=[-1.0, 2.0])
+
+
+class TestSyntheticJobSpec:
+    def test_make_profile_shapes(self, rng):
+        profile = simple_spec().make_profile(rng)
+        assert profile.num_maps == 6
+        assert profile.num_reduces == 3
+        assert profile.map_durations.shape == (6,)
+        assert profile.reduce_durations.shape == (3,)
+        assert profile.name == "app"
+
+    def test_first_shuffle_defaults_to_typical(self, rng):
+        spec = simple_spec()
+        assert spec.first_shuffle is spec.typical_shuffle
+        profile = spec.make_profile(rng)
+        assert np.all(profile.first_shuffle_durations == 2.0)
+
+    def test_two_profiles_are_distinct_executions(self):
+        rng = np.random.default_rng(0)
+        spec = simple_spec()
+        a, b = spec.make_profile(rng), spec.make_profile(rng)
+        assert not np.array_equal(a.map_durations, b.map_durations)
+
+    def test_spec_dict_round_trip(self, rng):
+        spec = simple_spec()
+        rebuilt = SyntheticJobSpec.from_dict(spec.to_spec())
+        assert rebuilt.name == spec.name
+        a = spec.make_profile(np.random.default_rng(5))
+        b = rebuilt.make_profile(np.random.default_rng(5))
+        assert np.array_equal(a.map_durations, b.map_durations)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty jobs"):
+            SyntheticJobSpec(
+                name="nothing",
+                num_maps=0,
+                num_reduces=0,
+                map_durations=Constant(1.0),
+                typical_shuffle=Constant(1.0),
+                reduce_durations=Constant(1.0),
+            )
+
+    def test_map_only_spec(self, rng):
+        spec = SyntheticJobSpec(
+            name="maponly",
+            num_maps=4,
+            num_reduces=0,
+            map_durations=Constant(2.0),
+            typical_shuffle=Constant(1.0),
+            reduce_durations=Constant(1.0),
+        )
+        profile = spec.make_profile(rng)
+        assert profile.num_reduces == 0
+        assert profile.reduce_durations.size == 0
+
+
+class TestSyntheticTraceGen:
+    def test_generates_requested_jobs(self):
+        gen = SyntheticTraceGen([simple_spec()], PeriodicArrivals(10.0), seed=0)
+        trace = gen.generate(5)
+        assert len(trace) == 5
+        assert [j.submit_time for j in trace] == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_deterministic_under_seed(self):
+        def build():
+            return SyntheticTraceGen(
+                [simple_spec()], ExponentialArrivals(20.0), seed=42
+            ).generate(10)
+
+        t1, t2 = build(), build()
+        assert [j.submit_time for j in t1] == [j.submit_time for j in t2]
+        assert all(
+            np.array_equal(a.profile.map_durations, b.profile.map_durations)
+            for a, b in zip(t1, t2)
+        )
+
+    def test_mix_weights(self):
+        specs = [simple_spec("heavy"), simple_spec("rare")]
+        gen = SyntheticTraceGen(
+            specs, PeriodicArrivals(1.0), mix=[0.9, 0.1], seed=0
+        )
+        names = [j.profile.name for j in gen.generate(500)]
+        assert names.count("heavy") > 350
+
+    def test_deadline_policy_applied(self):
+        cluster = ClusterConfig(8, 8)
+        gen = SyntheticTraceGen(
+            [simple_spec()],
+            PeriodicArrivals(100.0),
+            deadline_policy=DeadlineFactorPolicy(2.0, cluster),
+            seed=0,
+        )
+        trace = gen.generate(5)
+        assert all(j.deadline is not None and j.deadline > j.submit_time for j in trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SyntheticTraceGen([], PeriodicArrivals(1.0))
+        with pytest.raises(ValueError, match="mix"):
+            SyntheticTraceGen([simple_spec()], PeriodicArrivals(1.0), mix=[0.5, 0.5])
+        gen = SyntheticTraceGen([simple_spec()], PeriodicArrivals(1.0))
+        with pytest.raises(ValueError):
+            gen.generate(-1)

@@ -1,0 +1,115 @@
+"""Tests for trace compaction, concatenation and summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TraceJob
+from repro.trace.tools import compact_trace, concatenate_traces, trace_summary
+
+from conftest import make_constant_profile
+
+
+@pytest.fixture
+def profile():
+    return make_constant_profile(num_maps=4, num_reduces=2)
+
+
+class TestCompactTrace:
+    def test_clamps_large_gaps(self, profile):
+        trace = [
+            TraceJob(profile, 0.0),
+            TraceJob(profile, 10.0),
+            TraceJob(profile, 100000.0),  # six-month-style inactivity gap
+        ]
+        compact = compact_trace(trace, max_gap=60.0)
+        assert [j.submit_time for j in compact] == [0.0, 10.0, 70.0]
+
+    def test_small_gaps_preserved(self, profile):
+        trace = [TraceJob(profile, 0.0), TraceJob(profile, 5.0)]
+        compact = compact_trace(trace, max_gap=60.0)
+        assert [j.submit_time for j in compact] == [0.0, 5.0]
+
+    def test_zero_gap_batches_everything(self, profile):
+        trace = [TraceJob(profile, t) for t in (0.0, 50.0, 5000.0)]
+        compact = compact_trace(trace, max_gap=0.0)
+        assert all(j.submit_time == 0.0 for j in compact)
+
+    def test_relative_deadlines_preserved(self, profile):
+        trace = [TraceJob(profile, 100000.0, deadline=100050.0)]
+        compact = compact_trace([TraceJob(profile, 0.0)] + trace, max_gap=10.0)
+        job = compact[1]
+        assert job.deadline - job.submit_time == pytest.approx(50.0)
+
+    def test_sorts_by_submission(self, profile):
+        trace = [TraceJob(profile, 10.0), TraceJob(profile, 0.0)]
+        compact = compact_trace(trace, max_gap=100.0)
+        assert [j.submit_time for j in compact] == [0.0, 10.0]
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            compact_trace([TraceJob(profile, 0.0)], max_gap=-1.0)
+
+    def test_empty(self):
+        assert compact_trace([]) == []
+
+
+class TestConcatenateTraces:
+    def test_segments_follow_each_other(self, profile):
+        seg = [TraceJob(profile, 0.0), TraceJob(profile, 10.0)]
+        combined = concatenate_traces([seg, seg], gap=5.0)
+        assert [j.submit_time for j in combined] == [0.0, 10.0, 15.0, 25.0]
+
+    def test_segment_internal_offsets_normalized(self, profile):
+        seg = [TraceJob(profile, 1000.0), TraceJob(profile, 1010.0)]
+        combined = concatenate_traces([seg], gap=0.0)
+        assert [j.submit_time for j in combined] == [0.0, 10.0]
+
+    def test_deadlines_shift_with_jobs(self, profile):
+        seg = [TraceJob(profile, 100.0, deadline=150.0)]
+        combined = concatenate_traces([seg, seg], gap=7.0)
+        for job in combined:
+            assert job.deadline - job.submit_time == pytest.approx(50.0)
+
+    def test_empty_segments_skipped(self, profile):
+        combined = concatenate_traces([[], [TraceJob(profile, 0.0)], []])
+        assert len(combined) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concatenate_traces([], gap=-1.0)
+
+
+class TestTraceSummary:
+    def test_counts(self, profile):
+        other = make_constant_profile(name="other", num_maps=2, num_reduces=0)
+        trace = [
+            TraceJob(profile, 0.0, deadline=100.0),
+            TraceJob(profile, 10.0),
+            TraceJob(other, 30.0),
+        ]
+        summary = trace_summary(trace)
+        assert summary.num_jobs == 3
+        assert summary.span_seconds == pytest.approx(30.0)
+        assert summary.total_maps == 4 + 4 + 2
+        assert summary.total_reduces == 4
+        assert summary.jobs_with_deadlines == 1
+        assert summary.per_application == {"const": 2, "other": 1}
+        assert summary.mean_interarrival == pytest.approx(15.0)
+
+    def test_offered_load(self, profile):
+        trace = [TraceJob(profile, 0.0), TraceJob(profile, 100.0)]
+        summary = trace_summary(trace)
+        load = summary.offered_load(total_slots=10)
+        assert load == pytest.approx(summary.total_task_seconds / (10 * 100.0))
+        with pytest.raises(ValueError):
+            summary.offered_load(0)
+
+    def test_str_mentions_apps(self, profile):
+        text = str(trace_summary([TraceJob(profile, 0.0)]))
+        assert "const" in text
+
+    def test_empty_trace(self):
+        summary = trace_summary([])
+        assert summary.num_jobs == 0
+        assert summary.mean_interarrival == 0.0

@@ -1,0 +1,174 @@
+"""Tests for job dependencies and multi-job workflows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, TraceJob, simulate
+from repro.schedulers import FIFOScheduler
+from repro.trace.distributions import Constant, Uniform
+from repro.trace.schema import trace_from_dict, trace_to_dict
+from repro.trace.synthetic import SyntheticJobSpec
+from repro.trace.workflows import WorkflowSpec, WorkflowStage, chain
+
+from conftest import make_constant_profile
+
+
+def spec(name: str = "s", maps: int = 4, map_s: float = 10.0) -> SyntheticJobSpec:
+    return SyntheticJobSpec(
+        name=name,
+        num_maps=maps,
+        num_reduces=0,
+        map_durations=Constant(map_s),
+        typical_shuffle=Constant(1.0),
+        reduce_durations=Constant(1.0),
+    )
+
+
+class TestEngineDependencies:
+    def test_child_waits_for_parent(self):
+        profile = make_constant_profile(num_maps=4, num_reduces=0, map_s=10.0)
+        trace = [
+            TraceJob(profile, 0.0),
+            TraceJob(profile, 0.0, depends_on=0),
+        ]
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+        # Plenty of slots, but the child only starts after the parent.
+        assert result.jobs[0].completion_time == pytest.approx(10.0)
+        assert result.jobs[1].start_time == pytest.approx(10.0)
+        assert result.jobs[1].completion_time == pytest.approx(20.0)
+
+    def test_nominal_submit_still_respected(self):
+        profile = make_constant_profile(num_maps=4, num_reduces=0, map_s=10.0)
+        trace = [
+            TraceJob(profile, 0.0),
+            TraceJob(profile, 50.0, depends_on=0),  # lag beyond parent end
+        ]
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+        assert result.jobs[1].start_time == pytest.approx(50.0)
+
+    def test_diamond_out_edges(self):
+        """One parent can release several children."""
+        profile = make_constant_profile(num_maps=2, num_reduces=0, map_s=5.0)
+        trace = [
+            TraceJob(profile, 0.0),
+            TraceJob(profile, 0.0, depends_on=0),
+            TraceJob(profile, 0.0, depends_on=0),
+        ]
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+        assert result.jobs[1].start_time == pytest.approx(5.0)
+        assert result.jobs[2].start_time == pytest.approx(5.0)
+
+    def test_chain_of_three(self):
+        profile = make_constant_profile(num_maps=2, num_reduces=0, map_s=5.0)
+        trace = [
+            TraceJob(profile, 0.0),
+            TraceJob(profile, 0.0, depends_on=0),
+            TraceJob(profile, 0.0, depends_on=1),
+        ]
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+        assert result.jobs[2].completion_time == pytest.approx(15.0)
+
+    def test_out_of_range_dependency_rejected(self):
+        profile = make_constant_profile()
+        trace = [TraceJob(profile, 0.0, depends_on=5)]
+        with pytest.raises(ValueError, match="depends on index 5"):
+            simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+
+    def test_self_dependency_rejected(self):
+        profile = make_constant_profile()
+        with pytest.raises(ValueError, match="depends on itself"):
+            simulate(
+                [TraceJob(profile, 0.0, depends_on=0)],
+                FIFOScheduler(),
+                ClusterConfig(8, 8),
+            )
+
+    def test_cycle_rejected(self):
+        profile = make_constant_profile()
+        trace = [
+            TraceJob(profile, 0.0, depends_on=1),
+            TraceJob(profile, 0.0, depends_on=0),
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            simulate(trace, FIFOScheduler(), ClusterConfig(8, 8))
+
+    def test_negative_dependency_rejected(self):
+        profile = make_constant_profile()
+        with pytest.raises(ValueError, match="depends_on"):
+            TraceJob(profile, 0.0, depends_on=-1)
+
+    def test_schema_round_trip_preserves_edges(self):
+        profile = make_constant_profile()
+        trace = [TraceJob(profile, 0.0), TraceJob(profile, 1.0, depends_on=0)]
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt[1].depends_on == 0
+        assert rebuilt[0].depends_on is None
+
+
+class TestWorkflowSpec:
+    def test_linear_chain(self, rng):
+        wf = chain("tfidf", [spec("a"), spec("b"), spec("c")])
+        jobs = wf.instantiate(0.0, rng)
+        assert len(jobs) == 3
+        assert jobs[0].depends_on is None
+        assert jobs[1].depends_on == 0
+        assert jobs[2].depends_on == 1
+        assert jobs[1].profile.name == "tfidf/stage1"
+
+    def test_base_index_offsets_edges(self, rng):
+        wf = chain("w", [spec(), spec()])
+        jobs = wf.instantiate(0.0, rng, base_index=10)
+        assert jobs[1].depends_on == 10
+
+    def test_deadline_applies_to_final_stage(self, rng):
+        wf = chain("w", [spec(), spec()])
+        jobs = wf.instantiate(0.0, rng, deadline=1000.0)
+        assert jobs[0].deadline is None
+        assert jobs[1].deadline == 1000.0
+
+    def test_lag_shifts_nominal_submit(self, rng):
+        wf = chain("w", [spec(), spec()], lag=30.0)
+        jobs = wf.instantiate(5.0, rng)
+        assert jobs[0].submit_time == 5.0
+        assert jobs[1].submit_time == 35.0
+
+    def test_fanout_stages(self, rng):
+        wf = WorkflowSpec(
+            "fan",
+            [
+                WorkflowStage("extract", spec("e")),
+                WorkflowStage("left", spec("l"), after="extract"),
+                WorkflowStage("right", spec("r"), after="extract"),
+            ],
+        )
+        jobs = wf.instantiate(0.0, rng)
+        assert jobs[1].depends_on == 0
+        assert jobs[2].depends_on == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no stages"):
+            WorkflowSpec("empty", [])
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkflowSpec("d", [WorkflowStage("a", spec()), WorkflowStage("a", spec())])
+        with pytest.raises(ValueError, match="not an earlier stage"):
+            WorkflowSpec("b", [WorkflowStage("a", spec(), after="ghost")])
+        with pytest.raises(ValueError, match="lag"):
+            WorkflowStage("a", spec(), lag=-1.0)
+        with pytest.raises(ValueError):
+            chain("c", [])
+
+    def test_workflow_end_to_end(self, rng):
+        """A three-stage pipeline replays with stage-serialized timing."""
+        wf = chain(
+            "tfidf",
+            [spec("tf", 8, 10.0), spec("df", 4, 5.0), spec("idf", 2, 5.0)],
+            stage_names=["tf", "df", "idf"],
+        )
+        trace = wf.instantiate(0.0, rng)
+        result = simulate(trace, FIFOScheduler(), ClusterConfig(16, 16))
+        assert result.jobs[2].completion_time == pytest.approx(20.0)
+        # Stages never overlap.
+        assert result.jobs[1].start_time >= result.jobs[0].completion_time
+        assert result.jobs[2].start_time >= result.jobs[1].completion_time

@@ -1,0 +1,146 @@
+"""Tests for the six application models and the Facebook workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig
+from repro.trace.arrivals import PeriodicArrivals
+from repro.trace.deadlines import solo_completion_time
+from repro.workloads.apps import (
+    APP_NAMES,
+    PAPER_FIFO_ACTUALS,
+    app_spec,
+    make_app_specs,
+    sample_executions,
+)
+from repro.workloads.facebook import (
+    FACEBOOK_JOB_BINS,
+    FACEBOOK_MAP_LOGNORMAL,
+    FACEBOOK_REDUCE_LOGNORMAL,
+    FacebookJobSpec,
+    facebook_trace_generator,
+)
+# Alias: pytest would otherwise collect the imported "test*" name as a test.
+from repro.workloads.mixes import permuted_deadline_trace
+from repro.workloads.mixes import testbed_mix_profiles as mix_profiles
+
+
+class TestAppSpecs:
+    def test_all_six_apps_present(self):
+        specs = make_app_specs()
+        assert set(specs) == set(APP_NAMES)
+        assert len(APP_NAMES) == 6
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_profiles_generate(self, name, rng):
+        profile = app_spec(name).make_profile(rng)
+        assert profile.name == name
+        assert profile.num_maps > 0
+        assert profile.num_reduces > 0
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_calibration_within_ten_percent(self, name):
+        """Solo FIFO completion on 64x64 slots lands near the paper's
+        reported actual times (Figure 5(a) bar labels)."""
+        rng = np.random.default_rng(7)
+        spec = app_spec(name)
+        times = [
+            solo_completion_time(spec.make_profile(rng), ClusterConfig(64, 64))
+            for _ in range(5)
+        ]
+        assert np.mean(times) == pytest.approx(PAPER_FIFO_ACTUALS[name], rel=0.10)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            app_spec("PageRank")
+
+    def test_sample_executions_count(self):
+        profiles = sample_executions("Sort", 4, seed=0)
+        assert len(profiles) == 4
+        assert all(p.name == "Sort" for p in profiles)
+
+    def test_sample_executions_differ(self):
+        a, b = sample_executions("Sort", 2, seed=0)
+        assert not np.array_equal(a.map_durations, b.map_durations)
+
+    def test_dataset_scales_change_task_counts(self):
+        profiles = sample_executions(
+            "Sort", 3, seed=0, dataset_scales=(0.5, 1.0, 2.0)
+        )
+        counts = [p.num_maps for p in profiles]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_executions_validation(self):
+        with pytest.raises(ValueError):
+            sample_executions("Sort", 0)
+
+
+class TestFacebookWorkload:
+    def test_paper_lognormal_parameters(self):
+        assert FACEBOOK_MAP_LOGNORMAL == (9.9511, 1.6764)
+        assert FACEBOOK_REDUCE_LOGNORMAL == (12.375, 1.6262)
+
+    def test_bins_mostly_tiny_jobs(self):
+        small = sum(w for m, _, w in FACEBOOK_JOB_BINS if m <= 2)
+        assert small >= 0.5  # the defining Facebook property
+
+    def test_correlated_counts(self, rng):
+        """Map and reduce counts come from the same bin: tiny jobs are
+        map-only, reduces only appear in the larger bins."""
+        spec = FacebookJobSpec()
+        valid_pairs = {(m, r) for m, r, _ in FACEBOOK_JOB_BINS}
+        for _ in range(200):
+            p = spec.make_profile(rng)
+            assert (p.num_maps, p.num_reduces) in valid_pairs
+
+    def test_map_durations_follow_fit(self):
+        """Median map duration ~ exp(9.9511) ms ~ 21 s."""
+        rng = np.random.default_rng(0)
+        spec = FacebookJobSpec()
+        samples = spec.map_durations.sample(rng, 50000)
+        assert np.median(samples) == pytest.approx(np.exp(9.9511) / 1000.0, rel=0.05)
+
+    def test_shuffle_fraction_splits_total(self):
+        spec = FacebookJobSpec(shuffle_fraction=0.25)
+        total_mean = spec.typical_shuffle.mean() + spec.reduce_durations.mean()
+        mu, sigma = FACEBOOK_REDUCE_LOGNORMAL
+        expected = np.exp(mu + sigma**2 / 2) / 1000.0
+        assert total_mean == pytest.approx(expected, rel=1e-6)
+
+    def test_invalid_shuffle_fraction(self):
+        with pytest.raises(ValueError):
+            FacebookJobSpec(shuffle_fraction=1.0)
+
+    def test_empty_bins_rejected(self):
+        with pytest.raises(ValueError):
+            FacebookJobSpec(bins=[])
+
+    def test_generator_produces_trace(self):
+        gen = facebook_trace_generator(PeriodicArrivals(10.0), seed=0)
+        trace = gen.generate(30)
+        assert len(trace) == 30
+        assert all(j.profile.name == "Facebook" for j in trace)
+
+
+class TestMixes:
+    def test_testbed_mix_size(self):
+        profiles = mix_profiles(3, seed=0)
+        assert len(profiles) == 18  # 6 apps x 3 executions
+        assert {p.name for p in profiles} == set(APP_NAMES)
+
+    def test_permuted_trace_properties(self, cluster64):
+        profiles = mix_profiles(2, seed=0)
+        trace = permuted_deadline_trace(profiles, 100.0, 2.0, cluster64, seed=1)
+        assert len(trace) == len(profiles)
+        submits = [j.submit_time for j in trace]
+        assert submits == sorted(submits)
+        assert submits[0] == 0.0
+        assert all(j.deadline is not None and j.deadline > j.submit_time for j in trace)
+
+    def test_permutation_varies_with_seed(self, cluster64):
+        profiles = mix_profiles(2, seed=0)
+        t1 = permuted_deadline_trace(profiles, 100.0, 2.0, cluster64, seed=1)
+        t2 = permuted_deadline_trace(profiles, 100.0, 2.0, cluster64, seed=2)
+        assert [j.profile.name for j in t1] != [j.profile.name for j in t2]
