@@ -1,0 +1,17 @@
+# Convenience targets; CI-equivalent gates.
+#
+#   make lint   - simlint + ruff + mypy (latter two skipped if absent)
+#   make test   - the tier-1 pytest suite (includes the simlint gate)
+#   make check  - both
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint test check
+
+lint:
+	bash scripts/check.sh
+
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+check: lint test

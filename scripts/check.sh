@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-shot static gate: simlint + ruff + mypy.
+#
+# simlint always runs (it ships with the package).  ruff and mypy run
+# when installed and are skipped with a notice otherwise, so the gate
+# works in minimal containers; install the [dev] extra to get them.
+#
+# Usage: scripts/check.sh   (or: make lint)
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+echo "== simlint (python -m repro lint src/repro) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src/repro || fail=1
+
+echo
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check src tests =="
+    ruff check src tests || fail=1
+else
+    echo "== ruff: not installed, skipping (pip install ruff) =="
+fi
+
+echo
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (strict on repro.core / repro.analysis) =="
+    MYPYPATH=src mypy -p repro.core -p repro.analysis || fail=1
+else
+    echo "== mypy: not installed, skipping (pip install mypy) =="
+fi
+
+exit $fail

@@ -1,0 +1,161 @@
+"""Rule configuration: selection, suppression, and path classification.
+
+The analyzer needs to know three things about a file that the AST alone
+cannot tell it:
+
+* is it **simulation logic** (engine/schedulers/trace — where wall-clock
+  reads are forbidden, DET001)?
+* is it **test code** (where unseeded randomness is tolerated, DET002)?
+* is it **whitelisted timing/benchmark code** (where wall-clock reads
+  are the whole point)?
+
+Classification is by substring match against the file's POSIX-style
+path.  ``tests/fixtures/`` is deliberately *not* test code: fixture
+files there are lint targets (deliberately-broken schedulers the gate
+asserts against), so the test exemption must not swallow them.
+
+Defaults can be overridden from ``[tool.simlint]`` in ``pyproject.toml``::
+
+    [tool.simlint]
+    disable = []
+    sim-paths = ["core/", "schedulers/", "trace/", "mumak/", "hadoop/"]
+    timing-whitelist = ["benchmarks/"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .registry import RuleRegistry
+
+__all__ = ["LintConfig", "find_pyproject"]
+
+#: Paths holding simulation logic: wall-clock calls here violate DET001.
+DEFAULT_SIM_PATHS = ("core/", "schedulers/", "trace/", "mumak/", "hadoop/")
+
+#: Paths holding test code: DET002 (unseeded randomness) is waived here.
+DEFAULT_TEST_PATHS = ("tests/", "test_", "conftest")
+
+#: Paths whose *job* is wall-clock measurement: DET001 is waived here.
+DEFAULT_TIMING_WHITELIST = ("benchmarks/",)
+
+#: Sub-paths of test dirs that are lint *targets*, not test code.
+DEFAULT_NON_TEST_PATHS = ("fixtures/",)
+
+
+def _as_tuple(value: Iterable[str]) -> tuple[str, ...]:
+    return tuple(str(v) for v in value)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable analyzer configuration.
+
+    ``select`` of ``None`` means "all registered rules"; otherwise only
+    the listed ids run.  ``disable`` always wins over ``select``.
+    """
+
+    select: Optional[frozenset[str]] = None
+    disable: frozenset[str] = frozenset()
+    sim_paths: tuple[str, ...] = DEFAULT_SIM_PATHS
+    test_paths: tuple[str, ...] = DEFAULT_TEST_PATHS
+    timing_whitelist: tuple[str, ...] = DEFAULT_TIMING_WHITELIST
+    non_test_paths: tuple[str, ...] = DEFAULT_NON_TEST_PATHS
+
+    # ------------------------------------------------------------------ #
+    # rule selection
+    # ------------------------------------------------------------------ #
+
+    def validate(self, registry: "RuleRegistry") -> "LintConfig":
+        """Reject unknown rule ids up front; returns self for chaining."""
+        known = set(registry.known_ids())
+        for group, ids in (("select", self.select or ()), ("disable", self.disable)):
+            unknown = sorted(set(ids) - known)
+            if unknown:
+                raise ValueError(
+                    f"unknown rule id(s) in {group}: {', '.join(unknown)}; "
+                    f"known: {', '.join(sorted(known))}"
+                )
+        return self
+
+    def is_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.disable:
+            return False
+        return self.select is None or rule_id in self.select
+
+    # ------------------------------------------------------------------ #
+    # path classification
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _matches(path: str, patterns: tuple[str, ...]) -> bool:
+        posix = path.replace("\\", "/")
+        name = posix.rsplit("/", 1)[-1]
+        for pat in patterns:
+            if pat.endswith("/"):
+                if f"/{pat}" in f"/{posix}":
+                    return True
+            elif name.startswith(pat):
+                return True
+        return False
+
+    def is_sim_path(self, path: str) -> bool:
+        return self._matches(path, self.sim_paths)
+
+    def is_test_path(self, path: str) -> bool:
+        return self._matches(path, self.test_paths) and not self._matches(
+            path, self.non_test_paths
+        )
+
+    def is_timing_whitelisted(self, path: str) -> bool:
+        return self._matches(path, self.timing_whitelist)
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Build a config from ``[tool.simlint]``; defaults when absent."""
+        import tomllib
+
+        data = tomllib.loads(pyproject.read_text())
+        table = data.get("tool", {}).get("simlint", {})
+        known_keys = {
+            "select", "disable", "sim-paths", "test-paths",
+            "timing-whitelist", "non-test-paths",
+        }
+        unknown = sorted(set(table) - known_keys)
+        if unknown:
+            raise ValueError(
+                f"unknown [tool.simlint] key(s) in {pyproject}: {', '.join(unknown)}"
+            )
+        kwargs: dict = {}
+        if "select" in table:
+            kwargs["select"] = frozenset(_as_tuple(table["select"]))
+        if "disable" in table:
+            kwargs["disable"] = frozenset(_as_tuple(table["disable"]))
+        if "sim-paths" in table:
+            kwargs["sim_paths"] = _as_tuple(table["sim-paths"])
+        if "test-paths" in table:
+            kwargs["test_paths"] = _as_tuple(table["test-paths"])
+        if "timing-whitelist" in table:
+            kwargs["timing_whitelist"] = _as_tuple(table["timing-whitelist"])
+        if "non-test-paths" in table:
+            kwargs["non_test_paths"] = _as_tuple(table["non-test-paths"])
+        return cls(**kwargs)
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start``, if any."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

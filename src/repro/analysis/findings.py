@@ -1,0 +1,67 @@
+"""The :class:`Finding` record produced by simlint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+
+
+class Severity(str, enum.Enum):
+    """How bad a violation is.
+
+    ``ERROR`` findings break a simulation invariant outright (wall-clock
+    reads, unseeded randomness, contract violations); ``WARNING``
+    findings are strong smells that occasionally have legitimate,
+    suppressible exceptions.  Both fail ``simmr lint`` — the distinction
+    exists for reporting and for future ``--severity`` filtering.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        return cls(
+            path=d["path"],
+            line=int(d["line"]),
+            col=int(d["col"]),
+            rule_id=d["rule_id"],
+            severity=Severity(d["severity"]),
+            message=d["message"],
+            hint=d.get("hint", ""),
+        )
+
+    def format(self) -> str:
+        """``file:line:col: RULE severity: message  [hint]`` text form."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text

@@ -1,0 +1,94 @@
+"""The simlint rule registry.
+
+Every rule class registers itself (via the :meth:`RuleRegistry.register`
+decorator in :mod:`repro.analysis.rules`) with a :class:`RuleInfo`
+carrying its id, severity, and documentation.  The registry is the
+single source of truth for:
+
+* which rule ids exist (config and suppression validation),
+* per-rule docs (``simmr lint --list-rules``, ``docs/linting.md``),
+* instantiating the rule set for a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from .findings import Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .visitor import LintRule
+
+__all__ = ["RuleInfo", "RuleRegistry", "default_registry", "META_RULE_ID"]
+
+#: Meta-rule id for problems with simlint itself: unparsable files and
+#: unknown rule ids in suppression directives.
+META_RULE_ID = "LINT000"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Static description of one rule."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    rationale: str
+    hint: str
+
+    def summary(self) -> str:
+        return f"{self.rule_id} [{self.severity.value}] {self.title}"
+
+
+class RuleRegistry:
+    """Mapping of rule id -> (info, rule class)."""
+
+    def __init__(self) -> None:
+        self._infos: dict[str, RuleInfo] = {}
+        self._classes: dict[str, type] = {}
+
+    def register(self, info: RuleInfo) -> "Callable[[type], type]":
+        """Class decorator: add ``cls`` under ``info.rule_id``."""
+
+        def deco(cls: type) -> type:
+            if info.rule_id in self._infos:
+                raise ValueError(f"duplicate rule id {info.rule_id!r}")
+            cls.info = info
+            self._infos[info.rule_id] = info
+            self._classes[info.rule_id] = cls
+            return cls
+
+        return deco
+
+    def register_meta(self, info: RuleInfo) -> None:
+        """Register an id with docs but no rule class (LINT000)."""
+        if info.rule_id in self._infos:
+            raise ValueError(f"duplicate rule id {info.rule_id!r}")
+        self._infos[info.rule_id] = info
+
+    def known_ids(self) -> list[str]:
+        return sorted(self._infos)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._infos
+
+    def __iter__(self) -> Iterator[RuleInfo]:
+        for rule_id in self.known_ids():
+            yield self._infos[rule_id]
+
+    def info(self, rule_id: str) -> RuleInfo:
+        try:
+            return self._infos[rule_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown rule id {rule_id!r}; known: {', '.join(self.known_ids())}"
+            ) from None
+
+    def create_rules(self) -> "list[LintRule]":
+        """Instantiate every registered rule class, in id order."""
+        return [self._classes[rid]() for rid in sorted(self._classes)]
+
+
+#: The process-wide registry the stock rules attach to.
+default_registry = RuleRegistry()

@@ -1,0 +1,69 @@
+"""Text and JSON renderers for simlint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .findings import Finding, Severity
+
+__all__ = ["render_text", "render_json", "parse_json", "summarize"]
+
+#: Bumped on any backwards-incompatible change to the JSON layout.
+JSON_FORMAT_VERSION = 1
+
+
+def summarize(findings: Sequence[Finding]) -> dict[str, int]:
+    """Counts by severity plus the total, for reports and exit logic."""
+    counts = {"total": len(findings), "errors": 0, "warnings": 0}
+    for f in findings:
+        if f.severity is Severity.ERROR:
+            counts["errors"] += 1
+        else:
+            counts["warnings"] += 1
+    return counts
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Human-readable report, grouped by file, sorted by location."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    if not ordered:
+        return "simlint: no findings"
+    lines: list[str] = []
+    current_path = None
+    for f in ordered:
+        if f.path != current_path:
+            if current_path is not None:
+                lines.append("")
+            current_path = f.path
+        lines.append(f.format())
+    counts = summarize(ordered)
+    lines.append("")
+    lines.append(
+        f"simlint: {counts['total']} finding(s) "
+        f"({counts['errors']} error(s), {counts['warnings']} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report; round-trips through :func:`parse_json`."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "summary": summarize(ordered),
+        "findings": [f.to_dict() for f in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Inverse of :func:`render_json` (used by tooling and the tests)."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported simlint JSON version {version!r} "
+            f"(expected {JSON_FORMAT_VERSION})"
+        )
+    return [Finding.from_dict(d) for d in payload["findings"]]

@@ -1,0 +1,476 @@
+"""The simlint rule set.
+
+Each rule is a small :class:`~repro.analysis.visitor.LintRule` subclass
+registered on :data:`~repro.analysis.registry.default_registry` with its
+id, severity, and documentation.  See ``docs/linting.md`` for the
+bad/good example of every rule.
+
+Rule ids are grouped by invariant family:
+
+* **DET** — determinism: the same trace and seed must produce the same
+  schedule, bit for bit (the paper's replay guarantee).
+* **SIM** — simulation semantics: simulated time is exact arithmetic on
+  profile durations; scheduler plugins see the engine through the
+  narrow ``choose_next_*`` contract (Section III-B).
+* **API** — engine event protocol: time only moves forward.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .findings import Severity
+from .registry import META_RULE_ID, RuleInfo, default_registry
+from .visitor import CHOOSE_METHODS, WALLCLOCK_CALLS, FileContext, LintRule
+
+__all__ = ["default_registry"]
+
+# --------------------------------------------------------------------- #
+# LINT000 — meta (docs only; emitted by FileContext, no rule class)
+# --------------------------------------------------------------------- #
+
+default_registry.register_meta(
+    RuleInfo(
+        rule_id=META_RULE_ID,
+        title="simlint meta problem (unparsable file or bad directive)",
+        severity=Severity.ERROR,
+        rationale=(
+            "A file that cannot be parsed cannot be checked, and a "
+            "suppression naming an unknown rule id silently disables "
+            "nothing — both must surface instead of hiding violations."
+        ),
+        hint="fix the syntax error, or correct the rule id in the "
+        "'# simlint: disable=...' directive",
+    )
+)
+
+
+# --------------------------------------------------------------------- #
+# DET001 — wall-clock reads inside simulation logic
+# --------------------------------------------------------------------- #
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="DET001",
+        title="wall-clock read inside simulation logic",
+        severity=Severity.ERROR,
+        rationale=(
+            "Simulated time is derived exclusively from trace profiles "
+            "and the event heap; reading the host clock (time.time, "
+            "perf_counter, datetime.now) inside engine/scheduler/trace "
+            "code makes replays machine- and load-dependent, silently "
+            "breaking the paper's bit-reproducibility guarantee."
+        ),
+        hint="use the engine's simulated clock (self._now / the event "
+        "timestamp); wall-clock benchmarking belongs in whitelisted "
+        "timing code or behind '# simlint: disable=DET001'",
+    )
+)
+class WallClockRule(LintRule):
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        name = ctx.resolve_dotted(node.func)
+        if name in WALLCLOCK_CALLS and ctx.in_sim_scope():
+            ctx.report(self.info, node, message=f"wall-clock call {name}() in simulation logic")
+
+
+# --------------------------------------------------------------------- #
+# DET002 — unseeded randomness
+# --------------------------------------------------------------------- #
+
+def _np_random_member(name: str) -> Optional[str]:
+    for prefix in ("numpy.random.",):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return None
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="DET002",
+        title="unseeded or global-state randomness",
+        severity=Severity.ERROR,
+        rationale=(
+            "All stochastic inputs (synthetic traces, failure injection, "
+            "placement) must flow from an explicitly seeded "
+            "numpy.random.Generator so every experiment is replayable "
+            "from its seed.  The stdlib 'random' module and numpy's "
+            "legacy module-level functions draw from hidden global "
+            "state; default_rng() without a seed differs per process."
+        ),
+        hint="thread an explicitly seeded np.random.default_rng(seed) "
+        "(or random.Random(seed)) through the call instead",
+    )
+)
+class UnseededRandomRule(LintRule):
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.is_test_path:
+            return
+        name = ctx.resolve_dotted(node.func)
+        if name is None:
+            return
+        if name == "random.Random" or name == "numpy.random.Generator":
+            if node.args or node.keywords:
+                return  # explicitly seeded/constructed
+            ctx.report(self.info, node, message=f"{name}() constructed without a seed")
+            return
+        if name.startswith("random."):
+            ctx.report(
+                self.info,
+                node,
+                message=f"{name}() draws from the stdlib global RNG",
+            )
+            return
+        member = _np_random_member(name)
+        if member is None:
+            return
+        if member == "default_rng":
+            seeded = bool(node.keywords) or (
+                bool(node.args)
+                and not (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+            )
+            if not seeded:
+                ctx.report(
+                    self.info, node, message="np.random.default_rng() without a seed"
+                )
+        elif member[:1].islower():
+            # Legacy module-level functions (np.random.rand, .seed, ...)
+            # share one hidden global RandomState.  Capitalised members
+            # (Generator, SeedSequence, ...) are classes, not draws.
+            ctx.report(
+                self.info,
+                node,
+                message=f"legacy global-state call np.random.{member}()",
+            )
+
+
+# --------------------------------------------------------------------- #
+# DET003 — unordered-collection iteration in decision paths
+# --------------------------------------------------------------------- #
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+_CONSUMERS = frozenset({"min", "max", "next", "list", "tuple", "any", "all", "sum"})
+
+
+def _unordered_reason(node: ast.AST) -> Optional[str]:
+    """Why iterating ``node`` has no stable order, or None if it does."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return f"a {node.func.id}()"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _DICT_VIEWS:
+            return f".{node.func.attr}() of a mapping"
+    return None
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="DET003",
+        title="unordered iteration feeding a scheduling decision",
+        severity=Severity.WARNING,
+        rationale=(
+            "Set iteration order is hash-randomized across processes, and "
+            "dict views follow insertion order that rarely matches any "
+            "documented tie-break.  Feeding either into a choose_next_*/"
+            "priority/allocation decision makes two replays of the same "
+            "trace disagree on which job wins a slot."
+        ),
+        hint="wrap the iterable in sorted(...) with an explicit, total "
+        "tie-breaking key (e.g. (submit_time, job_id))",
+    )
+)
+class UnorderedIterationRule(LintRule):
+    def _check_iterable(self, it: ast.AST, ctx: FileContext, where: str) -> None:
+        if not ctx.in_decision_scope():
+            return
+        reason = _unordered_reason(it)
+        if reason is not None:
+            ctx.report(
+                self.info,
+                it,
+                message=f"iteration over {reason} in {where} has no deterministic order",
+            )
+
+    def check_For(self, node: ast.For, ctx: FileContext) -> None:
+        self._check_iterable(node.iter, ctx, "a for loop")
+
+    def check_comprehension(self, node: ast.comprehension, ctx: FileContext) -> None:
+        self._check_iterable(node.iter, ctx, "a comprehension")
+
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _CONSUMERS
+            and node.args
+        ):
+            self._check_iterable(node.args[0], ctx, f"{node.func.id}(...)")
+
+
+# --------------------------------------------------------------------- #
+# SIM001 — float equality on simulation-time expressions
+# --------------------------------------------------------------------- #
+
+_TIME_NAMES = frozenset({
+    "now", "_now", "deadline", "makespan", "map_stage_end", "shuffle_end",
+    "sim_time", "clock", "timestamp",
+})
+_TIME_SUFFIXES = ("_time", "_end", "_start", "_deadline")
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_time_expr(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    return name in _TIME_NAMES or name.endswith(_TIME_SUFFIXES)
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="SIM001",
+        title="float equality comparison on simulation time",
+        severity=Severity.WARNING,
+        rationale=(
+            "Simulation timestamps are sums of float durations; two "
+            "different orderings of the same arithmetic differ in the "
+            "last ulp, so ==/!= on times encodes a coincidence, not a "
+            "simulation invariant (e.g. 'reduce dispatched exactly at "
+            "map_stage_end')."
+        ),
+        hint="compare with <=/>= against the event ordering, or use "
+        "math.isclose with an explicit tolerance",
+    )
+)
+class FloatTimeEqualityRule(LintRule):
+    def check_Compare(self, node: ast.Compare, ctx: FileContext) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for a, b in ((left, right), (right, left)):
+                if _is_time_expr(a):
+                    # Comparing against None / a string is identity-ish
+                    # dispatch, not time arithmetic.
+                    if isinstance(b, ast.Constant) and (
+                        b.value is None or isinstance(b.value, str)
+                    ):
+                        break
+                    ctx.report(
+                        self.info,
+                        node,
+                        message=(
+                            f"{'==' if isinstance(op, ast.Eq) else '!='} on "
+                            f"simulation-time expression {ast.unparse(a)}"
+                        ),
+                    )
+                    break
+
+
+# --------------------------------------------------------------------- #
+# SIM002 — choose_next_* mutating engine-owned state
+# --------------------------------------------------------------------- #
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "sort", "reverse",
+})
+
+
+def _attr_root(node: ast.AST) -> Optional[ast.Name]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="SIM002",
+        title="choose_next_* mutates engine-owned job state",
+        severity=Severity.ERROR,
+        rationale=(
+            "The paper's scheduler contract is a *narrow read-only query*: "
+            "CHOOSENEXTMAPTASK/CHOOSENEXTREDUCETASK return which job runs "
+            "next.  Job and TaskRecord bookkeeping (dispatch counters, "
+            "state, records, caps) belongs to the engine; a plugin writing "
+            "it from choose_next_* desynchronises the engine's slot "
+            "accounting and the fast path's heap invariants."
+        ),
+        hint="keep plugin state on self; set per-job knobs like "
+        "wanted_*_slots from the on_job_arrival hook instead",
+    )
+)
+class EngineOwnedMutationRule(LintRule):
+    def _flag(self, node: ast.AST, ctx: FileContext, what: str) -> None:
+        ctx.report(self.info, node, message=f"choose_next_* {what}")
+
+    def _non_self_attr_target(self, target: ast.AST) -> Optional[str]:
+        if not isinstance(target, ast.Attribute):
+            return None
+        root = _attr_root(target)
+        if root is not None and root.id == "self":
+            return None
+        try:
+            return ast.unparse(target)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return target.attr  # type: ignore[union-attr]
+
+    def check_Assign(self, node: ast.Assign, ctx: FileContext) -> None:
+        if ctx.in_choose_method() is None:
+            return
+        for target in node.targets:
+            desc = self._non_self_attr_target(target)
+            if desc is not None:
+                self._flag(node, ctx, f"assigns {desc}")
+
+    def check_AugAssign(self, node: ast.AugAssign, ctx: FileContext) -> None:
+        if ctx.in_choose_method() is None:
+            return
+        desc = self._non_self_attr_target(node.target)
+        if desc is not None:
+            self._flag(node, ctx, f"mutates {desc} in place")
+
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        fn = ctx.in_choose_method()
+        if fn is None:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS):
+            return
+        # Only flag mutations rooted at a job flowing out of the queue
+        # parameter — locals (self-owned dicts, scratch lists) are fine.
+        root = _attr_root(func.value)
+        if root is not None and root.id in fn.jobish_names:
+            try:
+                desc = ast.unparse(func)
+            except Exception:  # pragma: no cover
+                desc = func.attr
+            self._flag(node, ctx, f"calls mutator {desc}()")
+
+
+# --------------------------------------------------------------------- #
+# SIM003 — static_priority contract mismatch
+# --------------------------------------------------------------------- #
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="SIM003",
+        title="static_priority contract mismatch",
+        severity=Severity.ERROR,
+        rationale=(
+            "static_priority=True promises the engine that priority_key "
+            "is constant per job and fully determines choose_next_*, so "
+            "dispatches are served from a heap and choose_next_* is "
+            "NEVER called on the fast path.  A subclass that also "
+            "hand-writes choose_next_* (or omits priority_key) has two "
+            "sources of truth that will silently drift apart."
+        ),
+        hint="inherit StaticPriorityScheduler and define only "
+        "priority_key; or drop static_priority=True to run on the "
+        "dynamic (narrow-interface) path",
+    )
+)
+class StaticPriorityContractRule(LintRule):
+    def finish_ClassDef(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        cls = ctx.current_class
+        if cls is None or cls.node is not node or not cls.is_scheduler:
+            return
+        if not cls.static_priority:
+            return
+        for fn in cls.own_choose_defs:
+            ctx.report(
+                self.info,
+                fn,
+                message=(
+                    f"{node.name} declares static_priority=True but overrides "
+                    f"{fn.name}; the fast path serves dispatches from "
+                    "priority_key and ignores this override"
+                ),
+            )
+        if cls.declares_static_priority and not (
+            cls.has_priority_key or cls.inherits_static_priority
+        ):
+            ctx.report(
+                self.info,
+                node,
+                message=(
+                    f"{node.name} declares static_priority=True but defines no "
+                    "priority_key; the fast path has nothing to order jobs by"
+                ),
+            )
+
+
+# --------------------------------------------------------------------- #
+# API001 — events pushed into the past
+# --------------------------------------------------------------------- #
+
+_PUSH_NAMES = frozenset({"_push_event", "push_event", "schedule_event", "schedule_at"})
+_NOW_NAMES = frozenset({"now", "_now"})
+
+
+def _is_now_expr(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name in _NOW_NAMES
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="API001",
+        title="event pushed with a timestamp in the past",
+        severity=Severity.ERROR,
+        rationale=(
+            "The event heap pops in nondecreasing time order; pushing an "
+            "event at now - delta (or a negative absolute time) from a "
+            "handler rewinds the simulation clock for that event, "
+            "corrupting causality and every downstream metric."
+        ),
+        hint="schedule at self._now or later (now + delay); if a "
+        "correction is needed, recompute state now instead of "
+        "back-dating an event",
+    )
+)
+class PastEventRule(LintRule):
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _PUSH_NAMES or not node.args:
+            return
+        when = node.args[0]
+        if (
+            isinstance(when, ast.BinOp)
+            and isinstance(when.op, ast.Sub)
+            and _is_now_expr(when.left)
+        ):
+            ctx.report(
+                self.info,
+                node,
+                message=f"{name}() scheduled at {ast.unparse(when)} — before the current time",
+            )
+        elif (
+            isinstance(when, ast.UnaryOp)
+            and isinstance(when.op, ast.USub)
+            and isinstance(when.operand, ast.Constant)
+        ) or (
+            isinstance(when, ast.Constant)
+            and isinstance(when.value, (int, float))
+            and when.value < 0
+        ):
+            ctx.report(
+                self.info,
+                node,
+                message=f"{name}() scheduled at negative absolute time {ast.unparse(when)}",
+            )

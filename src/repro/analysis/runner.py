@@ -1,0 +1,107 @@
+"""Directory walking and the public linting entry points."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .config import LintConfig
+from .findings import Finding
+from .registry import RuleRegistry, default_registry
+from .visitor import FileContext, Walker
+
+# Rule classes attach to default_registry at import time.
+from . import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = ["lint_paths", "lint_source", "iter_python_files"]
+
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".venv", "venv", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", "build", "dist",
+})
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list.
+
+    (Sorted so reports — and any rule interaction with ordering — are
+    themselves deterministic.  The linter must pass its own rules.)
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        else:
+            candidates = [path]
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    """Path as reported in findings: relative to ``root`` when possible."""
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> list[Finding]:
+    """Lint one in-memory module; the unit used by tests and editors."""
+    config = config if config is not None else LintConfig()
+    registry = registry if registry is not None else default_registry
+    config.validate(registry)
+    ctx = FileContext(path, source, config, registry)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        ctx.report_meta(exc.lineno or 1, f"cannot parse file: {exc.msg}")
+        return ctx.findings
+    Walker(ctx, registry.create_rules()).run(tree)
+    ctx.findings.sort(key=lambda f: f.sort_key)
+    return ctx.findings
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    config: Optional[LintConfig] = None,
+    registry: Optional[RuleRegistry] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint files and directory trees; findings sorted by location.
+
+    ``root`` (default: the current directory) is stripped from reported
+    paths so findings are stable across checkouts.
+    """
+    config = config if config is not None else LintConfig()
+    registry = registry if registry is not None else default_registry
+    config.validate(registry)
+    if root is None:
+        root = Path.cwd()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        display = _display_path(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            ctx = FileContext(display, "", config, registry)
+            ctx.report_meta(1, f"cannot read file: {exc}")
+            findings.extend(ctx.findings)
+            continue
+        findings.extend(lint_source(source, display, config, registry))
+    findings.sort(key=lambda f: f.sort_key)
+    return findings

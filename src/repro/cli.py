@@ -10,7 +10,9 @@ Subcommands mirror the SimMR workflow (paper Figure 4):
   scheduling policy and print per-job completion times;
 * ``simmr compare`` — replay one trace under several policies and print
   the comparison;
-* ``simmr experiment`` — regenerate a paper table/figure by id.
+* ``simmr experiment`` — regenerate a paper table/figure by id;
+* ``simmr lint`` — simlint: determinism & simulation-invariant static
+  analysis over the source tree (see ``docs/linting.md``).
 """
 
 from __future__ import annotations
@@ -47,7 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--jobs", type=int, default=20, help="number of jobs (default 20)")
     gen.add_argument(
         "--workload",
-        choices=["mix", "facebook"] + ["WordCount", "WikiTrends", "Twitter", "Sort", "TFIDF", "Bayes"],
+        choices=["mix", "facebook"]
+        + ["WordCount", "WikiTrends", "Twitter", "Sort", "TFIDF", "Bayes"],
         default="mix",
         help="workload model (default: the six-application mix)",
     )
@@ -168,6 +171,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument("--seed", type=int, default=0)
     val.add_argument("--executions", type=int, default=1, help="executions per application")
+
+    lint = sub.add_parser(
+        "lint",
+        help="simlint: check determinism & simulation invariants (DET/SIM/API rules)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to check (default: src/repro, or the "
+        "repro package next to this module)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--disable", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--config", type=Path, default=None,
+        help="pyproject.toml to read [tool.simlint] from (default: nearest "
+        "pyproject.toml above the first path)",
+    )
+    lint.add_argument(
+        "--no-config", action="store_true",
+        help="ignore [tool.simlint] and use built-in defaults",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its documentation and exit",
+    )
 
     return parser
 
@@ -433,6 +471,58 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .analysis import default_registry, lint_paths, render_json, render_text
+    from .analysis.config import LintConfig, find_pyproject
+
+    if args.list_rules:
+        for info in default_registry:
+            print(info.summary())
+            print(f"    why:  {info.rationale}")
+            print(f"    fix:  {info.hint}")
+            print()
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        # Default target: the source tree we sit in (src/repro when run
+        # from a checkout, else the installed package directory).
+        checkout = Path("src/repro")
+        paths = [checkout if checkout.is_dir() else Path(__file__).parent]
+
+    config = LintConfig()
+    if not args.no_config:
+        pyproject = args.config if args.config is not None else find_pyproject(paths[0])
+        if pyproject is not None:
+            try:
+                config = LintConfig.from_pyproject(pyproject)
+            except ValueError as exc:
+                print(f"simmr lint: {exc}", file=sys.stderr)
+                return 2
+    overrides = {}
+    if args.select is not None:
+        overrides["select"] = frozenset(
+            s.strip() for s in args.select.split(",") if s.strip()
+        )
+    if args.disable is not None:
+        overrides["disable"] = config.disable | {
+            s.strip() for s in args.disable.split(",") if s.strip()
+        }
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    try:
+        config.validate(default_registry)
+        findings = lint_paths(paths, config=config)
+    except ValueError as exc:
+        print(f"simmr lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format_ == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.id in ("fig1", "fig2"):
         from .experiments.progress import run_progress
@@ -568,6 +658,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "fit": _cmd_fit,
         "validate": _cmd_validate,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -99,7 +99,8 @@ class CDFComparisonResult:
         return out
 
     def __str__(self) -> str:
-        head = "Figure 3: task-duration CDF quantiles under two allocations; KS distances: " + ", ".join(
+        head = ("Figure 3: task-duration CDF quantiles under two allocations; "
+                "KS distances: ") + ", ".join(
             f"{phase}={d:.3f}" for phase, d in self.ks.items()
         )
         return head + "\n" + format_table(self.rows())

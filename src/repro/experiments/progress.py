@@ -152,6 +152,8 @@ def run_progress(
         shuffle_intervals=shuffle_intervals,
         reduce_intervals=reduce_intervals,
         map_waves=_count_waves(map_intervals),
-        reduce_waves=_count_waves([(s, e2) for (s, _), (_, e2) in zip(shuffle_intervals, reduce_intervals)]),
+        reduce_waves=_count_waves(
+            [(s, e2) for (s, _), (_, e2) in zip(shuffle_intervals, reduce_intervals)]
+        ),
         map_stage_end=job.map_stage_end,
     )

@@ -85,7 +85,9 @@ class MumakSimulator:
         The result's ``scheduler_name`` is prefixed with ``Mumak/`` so
         accuracy tables can tell the simulators apart.
         """
-        wall_start = _time.perf_counter()
+        # Wall-clock audit (simlint DET001): feeds only the result's
+        # wall_clock_seconds metric, never a simulated timestamp.
+        wall_start = _time.perf_counter()  # simlint: disable=DET001
         jobs = [Job(i, tj) for i, tj in enumerate(trace)]
         job_q: list[Job] = []
         agg = ClusterConfig(
@@ -225,7 +227,7 @@ class MumakSimulator:
             else:  # pragma: no cover
                 raise AssertionError(f"unknown event priority {pri}")
 
-        wall = _time.perf_counter() - wall_start
+        wall = _time.perf_counter() - wall_start  # simlint: disable=DET001
         makespan = max(
             (j.completion_time for j in jobs if j.completion_time is not None), default=0.0
         )

@@ -5,7 +5,7 @@ Hadoop schedulers it discusses (Fair, Capacity).  All implement the narrow
 :class:`~repro.schedulers.base.Scheduler` interface.
 """
 
-from .base import Scheduler
+from .base import Scheduler, StaticPriorityScheduler
 from .capacity import CapacityScheduler
 from .capped import CappedFIFOScheduler
 from .dynamic_priority import DynamicPriorityScheduler, UserAccount
@@ -16,6 +16,7 @@ from .fifo import FIFOScheduler
 
 __all__ = [
     "Scheduler",
+    "StaticPriorityScheduler",
     "FIFOScheduler",
     "CappedFIFOScheduler",
     "MaxEDFScheduler",

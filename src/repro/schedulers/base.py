@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.cluster import ClusterConfig
     from ..core.job import Job
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "StaticPriorityScheduler"]
 
 
 class Scheduler(ABC):
@@ -93,3 +93,31 @@ class Scheduler(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class StaticPriorityScheduler(Scheduler):
+    """Base for policies fully determined by a constant per-job priority.
+
+    Subclasses define :meth:`priority_key` only; both ``choose_next_*``
+    sides of the narrow interface are derived from it, so the heap fast
+    path and the dynamic path cannot drift apart (simlint rule SIM003
+    flags subclasses that override ``choose_next_*`` anyway).
+    """
+
+    static_priority = True
+
+    @abstractmethod
+    def priority_key(self, job: "Job") -> tuple:
+        """Total-order key (lower = dispatched first), constant per job."""
+
+    # The one sanctioned choose_next_* implementation for static
+    # policies: exactly what the engine's fast-path heap computes.
+    def choose_next_map_task(  # simlint: disable=SIM003
+        self, job_queue: Sequence["Job"]
+    ) -> Optional["Job"]:
+        return min(job_queue, key=self.priority_key, default=None)
+
+    def choose_next_reduce_task(  # simlint: disable=SIM003
+        self, job_queue: Sequence["Job"]
+    ) -> Optional["Job"]:
+        return min(job_queue, key=self.priority_key, default=None)

@@ -13,17 +13,22 @@ slots a job may occupy:
   for later arrivals.
 
 Jobs without a deadline sort last (deadline = +inf), in submission order.
+
+Both are pure EDF orderings, i.e. fully determined by a constant per-job
+key, so they derive their ``choose_next_*`` sides from
+:class:`~repro.schedulers.base.StaticPriorityScheduler` and run on the
+engine's heap fast path.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..core.cluster import ClusterConfig
 from ..core.job import Job
 from ..models.aria import Bound, min_slots_for_deadline
-from .base import Scheduler
+from .base import StaticPriorityScheduler
 
 __all__ = ["MaxEDFScheduler", "MinEDFScheduler"]
 
@@ -35,7 +40,7 @@ def _edf_key(job: Job) -> tuple[float, float, int]:
 
 def _edf_victims(
     job: Job,
-    running_jobs,
+    running_jobs: Sequence[Job],
     needed_maps: int,
     needed_reduces: int,
 ) -> list[tuple[Job, str, int]]:
@@ -65,7 +70,7 @@ def _edf_victims(
     return requests
 
 
-class MaxEDFScheduler(Scheduler):
+class MaxEDFScheduler(StaticPriorityScheduler):
     """EDF job ordering with FIFO-style maximal per-job allocation.
 
     ``preemptive=True`` (with an engine run as ``preemption=True``) kills
@@ -75,7 +80,6 @@ class MaxEDFScheduler(Scheduler):
     """
 
     name = "MaxEDF"
-    static_priority = True
 
     def __init__(self, preemptive: bool = False) -> None:
         self.preemptive = preemptive
@@ -85,7 +89,14 @@ class MaxEDFScheduler(Scheduler):
     def priority_key(self, job: Job) -> tuple:
         return _edf_key(job)
 
-    def preemption_requests(self, job, running_jobs, cluster, free_map_slots, free_reduce_slots):
+    def preemption_requests(
+        self,
+        job: Job,
+        running_jobs: Sequence[Job],
+        cluster: ClusterConfig,
+        free_map_slots: int,
+        free_reduce_slots: int,
+    ) -> list[tuple[Job, str, int]]:
         if not self.preemptive or job.deadline is None:
             return []
         demand_m = min(job.pending_maps, cluster.map_slots)
@@ -93,18 +104,8 @@ class MaxEDFScheduler(Scheduler):
         return _edf_victims(job, running_jobs, demand_m - free_map_slots,
                             demand_r - free_reduce_slots)
 
-    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
-        if not job_queue:
-            return None
-        return min(job_queue, key=_edf_key)
 
-    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
-        if not job_queue:
-            return None
-        return min(job_queue, key=_edf_key)
-
-
-class MinEDFScheduler(Scheduler):
+class MinEDFScheduler(StaticPriorityScheduler):
     """EDF ordering with model-derived minimal per-job slot allocations.
 
     On each job arrival the ARIA model is inverted for the job's remaining
@@ -122,7 +123,6 @@ class MinEDFScheduler(Scheduler):
     """
 
     name = "MinEDF"
-    static_priority = True
 
     def priority_key(self, job: Job) -> tuple:
         return _edf_key(job)
@@ -133,7 +133,14 @@ class MinEDFScheduler(Scheduler):
         if preemptive:
             self.name = "MinEDF+P"
 
-    def preemption_requests(self, job, running_jobs, cluster, free_map_slots, free_reduce_slots):
+    def preemption_requests(
+        self,
+        job: Job,
+        running_jobs: Sequence[Job],
+        cluster: ClusterConfig,
+        free_map_slots: int,
+        free_reduce_slots: int,
+    ) -> list[tuple[Job, str, int]]:
         if not self.preemptive or job.deadline is None:
             return []
         demand_m = job.wanted_map_slots
@@ -159,13 +166,3 @@ class MinEDFScheduler(Scheduler):
         )
         job.wanted_map_slots = s_m if job.profile.num_maps > 0 else 0
         job.wanted_reduce_slots = s_r if job.profile.num_reduces > 0 else 0
-
-    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
-        if not job_queue:
-            return None
-        return min(job_queue, key=_edf_key)
-
-    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
-        if not job_queue:
-            return None
-        return min(job_queue, key=_edf_key)

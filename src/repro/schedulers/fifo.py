@@ -7,29 +7,22 @@ break by job id, i.e. submission order, making replays deterministic.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 from ..core.job import Job
-from .base import Scheduler
+from .base import StaticPriorityScheduler
 
 __all__ = ["FIFOScheduler"]
 
 
-class FIFOScheduler(Scheduler):
-    """Earliest-arrival-first job ordering; jobs take all slots they can."""
+class FIFOScheduler(StaticPriorityScheduler):
+    """Earliest-arrival-first job ordering; jobs take all slots they can.
+
+    The policy is fully determined by :meth:`priority_key`, so both
+    ``choose_next_*`` entry points come from
+    :class:`~repro.schedulers.base.StaticPriorityScheduler` and the
+    engine serves dispatches from its O(log n) heap fast path.
+    """
 
     name = "FIFO"
-    static_priority = True
 
     def priority_key(self, job: Job) -> tuple:
         return (job.submit_time, job.job_id)
-
-    def choose_next_map_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
-        if not job_queue:
-            return None
-        return min(job_queue, key=lambda j: (j.submit_time, j.job_id))
-
-    def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
-        if not job_queue:
-            return None
-        return min(job_queue, key=lambda j: (j.submit_time, j.job_id))

@@ -92,7 +92,9 @@ def from_spec(spec: Mapping[str, Any]) -> DurationDistribution:
     try:
         cls = _REGISTRY[kind]
     except KeyError:
-        raise ValueError(f"unknown distribution kind {kind!r}; known: {sorted(_REGISTRY)}") from None
+        raise ValueError(
+            f"unknown distribution kind {kind!r}; known: {sorted(_REGISTRY)}"
+        ) from None
     return cls(**spec)
 
 

@@ -1,0 +1,83 @@
+"""A deliberately-broken scheduler: one violation per simlint rule id.
+
+This file is a *lint target*, not test code (``tests/fixtures/`` is
+exempt from simlint's test-path waivers for exactly this reason) — it is
+never imported by the suite.  Every violating line carries a trailing
+``# expect: <RULE>`` marker; ``tests/test_simlint.py`` asserts that the
+analyzer reports precisely those (rule id, line) pairs and nothing else.
+
+Keep the violations and markers in sync when editing.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler
+
+UNSEEDED_RNG = np.random.default_rng()  # expect: DET002
+GLOBAL_DRAW = random.random()  # expect: DET002
+LEGACY_DRAW = np.random.rand(4)  # expect: DET002
+
+
+class BrokenScheduler(Scheduler):
+    """Violates the narrow choose_next_* contract every way simlint sees."""
+
+    name = "Broken"
+
+    def __init__(self) -> None:
+        self.weights = {"a": 1.0, "b": 2.0}
+
+    def choose_next_map_task(self, job_queue):
+        started = time.monotonic()  # expect: DET001
+        for pool in set(self.weights):  # expect: DET003
+            if pool not in self.weights:
+                return None
+        heaviest = max(self.weights.values())  # expect: DET003
+        job = min(job_queue, key=lambda j: (j.submit_time, j.job_id))
+        if job.submit_time == started:  # expect: SIM001
+            return None
+        job.maps_dispatched += 1  # expect: SIM002
+        job.wanted_map_slots = int(heaviest)  # expect: SIM002
+        job.requeued_maps.append(0)  # expect: SIM002
+        return job
+
+    def choose_next_reduce_task(self, job_queue):
+        latest = 0.0
+        for weight in self.weights.values():  # expect: DET003
+            latest = max(latest, weight)
+        if latest != 0.0:
+            pass
+        return min(job_queue, key=lambda j: j.job_id, default=None)
+
+
+class BrokenStaticScheduler(Scheduler):
+    """Declares the fast path *and* hand-writes the dynamic path."""
+
+    name = "BrokenStatic"
+    static_priority = True
+
+    def priority_key(self, job):
+        return (job.submit_time, job.job_id)
+
+    def choose_next_map_task(self, job_queue):  # expect: SIM003
+        return min(job_queue, key=self.priority_key, default=None)
+
+    def choose_next_reduce_task(self, job_queue):  # expect: SIM003
+        # Disagrees with priority_key: exactly the drift SIM003 exists for.
+        return max(job_queue, key=self.priority_key, default=None)
+
+
+class BrokenEngineFragment:
+    """An engine-ish event handler that rewinds the simulation clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+
+    def _push_event(self, when, etype, job_id, index):
+        self._heap.append((when, etype, job_id, index))
+
+    def _on_map_departure(self, job, index, seq):
+        self._push_event(self._now - 1.0, 2, 0, index)  # expect: API001

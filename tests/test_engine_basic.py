@@ -59,7 +59,9 @@ class TestSingleWaveTiming:
         assert result.jobs[0].completion_time == pytest.approx(25.0)
 
     def test_zero_map_job(self):
-        profile = make_constant_profile(num_maps=0, num_reduces=2, first_shuffle_s=5.0, reduce_s=3.0)
+        profile = make_constant_profile(
+            num_maps=0, num_reduces=2, first_shuffle_s=5.0, reduce_s=3.0
+        )
         result = run_single(profile, 4, 2)
         # Map stage trivially complete at submit; reduces run first-wave
         # shuffle immediately.

@@ -1,0 +1,290 @@
+"""The simlint CI gate and analyzer unit tests.
+
+``test_source_tree_is_clean`` is the tentpole: tier-1 pytest fails if
+any simulation-invariant violation (see ``docs/linting.md``) lands in
+``src/repro``.  The remaining tests pin the analyzer's own behaviour —
+exact findings on the deliberately-broken fixture, inline suppression,
+config validation, and reporter round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    default_registry,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.reporter import parse_json
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "bad_scheduler.py"
+
+#: Rule ids with a real checker (LINT000 is the docs-only meta rule).
+IMPLEMENTED_RULES = {
+    "DET001", "DET002", "DET003", "SIM001", "SIM002", "SIM003", "API001",
+}
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
+
+
+def expected_from_markers(path: Path) -> set[tuple[str, int]]:
+    """(rule_id, line) pairs declared by ``# expect: RULE`` markers."""
+    out = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for rule_id in _EXPECT_RE.findall(line):
+            out.add((rule_id, lineno))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the gate
+# --------------------------------------------------------------------- #
+
+
+class TestCleanTree:
+    def test_source_tree_is_clean(self):
+        findings = lint_paths([SRC_TREE], root=REPO_ROOT)
+        assert findings == [], "\n" + render_text(findings)
+
+    def test_check_script_passes(self):
+        """`make lint` / scripts/check.sh is green on the committed tree."""
+        proc = subprocess.run(
+            ["bash", str(REPO_ROOT / "scripts" / "check.sh")],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestFixture:
+    def test_fixture_reports_exact_rules_and_lines(self):
+        expected = expected_from_markers(FIXTURE)
+        assert expected, "fixture lost its # expect: markers"
+        findings = lint_paths([FIXTURE], root=REPO_ROOT)
+        got = {(f.rule_id, f.line) for f in findings}
+        assert got == expected
+        # Every implemented rule id fires at least once.
+        assert {rule for rule, _ in got} == IMPLEMENTED_RULES
+
+    def test_fixture_findings_carry_location_and_hint(self):
+        for f in lint_paths([FIXTURE], root=REPO_ROOT):
+            assert f.path == "tests/fixtures/bad_scheduler.py"
+            assert f.line > 0 and f.col > 0
+            assert f.message and f.hint
+            info = default_registry.info(f.rule_id)
+            assert f.severity is info.severity
+
+
+# --------------------------------------------------------------------- #
+# inline suppression
+# --------------------------------------------------------------------- #
+
+VIOLATION = "import time\nt = time.time()  {comment}\n"
+
+
+class TestSuppression:
+    def _lint(self, comment: str):
+        # A scheduler-free file is only in DET001 scope via sim paths.
+        return lint_source(
+            VIOLATION.format(comment=comment), path="core/example.py"
+        )
+
+    def test_violation_fires_without_directive(self):
+        findings = self._lint("")
+        assert [(f.rule_id, f.line) for f in findings] == [("DET001", 2)]
+
+    def test_disable_single_rule(self):
+        assert self._lint("# simlint: disable=DET001") == []
+
+    def test_disable_list(self):
+        assert self._lint("# simlint: disable=DET002,DET001") == []
+
+    def test_disable_all(self):
+        assert self._lint("# simlint: disable=all") == []
+
+    def test_disable_other_rule_does_not_suppress(self):
+        findings = self._lint("# simlint: disable=DET002")
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_directive_only_covers_its_line(self):
+        source = "import time\n# simlint: disable=DET001\nt = time.time()\n"
+        findings = lint_source(source, path="core/example.py")
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_unknown_rule_id_in_directive_reported(self):
+        findings = self._lint("# simlint: disable=NOPE123")
+        ids = [(f.rule_id, f.line) for f in findings]
+        # The typo'd directive suppresses nothing and is itself flagged.
+        assert ("LINT000", 2) in ids
+        assert ("DET001", 2) in ids
+
+
+# --------------------------------------------------------------------- #
+# config
+# --------------------------------------------------------------------- #
+
+
+class TestConfig:
+    def test_unknown_rule_id_in_select_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule id.*NOPE"):
+            LintConfig(select=frozenset({"NOPE"})).validate(default_registry)
+
+    def test_unknown_rule_id_in_disable_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            lint_source("x = 1\n", config=LintConfig(disable=frozenset({"DET999"})))
+
+    def test_disable_drops_findings(self):
+        source = "import time\nt = time.time()\n"
+        config = LintConfig(disable=frozenset({"DET001"}))
+        assert lint_source(source, path="core/example.py", config=config) == []
+
+    def test_select_narrows_rules(self):
+        source = "import random\nimport time\nr = random.random()\nt = time.time()\n"
+        config = LintConfig(select=frozenset({"DET002"}))
+        findings = lint_source(source, path="core/example.py", config=config)
+        assert [f.rule_id for f in findings] == ["DET002"]
+
+    def test_fixture_dir_is_not_test_path(self):
+        config = LintConfig()
+        assert not config.is_test_path("tests/fixtures/bad_scheduler.py")
+        assert config.is_test_path("tests/test_simlint.py")
+        assert config.is_test_path("conftest.py")
+
+    def test_from_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.simlint]\ndisable = ["DET003"]\nsim-paths = ["sim/"]\n'
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert config.disable == frozenset({"DET003"})
+        assert config.is_sim_path("sim/engine.py")
+        assert not config.is_sim_path("core/engine.py")
+
+    def test_from_pyproject_rejects_unknown_keys(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.simlint]\nrulez = []\n")
+        with pytest.raises(ValueError, match="unknown \\[tool.simlint\\] key"):
+            LintConfig.from_pyproject(pyproject)
+
+    def test_repo_pyproject_parses(self):
+        config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+        config.validate(default_registry)
+
+
+# --------------------------------------------------------------------- #
+# reporters
+# --------------------------------------------------------------------- #
+
+
+class TestReporters:
+    def test_json_roundtrip(self):
+        findings = lint_paths([FIXTURE], root=REPO_ROOT)
+        assert findings
+        assert parse_json(render_json(findings)) == findings
+
+    def test_json_summary_counts(self):
+        findings = lint_paths([FIXTURE], root=REPO_ROOT)
+        payload = json.loads(render_json(findings))
+        assert payload["version"] == 1
+        assert payload["summary"]["total"] == len(findings)
+        assert payload["summary"]["errors"] + payload["summary"]["warnings"] == len(
+            findings
+        )
+
+    def test_json_rejects_other_versions(self):
+        with pytest.raises(ValueError, match="version"):
+            parse_json('{"version": 99, "findings": []}')
+
+    def test_text_mentions_every_finding(self):
+        findings = lint_paths([FIXTURE], root=REPO_ROOT)
+        text = render_text(findings)
+        for f in findings:
+            assert f"{f.path}:{f.line}:{f.col}: {f.rule_id}" in text
+
+    def test_clean_text_report(self):
+        assert render_text([]) == "simlint: no findings"
+
+    def test_syntax_error_is_a_meta_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule_id for f in findings] == ["LINT000"]
+        assert "cannot parse" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_lint_fixture_exits_1(self, capsys):
+        assert main(["lint", str(FIXTURE)]) == 1
+        assert "SIM002" in capsys.readouterr().out
+
+    def test_lint_clean_file_exits_0(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert main(["lint", str(clean), "--no-config"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", "--format", "json", str(FIXTURE)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule_id"] for f in payload["findings"]} == IMPLEMENTED_RULES
+
+    def test_lint_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--disable", "BOGUS1", str(FIXTURE)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_lint_disable_filters(self, capsys):
+        assert main(["lint", "--select", "API001", str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        assert "API001" in out and "DET001" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in sorted(IMPLEMENTED_RULES | {"LINT000"}):
+            assert rule_id in out
+
+    def test_module_entry_point(self):
+        """`python -m repro lint` (the documented invocation) works."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# --------------------------------------------------------------------- #
+# docs stay in sync
+# --------------------------------------------------------------------- #
+
+
+class TestDocs:
+    def test_every_rule_documented_in_linting_md(self):
+        doc = (REPO_ROOT / "docs" / "linting.md").read_text()
+        for info in default_registry:
+            assert info.rule_id in doc, f"{info.rule_id} missing from docs/linting.md"
+
+    def test_extending_md_links_determinism_contract(self):
+        doc = (REPO_ROOT / "docs" / "extending.md").read_text()
+        assert "linting.md" in doc
