@@ -27,7 +27,7 @@ from __future__ import annotations
 from .config import LintConfig
 from .findings import Finding, Severity
 from .registry import RuleInfo, RuleRegistry, default_registry
-from .reporter import render_json, render_text
+from .reporter import render_github, render_json, render_text
 from .runner import lint_paths, lint_source
 
 __all__ = [
@@ -41,4 +41,5 @@ __all__ = [
     "lint_source",
     "render_text",
     "render_json",
+    "render_github",
 ]

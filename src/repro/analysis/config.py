@@ -40,7 +40,9 @@ DEFAULT_SIM_PATHS = ("core/", "schedulers/", "trace/", "mumak/", "hadoop/")
 DEFAULT_TEST_PATHS = ("tests/", "test_", "conftest")
 
 #: Paths whose *job* is wall-clock measurement: DET001 is waived here.
-DEFAULT_TIMING_WHITELIST = ("benchmarks/",)
+#: ``walltime`` is repro.core.walltime — the single sanctioned wall-clock
+#: site the engine's throughput metric reads through.
+DEFAULT_TIMING_WHITELIST = ("benchmarks/", "walltime")
 
 #: Sub-paths of test dirs that are lint *targets*, not test code.
 DEFAULT_NON_TEST_PATHS = ("fixtures/",)
@@ -122,7 +124,12 @@ class LintConfig:
         """Build a config from ``[tool.simlint]``; defaults when absent."""
         import tomllib
 
-        data = tomllib.loads(pyproject.read_text())
+        try:
+            data = tomllib.loads(pyproject.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            # Normalized to ValueError so callers (the CLI's exit-code-2
+            # path) need one except clause for every config problem.
+            raise ValueError(f"invalid TOML in {pyproject}: {exc}") from exc
         table = data.get("tool", {}).get("simlint", {})
         known_keys = {
             "select", "disable", "sim-paths", "test-paths",

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 
 from .findings import Finding, Severity
 
-__all__ = ["render_text", "render_json", "parse_json", "summarize"]
+__all__ = ["render_text", "render_json", "render_github", "parse_json", "summarize"]
 
 #: Bumped on any backwards-incompatible change to the JSON layout.
 JSON_FORMAT_VERSION = 1
@@ -39,6 +39,46 @@ def render_text(findings: Iterable[Finding]) -> str:
         lines.append(f.format())
     counts = summarize(ordered)
     lines.append("")
+    lines.append(
+        f"simlint: {counts['total']} finding(s) "
+        f"({counts['errors']} error(s), {counts['warnings']} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def _gh_escape(text: str, *, property: bool = False) -> str:
+    """Escape data for GitHub Actions workflow commands.
+
+    ``%``, CR and LF must be percent-encoded in message data; property
+    values (file, title, ...) additionally escape ``:`` and ``,``, the
+    property delimiters.
+    """
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+def render_github(findings: Iterable[Finding]) -> str:
+    """GitHub Actions annotations: one workflow command per finding.
+
+    ``::error file=...,line=...,col=...,title=RULE::message`` lines make
+    findings surface inline on the pull-request diff when ``simmr lint
+    --format=github`` runs in CI.  A trailing plain-text summary keeps
+    the log readable.
+    """
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    lines: list[str] = []
+    for f in ordered:
+        level = "error" if f.severity is Severity.ERROR else "warning"
+        message = f.message if not f.hint else f"{f.message} (hint: {f.hint})"
+        lines.append(
+            f"::{level} file={_gh_escape(f.path, property=True)},"
+            f"line={f.line},col={f.col},"
+            f"title={_gh_escape(f.rule_id, property=True)}::"
+            f"{_gh_escape(message)}"
+        )
+    counts = summarize(ordered)
     lines.append(
         f"simlint: {counts['total']} finding(s) "
         f"({counts['errors']} error(s), {counts['warnings']} warning(s))"

@@ -20,6 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Optional
 
+from .callgraph import FuncNode, TaintKind
 from .findings import Severity
 from .registry import META_RULE_ID, RuleInfo, default_registry
 from .visitor import CHOOSE_METHODS, WALLCLOCK_CALLS, FileContext, LintRule
@@ -474,3 +475,146 @@ class PastEventRule(LintRule):
                 node,
                 message=f"{name}() scheduled at negative absolute time {ast.unparse(when)}",
             )
+
+
+# --------------------------------------------------------------------- #
+# Cross-module rules (DET004 / SIM004 / API002)
+#
+# These consume the whole-program call graph built by the runner (see
+# repro.analysis.callgraph).  They fire only at calls into *project*
+# functions, so they never double-report a violation the per-file rules
+# (DET001/DET002/SIM002) already flag at the sink line itself.
+# --------------------------------------------------------------------- #
+
+
+def _project_callees(node: ast.Call, ctx: FileContext) -> "list[FuncNode]":
+    """Unique project functions a call site resolves to (graph-backed)."""
+    if ctx.callgraph is None:
+        return []
+    seen: set[int] = set()
+    out: list[FuncNode] = []
+    for fn in ctx.callgraph.callees_at(node):
+        if id(fn) not in seen:
+            seen.add(id(fn))
+            out.append(fn)
+    return out
+
+
+def _witness_message(ctx: FileContext, fn: "FuncNode", kind: "TaintKind") -> Optional[str]:
+    """`chain -> sink` description if ``fn`` is ``kind``-tainted."""
+    assert ctx.callgraph is not None
+    hit = ctx.callgraph.witness(fn, kind)
+    if hit is None:
+        return None
+    chain, sink = hit
+    return f"{' -> '.join(chain)} -> {sink.detail}"
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="DET004",
+        title="simulation logic transitively reaches wall-clock or global RNG",
+        severity=Severity.ERROR,
+        rationale=(
+            "DET001/DET002 check the sink line itself, so a scheduler "
+            "that reads the host clock or the global RNG *through a "
+            "helper function* — possibly in another module — passes the "
+            "per-file rules clean while still making replays machine- "
+            "and process-dependent.  The call graph propagates sink "
+            "reachability caller-ward, closing the indirection loophole."
+        ),
+        hint="thread simulated time / a seeded Generator into the helper "
+        "instead; sanctioned wall-clock reads live in "
+        "repro.core.walltime or timing-whitelisted paths",
+    )
+)
+class TransitiveNondeterminismRule(LintRule):
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.in_sim_scope():
+            return
+        for fn in _project_callees(node, ctx):
+            wall = _witness_message(ctx, fn, "wallclock")
+            if wall is not None:
+                ctx.report(
+                    self.info, node,
+                    message=f"call into {fn.display}() transitively reads the wall clock: {wall}",
+                )
+            rng = _witness_message(ctx, fn, "rng")
+            if rng is not None:
+                ctx.report(
+                    self.info, node,
+                    message=f"call into {fn.display}() transitively draws global randomness: {rng}",
+                )
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="SIM004",
+        title="choose_next_* transitively mutates engine-owned state",
+        severity=Severity.ERROR,
+        rationale=(
+            "SIM002 catches a choose_next_* body writing engine-owned "
+            "Job bookkeeping directly, but the contract is just as "
+            "broken when the write hides inside a helper the method "
+            "calls ('helpful' dispatch-counter updates, record edits).  "
+            "The call graph follows the helpers, so the narrow read-only "
+            "query stays read-only all the way down."
+        ),
+        hint="return the chosen job and let the engine do the "
+        "bookkeeping; per-job knobs (wanted_*_slots) belong in "
+        "on_job_arrival",
+    )
+)
+class TransitiveChooseMutationRule(LintRule):
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.in_choose_method() is None:
+            return
+        for fn in _project_callees(node, ctx):
+            mut = _witness_message(ctx, fn, "mutation")
+            if mut is not None:
+                ctx.report(
+                    self.info, node,
+                    message=(
+                        f"choose_next_* calls {fn.display}() which mutates "
+                        f"engine-owned job state: {mut}"
+                    ),
+                )
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="API002",
+        title="scheduler entry point can raise undeclared exceptions",
+        severity=Severity.WARNING,
+        rationale=(
+            "The engine invokes the scheduler contract (choose_next_*, "
+            "priority_key, preemption_requests, on_job_*) on every valid "
+            "trace; an exception escaping one of them aborts the whole "
+            "replay mid-simulation.  A raise hidden in a transitive "
+            "callee is invisible at the entry point unless its docstring "
+            "declares it — so callers can neither handle nor rule it out."
+        ),
+        hint="document the exception in a 'Raises' docstring section of "
+        "the entry point, or handle it inside; NotImplementedError / "
+        "AssertionError are exempt",
+    )
+)
+class UndeclaredRaiseRule(LintRule):
+    def check_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        entry = ctx.in_contract_method()
+        if entry is None:
+            return
+        doc = ast.get_docstring(entry.node)
+        if doc is not None and "raise" in doc.lower():
+            return  # declared
+        for fn in _project_callees(node, ctx):
+            hit = ctx.callgraph.witness(fn, "raise") if ctx.callgraph else None
+            if hit is not None:
+                chain, sink = hit
+                ctx.report(
+                    self.info, node,
+                    message=(
+                        f"{entry.name} can raise {sink.detail} via "
+                        f"{' -> '.join(chain)} without declaring it"
+                    ),
+                )

@@ -1,4 +1,13 @@
-"""Directory walking and the public linting entry points."""
+"""Directory walking and the public linting entry points.
+
+``lint_paths`` runs in two passes: every target file is read and parsed
+once, the whole-program call graph is built over all parseable modules
+(powering the cross-module rules DET004/SIM004/API002), and then each
+file is walked by the per-file rule set with the shared graph on its
+:class:`~repro.analysis.visitor.FileContext`.  ``lint_source`` builds a
+single-module graph, so intra-file indirection is still caught when
+linting one buffer (tests, editors).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,7 @@ import ast
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
+from .callgraph import CallGraph
 from .config import LintConfig
 from .findings import Finding
 from .registry import RuleRegistry, default_registry
@@ -55,6 +65,26 @@ def _display_path(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
+def _lint_tree(
+    source: str,
+    path: str,
+    tree: Optional[ast.Module],
+    parse_error: Optional[SyntaxError],
+    config: LintConfig,
+    registry: RuleRegistry,
+    callgraph: Optional[CallGraph],
+) -> list[Finding]:
+    """Walk one pre-parsed module (or report its parse failure)."""
+    ctx = FileContext(path, source, config, registry, callgraph=callgraph)
+    if tree is None:
+        if parse_error is not None:
+            ctx.report_meta(parse_error.lineno or 1, f"cannot parse file: {parse_error.msg}")
+        return ctx.findings
+    Walker(ctx, registry.create_rules()).run(tree)
+    ctx.findings.sort(key=lambda f: f.sort_key)
+    return ctx.findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -65,15 +95,18 @@ def lint_source(
     config = config if config is not None else LintConfig()
     registry = registry if registry is not None else default_registry
     config.validate(registry)
-    ctx = FileContext(path, source, config, registry)
+    tree: Optional[ast.Module] = None
+    parse_error: Optional[SyntaxError] = None
+    graph: Optional[CallGraph] = None
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        ctx.report_meta(exc.lineno or 1, f"cannot parse file: {exc.msg}")
-        return ctx.findings
-    Walker(ctx, registry.create_rules()).run(tree)
-    ctx.findings.sort(key=lambda f: f.sort_key)
-    return ctx.findings
+        parse_error = exc
+    if tree is not None:
+        graph = CallGraph(config)
+        graph.add_module(path, tree, source)
+        graph.finalize()
+    return _lint_tree(source, path, tree, parse_error, config, registry, graph)
 
 
 def lint_paths(
@@ -93,6 +126,9 @@ def lint_paths(
     if root is None:
         root = Path.cwd()
     findings: list[Finding] = []
+    # Pass 1: read + parse everything, building the shared call graph.
+    parsed: list[tuple[str, str, Optional[ast.Module], Optional[SyntaxError]]] = []
+    graph = CallGraph(config)
     for file_path in iter_python_files(Path(p) for p in paths):
         display = _display_path(file_path, root)
         try:
@@ -102,6 +138,19 @@ def lint_paths(
             ctx.report_meta(1, f"cannot read file: {exc}")
             findings.extend(ctx.findings)
             continue
-        findings.extend(lint_source(source, display, config, registry))
+        try:
+            tree: Optional[ast.Module] = ast.parse(source, filename=display)
+            parse_error: Optional[SyntaxError] = None
+        except SyntaxError as exc:
+            tree, parse_error = None, exc
+        if tree is not None:
+            graph.add_module(display, tree, source)
+        parsed.append((display, source, tree, parse_error))
+    graph.finalize()
+    # Pass 2: per-file walks with the whole-program graph in scope.
+    for display, source, tree, parse_error in parsed:
+        findings.extend(
+            _lint_tree(source, display, tree, parse_error, config, registry, graph)
+        )
     findings.sort(key=lambda f: f.sort_key)
     return findings

@@ -9,8 +9,10 @@ handling — so individual rules stay small and declarative.
 Inline suppression
 ------------------
 A trailing ``# simlint: disable=<RULE>[,<RULE>...]`` comment suppresses the
-listed rules (or ``all``) on that physical line.  Unknown rule ids in a
-directive are themselves reported (:data:`~repro.analysis.registry.META_RULE_ID`)
+listed rules (or ``all``) on that physical line.  Prose after the id
+list ("-- audited because ...") is ignored, so the justification can
+live in the directive itself.  Unknown rule ids in a directive are
+themselves reported (:data:`~repro.analysis.registry.META_RULE_ID`)
 — a typo in a suppression must not silently disable nothing.
 """
 
@@ -19,15 +21,22 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .config import LintConfig
 from .findings import Finding, Severity
 from .registry import META_RULE_ID, RuleInfo, RuleRegistry
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import CallGraph
+
 __all__ = ["LintRule", "FileContext", "Walker", "parse_suppressions"]
 
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+# Ids are comma-separated; anything after the id list (a justification,
+# "-- see audit note") is deliberately not captured.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
 
 #: ``datetime``-module calls that read the host clock.
 WALLCLOCK_CALLS = frozenset({
@@ -48,6 +57,12 @@ WALLCLOCK_CALLS = frozenset({
 
 #: The paper's narrow scheduler-plugin contract (Section III-B).
 CHOOSE_METHODS = frozenset({"choose_next_map_task", "choose_next_reduce_task"})
+
+#: Scheduler-contract entry points the engine invokes on valid traces;
+#: API002 checks their (transitive) callees for undeclared raises.
+CONTRACT_METHODS = CHOOSE_METHODS | frozenset({
+    "priority_key", "preemption_requests", "on_job_arrival", "on_job_departure",
+})
 
 #: Function names that embody a scheduling / tie-breaking decision.
 DECISION_FUNC_RE = re.compile(
@@ -94,6 +109,9 @@ class FunctionInfo:
     is_choose: bool
     is_handler: bool
     is_decision: bool
+    #: A scheduler-contract entry point (choose_next_*, priority_key,
+    #: preemption_requests, on_job_*) defined on a scheduler class.
+    is_contract: bool = False
     #: Names bound (directly or via min/max/sorted/next/for) from the
     #: job-queue parameter of a ``choose_next_*`` method.
     jobish_names: set[str] = field(default_factory=set)
@@ -108,11 +126,15 @@ class FileContext:
         source: str,
         config: LintConfig,
         registry: RuleRegistry,
+        callgraph: "Optional[CallGraph]" = None,
     ) -> None:
         self.path = path
         self.source = source
         self.config = config
         self.registry = registry
+        #: Whole-program call graph (DET004/SIM004/API002); ``None`` when
+        #: the caller did not build one — cross-module rules then no-op.
+        self.callgraph = callgraph
         self.findings: list[Finding] = []
         self.suppressions = parse_suppressions(source)
         # Import alias tracking: local name -> dotted module/object path.
@@ -256,6 +278,12 @@ class FileContext:
                 return f
         return None
 
+    def in_contract_method(self) -> Optional[FunctionInfo]:
+        for f in reversed(self.func_stack):
+            if f.is_contract:
+                return f
+        return None
+
 
 class LintRule:
     """Base class for rules.
@@ -371,6 +399,11 @@ class Walker(ast.NodeVisitor):
             is_choose=is_choose,
             is_handler=in_class and bool(_HANDLER_RE.match(node.name)),
             is_decision=bool(DECISION_FUNC_RE.match(node.name)),
+            is_contract=(
+                in_class
+                and node.name in CONTRACT_METHODS
+                and self.ctx.in_scheduler_class()
+            ),
         )
         if is_choose:
             # The job-queue parameter: everything flowing out of it is an

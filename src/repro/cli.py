@@ -36,6 +36,8 @@ _EXPERIMENTS = (
     "preemption", "ablations", "zoo", "locality",
 )
 
+_CHECK_SCHEDULERS = ("fifo", "fair", "minedf")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -85,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the full output log (JSON) here")
     rep.add_argument("--csv", type=Path, default=None,
                      help="write the per-job table (CSV) here")
+    rep.add_argument("--sanitize", action="store_true",
+                     help="run under the simsan runtime sanitizer "
+                     "(fails fast on any simulation-invariant violation)")
 
     cmp_ = sub.add_parser("compare", help="replay a trace under several schedulers")
     cmp_.add_argument("trace", type=Path)
@@ -182,8 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
         "repro package next to this module)",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="format_",
-        help="report format (default text)",
+        "--format", choices=["text", "json", "github"], default="text", dest="format_",
+        help="report format (default text; github = Actions annotations)",
     )
     lint.add_argument(
         "--select", default=None,
@@ -206,6 +211,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print every rule with its documentation and exit",
     )
+
+    chk = sub.add_parser(
+        "check",
+        help="combined correctness gate: simlint + sanitized dual-replay (simsan)",
+    )
+    chk.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories for the static half (default: src/repro, "
+        "or the repro package next to this module)",
+    )
+    chk.add_argument(
+        "--trace", type=Path, default=None,
+        help="trace JSON to replay (default: a deterministic synthetic mix)",
+    )
+    chk.add_argument(
+        "--schedulers", default=",".join(_CHECK_SCHEDULERS),
+        help="comma-separated policies for the dynamic half "
+        f"(default {','.join(_CHECK_SCHEDULERS)})",
+    )
+    chk.add_argument("--jobs", type=int, default=12,
+                     help="synthetic trace size (ignored with --trace)")
+    chk.add_argument("--seed", type=int, default=7,
+                     help="synthetic trace seed (ignored with --trace)")
+    chk.add_argument("--map-slots", type=int, default=64)
+    chk.add_argument("--reduce-slots", type=int, default=64)
+    chk.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_",
+        help="report format (default text)",
+    )
+    chk.add_argument("--static-only", action="store_true",
+                     help="skip the sanitized replays")
+    chk.add_argument("--dynamic-only", action="store_true",
+                     help="skip the static lint")
 
     return parser
 
@@ -261,6 +299,7 @@ def _replay(
     reduce_slots: int,
     slowstart: float = 0.05,
     record_tasks: bool = False,
+    sanitize: Optional[bool] = None,
 ):
     trace = load_trace(trace_path)
     scheduler = make_scheduler(scheduler_name)
@@ -270,6 +309,7 @@ def _replay(
         ClusterConfig(map_slots, reduce_slots),
         min_map_percent_completed=slowstart,
         record_tasks=record_tasks,
+        sanitize=sanitize,
     )
 
 
@@ -277,6 +317,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     result = _replay(
         args.trace, args.scheduler, args.map_slots, args.reduce_slots,
         args.slowstart, record_tasks=args.output is not None,
+        sanitize=True if args.sanitize else None,
     )
     print(f"scheduler={result.scheduler_name} makespan={result.makespan:.1f}s "
           f"events={result.events_processed} "
@@ -474,7 +515,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from .analysis import default_registry, lint_paths, render_json, render_text
+    from .analysis import default_registry, lint_paths, render_github, render_json, render_text
     from .analysis.config import LintConfig, find_pyproject
 
     if args.list_rules:
@@ -518,9 +559,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"simmr lint: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format_ == "json" else render_text
+    render = {"json": render_json, "github": render_github}.get(
+        args.format_, render_text
+    )
     print(render(findings))
     return 1 if findings else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.config import LintConfig, find_pyproject
+    from .sanitize.check import run_check
+
+    static = not args.dynamic_only
+    dynamic = not args.static_only
+    if not static and not dynamic:
+        print("simmr check: --static-only and --dynamic-only are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+
+    paths = list(args.paths)
+    if not paths:
+        checkout = Path("src/repro")
+        paths = [checkout if checkout.is_dir() else Path(__file__).parent]
+    config = LintConfig()
+    pyproject = find_pyproject(paths[0])
+    if pyproject is not None:
+        try:
+            config = LintConfig.from_pyproject(pyproject)
+        except ValueError as exc:
+            print(f"simmr check: {exc}", file=sys.stderr)
+            return 2
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    trace = load_trace(args.trace) if args.trace is not None else None
+    report = run_check(
+        paths,
+        config=config,
+        schedulers=schedulers,
+        trace=trace,
+        jobs=args.jobs,
+        seed=args.seed,
+        cluster=ClusterConfig(args.map_slots, args.reduce_slots),
+        static=static,
+        dynamic=dynamic,
+    )
+    print(report.render_json() if args.format_ == "json" else report.render_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -659,6 +743,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fit": _cmd_fit,
         "validate": _cmd_validate,
         "lint": _cmd_lint,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -51,16 +51,20 @@ policies.
 
 from __future__ import annotations
 
-import time as _time
+import os
 from heapq import heappop, heappush
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from .cluster import ClusterConfig
 from .events import EventType
 from .job import Job, JobState, TaskRecord, TraceJob
 from .results import JobResult, SimulationResult
 from .shuffle import ShuffleContext, ShuffleModel
+from .walltime import elapsed_since, perf_seconds
 from ..schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sanitize.sanitizer import Sanitizer
 
 __all__ = ["SimulatorEngine", "simulate"]
 
@@ -92,6 +96,16 @@ class SimulatorEngine:
         When True (default) every simulated task attempt is recorded in
         the result, enabling the progress-plot and duration-CDF
         experiments.  Disable for maximum event throughput on huge traces.
+    sanitize:
+        Three-state switch for the runtime sanitizer (``simsan``):
+        ``True`` forces it on, ``False`` forces it off, ``None`` (the
+        default) defers to the ``SIMMR_SANITIZE`` environment variable.
+        The off path is the exact pre-sanitizer hot loop — zero per-event
+        overhead (checked by ``benchmarks/bench_sanitizer_overhead.py``).
+    sanitizer:
+        An explicit :class:`~repro.sanitize.sanitizer.Sanitizer` instance
+        (e.g. one collecting violations instead of raising, or carrying
+        an event digest for divergence detection).  Implies ``sanitize``.
     """
 
     def __init__(
@@ -104,6 +118,8 @@ class SimulatorEngine:
         record_events: bool = False,
         preemption: bool = False,
         shuffle_model: "ShuffleModel | None" = None,
+        sanitize: Optional[bool] = None,
+        sanitizer: "Sanitizer | None" = None,
     ) -> None:
         if not 0.0 <= min_map_percent_completed <= 1.0:
             raise ValueError(
@@ -122,6 +138,19 @@ class SimulatorEngine:
         #: simulator integration).  None = replay the profile durations
         #: on the zero-overhead default path.
         self.shuffle_model = shuffle_model
+        if sanitizer is None:
+            if sanitize is None:
+                sanitize = os.environ.get("SIMMR_SANITIZE", "") not in (
+                    "", "0", "false", "False",
+                )
+            if sanitize:
+                from ..sanitize.sanitizer import Sanitizer as _Sanitizer
+
+                sanitizer = _Sanitizer()
+        elif sanitize is False:
+            sanitizer = None
+        #: The active runtime sanitizer, or None for the unchecked path.
+        self.sanitizer = sanitizer
         self._reset()
 
     # ------------------------------------------------------------------ #
@@ -130,11 +159,10 @@ class SimulatorEngine:
 
     def run(self, trace: Sequence[TraceJob]) -> SimulationResult:
         """Simulate the full trace and return the run's results."""
-        # Wall-clock audit (simlint DET001): these perf_counter reads feed
-        # only the result's wall_clock_seconds / events-per-second metric
-        # (paper Section IV-B).  No simulated timestamp, ordering or
-        # scheduling decision ever derives from them.
-        wall_start = _time.perf_counter()  # simlint: disable=DET001
+        # These readings feed only the result's wall_clock_seconds /
+        # events-per-second metric (paper Section IV-B); walltime is the
+        # sanctioned site, no simulated timestamp derives from it.
+        wall_start = perf_seconds()
         self._reset()
         push = self._push_event
         self._validate_dependencies(trace)
@@ -158,7 +186,29 @@ class SimulatorEngine:
         jobs = self._jobs
         processed = 0
         event_log: list = []
-        if self.record_events:
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            from .events import Event
+
+            sanitizer.begin_run(self, trace)
+            record_events = self.record_events
+            while heap:
+                now, etype, seq, job_id, task_index = heappop(heap)
+                processed += 1
+                sanitizer.observe_pop(now, etype, seq, job_id, task_index)
+                self._now = now
+                if record_events:
+                    event_log.append(
+                        Event(
+                            now,
+                            EventType(etype),
+                            job_id,
+                            task_index if task_index >= 0 else None,
+                        )
+                    )
+                handlers[etype](jobs[job_id], task_index, seq)
+                sanitizer.observe_handled(self, jobs[job_id], etype)
+        elif self.record_events:
             from .events import Event
 
             while heap:
@@ -193,7 +243,10 @@ class SimulatorEngine:
                 "schedules them"
             )
 
-        wall = _time.perf_counter() - wall_start  # simlint: disable=DET001
+        if sanitizer is not None:
+            sanitizer.end_run(self)
+
+        wall = elapsed_since(wall_start)
         makespan = max(
             (j.completion_time for j in jobs if j.completion_time is not None),
             default=0.0,

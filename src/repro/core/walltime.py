@@ -1,0 +1,36 @@
+"""The single sanctioned wall-clock site in the simulator.
+
+Simulated time must derive only from trace profiles and the event heap
+(simlint DET001/DET004) — but the *simulator's own speed* is a paper
+claim too ("over one million events per second", Section IV-B), and
+measuring it requires the host clock.  Rather than scattering audited
+``# simlint: disable=DET001`` suppressions at each read, every
+throughput measurement funnels through this module, which the lint
+configuration timing-whitelists (``timing-whitelist = ["benchmarks/",
+"walltime"]``).  The contract:
+
+* values returned here feed **only** wall-clock metrics
+  (``SimulationResult.wall_clock_seconds`` and friends) — never a
+  simulated timestamp, an event ordering, or a scheduling decision;
+* the cross-module rule DET004 treats functions in this module as
+  sanctioned sinks, so callers do not inherit wall-clock taint.
+
+Adding any other wall-clock read to the codebase should fail lint — if
+it is a legitimate throughput measurement, route it through here.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["perf_seconds", "elapsed_since"]
+
+
+def perf_seconds() -> float:
+    """Monotonic wall-clock seconds for throughput metrics."""
+    return _time.perf_counter()
+
+
+def elapsed_since(start: float) -> float:
+    """Seconds elapsed since a previous :func:`perf_seconds` reading."""
+    return _time.perf_counter() - start

@@ -1,0 +1,37 @@
+"""simsan — the SimMR runtime simulation sanitizer.
+
+Static analysis (:mod:`repro.analysis`) proves properties of the *code*;
+this package checks properties of a *run*.  An opt-in instrumentation
+layer (``SIMMR_SANITIZE=1``, ``simmr replay --sanitize``, or an explicit
+``SimulatorEngine(..., sanitize=True)``) hooks the engine's event loop
+and verifies, at event granularity:
+
+* event-time monotonicity and heap pop order (``EVT*``),
+* map/reduce slot conservation against the cluster capacity (``SLT*``),
+* the per-task/job lifecycle state machine — arrival before dispatch,
+  no double-completion, counters within bounds (``LIF*``),
+* the paper's filler-reduce / first-shuffle overlap bounds (``OVL*``),
+* and, via a streamed event digest, bit-exact replay equivalence of two
+  runs of the same trace (``DIV*``; :func:`~repro.sanitize.digest.dual_run`).
+
+When disabled the engine runs its original unchecked loop — the branch
+is taken once per ``run()``, so the off path has zero per-event cost
+(``benchmarks/bench_sanitizer_overhead.py`` asserts it).
+
+``simmr check`` (:mod:`repro.sanitize.check`) bundles the static and
+dynamic halves into one gate.  See ``docs/sanitizer.md``.
+"""
+
+from .digest import DivergenceReport, DualRunOutcome, EventDigest, compare_digests, dual_run
+from .sanitizer import Sanitizer, SimsanViolation, Violation
+
+__all__ = [
+    "Sanitizer",
+    "SimsanViolation",
+    "Violation",
+    "EventDigest",
+    "DivergenceReport",
+    "DualRunOutcome",
+    "compare_digests",
+    "dual_run",
+]

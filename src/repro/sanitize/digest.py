@@ -1,0 +1,204 @@
+"""Streamed event digests and replay-divergence detection.
+
+The determinism contract (``docs/linting.md``) promises that replaying
+one trace twice yields the *identical* event stream.  Static analysis
+(DET001/DET002/DET004) proves the absence of known nondeterminism
+sources; this module checks the contract *empirically*: each sanitized
+run streams every popped event ``(time, type, job_id, task_index)``
+into a BLAKE2b digest, and :func:`dual_run` executes the same trace on
+two independently built engines and compares the fingerprints.  When
+they disagree the kept event streams are diffed to name the first
+diverging event — the point to start debugging from.
+
+The digest deliberately excludes the heap sequence number: two runs
+that schedule the same tasks at the same times in the same order are
+equivalent even if internal push counters drift (they do not today,
+but the contract is about observable behaviour).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from ..core.events import EventType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.engine import SimulatorEngine
+    from ..core.job import TraceJob
+    from ..core.results import SimulationResult
+    from .sanitizer import Violation
+
+__all__ = [
+    "EventDigest",
+    "DivergenceReport",
+    "DualRunOutcome",
+    "compare_digests",
+    "dual_run",
+]
+
+# One packed record per event: float64 time + three int32 fields.
+_PACK = struct.Struct("<dlll").pack
+
+
+def _describe_event(event: tuple[float, int, int, int]) -> str:
+    time, etype, job_id, task_index = event
+    try:
+        name = EventType(etype).name
+    except ValueError:  # pragma: no cover - defensive
+        name = f"type{etype}"
+    task = "" if task_index < 0 else f", task {task_index}"
+    return f"{name}(job {job_id}{task}) at t={time:g}"
+
+
+class EventDigest:
+    """Order-sensitive fingerprint of a simulation's event stream.
+
+    ``update`` is called once per popped event by a
+    :class:`~repro.sanitize.sanitizer.Sanitizer` carrying this digest.
+    With ``keep_events=True`` (the default) the raw
+    ``(time, type, job_id, task_index)`` tuples are retained so a
+    mismatch can be localised to the first diverging event; disable it
+    to fingerprint huge traces in O(1) memory.
+    """
+
+    __slots__ = ("keep_events", "count", "events", "_hash")
+
+    def __init__(self, *, keep_events: bool = True) -> None:
+        self.keep_events = keep_events
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.events: list[tuple[float, int, int, int]] = []
+        self._hash = blake2b(digest_size=16)
+
+    def update(self, time: float, etype: int, job_id: int, task_index: int) -> None:
+        self._hash.update(_PACK(time, etype, job_id, task_index))
+        self.count += 1
+        if self.keep_events:
+            self.events.append((time, etype, job_id, task_index))
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class DivergenceReport:
+    """Outcome of comparing two runs' event digests (check ``DIV001``)."""
+
+    diverged: bool
+    digest_a: str
+    digest_b: str
+    count_a: int
+    count_b: int
+    #: Index (0-based) of the first differing event, when both digests
+    #: kept their event streams; None for digest-only comparisons.
+    first_index: Optional[int] = None
+    event_a: Optional[tuple[float, int, int, int]] = None
+    event_b: Optional[tuple[float, int, int, int]] = None
+
+    def describe(self) -> str:
+        if not self.diverged:
+            return f"runs identical: {self.count_a} events, digest {self.digest_a}"
+        if self.first_index is None:
+            return (
+                f"DIV001: runs diverged (digest {self.digest_a} != "
+                f"{self.digest_b}, {self.count_a} vs {self.count_b} events)"
+            )
+        a = _describe_event(self.event_a) if self.event_a else "<stream ended>"
+        b = _describe_event(self.event_b) if self.event_b else "<stream ended>"
+        return (
+            f"DIV001: runs diverged at event #{self.first_index}: "
+            f"first run saw {a}, second run saw {b}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "diverged": self.diverged,
+            "digest_a": self.digest_a,
+            "digest_b": self.digest_b,
+            "count_a": self.count_a,
+            "count_b": self.count_b,
+            "first_index": self.first_index,
+            "event_a": list(self.event_a) if self.event_a else None,
+            "event_b": list(self.event_b) if self.event_b else None,
+        }
+
+
+def compare_digests(a: EventDigest, b: EventDigest) -> DivergenceReport:
+    """Compare two per-run digests, localising the first mismatch."""
+    diverged = a.hexdigest() != b.hexdigest() or a.count != b.count
+    first_index = None
+    event_a = None
+    event_b = None
+    if diverged and a.keep_events and b.keep_events:
+        limit = max(len(a.events), len(b.events))
+        for i in range(limit):
+            ea = a.events[i] if i < len(a.events) else None
+            eb = b.events[i] if i < len(b.events) else None
+            if ea != eb:
+                first_index, event_a, event_b = i, ea, eb
+                break
+    return DivergenceReport(
+        diverged=diverged,
+        digest_a=a.hexdigest(),
+        digest_b=b.hexdigest(),
+        count_a=a.count,
+        count_b=b.count,
+        first_index=first_index,
+        event_a=event_a,
+        event_b=event_b,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DualRunOutcome:
+    """Everything :func:`dual_run` learned from replaying a trace twice."""
+
+    report: DivergenceReport
+    results: tuple["SimulationResult", "SimulationResult"]
+    violations: tuple[tuple["Violation", ...], tuple["Violation", ...]] = field(
+        default=((), ())
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.report.diverged and not any(self.violations)
+
+
+def dual_run(
+    engine_factory: Callable[[], "SimulatorEngine"],
+    trace: Sequence["TraceJob"],
+    *,
+    keep_events: bool = True,
+) -> DualRunOutcome:
+    """Replay ``trace`` twice on independently built engines and compare.
+
+    ``engine_factory`` must return a *fresh* engine **and** a fresh
+    scheduler on every call — reusing a scheduler would let first-run
+    state leak into the second run and mask (or fabricate) divergence.
+    Each engine gets a fresh collecting sanitizer (``fail_fast=False``)
+    carrying an :class:`EventDigest`, replacing any sanitizer the
+    factory installed; invariant violations are reported alongside the
+    divergence verdict rather than raised.
+    """
+    from .sanitizer import Sanitizer
+
+    digests: list[EventDigest] = []
+    results = []
+    violations = []
+    for _ in range(2):
+        engine = engine_factory()
+        digest = EventDigest(keep_events=keep_events)
+        engine.sanitizer = Sanitizer(fail_fast=False, digest=digest)
+        results.append(engine.run(trace))
+        digests.append(digest)
+        violations.append(tuple(engine.sanitizer.violations))
+    return DualRunOutcome(
+        report=compare_digests(digests[0], digests[1]),
+        results=(results[0], results[1]),
+        violations=(violations[0], violations[1]),
+    )

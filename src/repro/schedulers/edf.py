@@ -153,6 +153,13 @@ class MinEDFScheduler(StaticPriorityScheduler):
                             demand_r - free_reduce_slots)
 
     def on_job_arrival(self, job: Job, time: float, cluster: ClusterConfig) -> None:
+        """Size the job's slot demand to just meet its deadline.
+
+        Raises ``ValueError`` (propagated from
+        :func:`~repro.models.aria.min_slots_for_deadline`) when the
+        cluster offers zero slots of a kind the job needs — no slot
+        allotment can then meet any deadline.
+        """
         if job.deadline is None:
             return  # no deadline: uncapped, behaves like MaxEDF for this job
         remaining = job.deadline - time

@@ -81,3 +81,48 @@ class BrokenEngineFragment:
 
     def _on_map_departure(self, job, index, seq):
         self._push_event(self._now - 1.0, 2, 0, index)  # expect: API001
+
+
+# --------------------------------------------------------------------- #
+# Indirection: violations hidden behind helper functions.  The helpers
+# are (mostly) clean line-by-line; only the whole-program call graph
+# (DET004 / SIM004 / API002) connects them to the scheduler contract.
+# --------------------------------------------------------------------- #
+
+
+def _hidden_clock():
+    """Innocent-looking helper that actually reads the host clock."""
+    return time.perf_counter()
+
+
+def _hidden_jitter():
+    return random.random()  # expect: DET002
+
+
+def _sneaky_bump(job):
+    """'Helpfully' updates engine bookkeeping for the chosen job."""
+    job.maps_dispatched += 1
+
+
+def _fragile_pick(job_queue):
+    if not job_queue:
+        raise ValueError("no jobs to pick from")
+    return job_queue[0]
+
+
+class CovertScheduler(Scheduler):
+    """Each method body passes the per-file rules; the helpers do the dirt."""
+
+    name = "Covert"
+
+    def choose_next_map_task(self, job_queue):
+        started = _hidden_clock()  # expect: DET004
+        job = _fragile_pick(job_queue)  # expect: API002
+        if started >= 0.0:
+            _sneaky_bump(job)  # expect: SIM004
+        return job
+
+    def choose_next_reduce_task(self, job_queue):
+        if _hidden_jitter() < 0.5:  # expect: DET004
+            return None
+        return min(job_queue, key=lambda j: j.job_id, default=None)

@@ -1,0 +1,43 @@
+"""A scheduler with hidden process-global state, for divergence tests.
+
+``tests/test_simsan.py`` loads this file (via importlib, it is not a
+package module) to demonstrate ``DIV001``: replaying one trace twice
+must produce identical event streams, and this policy guarantees it
+does not.  Each constructed instance flips its sort direction based on
+a *module-level* counter, so the second engine of a
+:func:`repro.sanitize.digest.dual_run` — built by a perfectly fresh
+factory — still behaves differently from the first.  The stdlib global
+RNG fails the same way (its hidden stream also survives across runs in
+one process); the counter version is used here because it diverges
+deterministically, keeping the test exact.
+
+Static analysis cannot prove this class nondeterministic (no clock, no
+RNG, no mutation — just an innocent ``itertools.count``), which is
+precisely why the runtime dual-run check exists.
+"""
+
+import itertools
+
+from repro.schedulers.base import Scheduler
+
+_instances = itertools.count()
+
+
+class DivergingScheduler(Scheduler):
+    """Picks shortest-queue-first or longest-first, per construction order."""
+
+    name = "Diverging"
+
+    def __init__(self) -> None:
+        self._flip = next(_instances) % 2 == 1
+
+    def _key(self, job):
+        return (job.submit_time, job.job_id)
+
+    def choose_next_map_task(self, job_queue):
+        pick = max if self._flip else min
+        return pick(job_queue, key=self._key, default=None)
+
+    def choose_next_reduce_task(self, job_queue):
+        pick = max if self._flip else min
+        return pick(job_queue, key=self._key, default=None)

@@ -1,0 +1,34 @@
+"""A scheduler whose violations all live one module away.
+
+Companion to ``helpers.py``; ``tests/test_simlint.py`` lints the two
+files *together* and asserts the ``# expect:`` markers below, then lints
+this file *alone* and asserts no cross-module findings — without the
+helper module in the graph there is nothing to resolve against.
+
+Both import styles the call graph resolves are exercised: ``from
+.helpers import name`` and module aliasing via ``from . import helpers
+as h``.
+"""
+
+from repro.schedulers.base import Scheduler
+
+from . import helpers as h
+from .helpers import entropy_seed, strict_first
+
+
+class XModScheduler(Scheduler):
+    """Line-by-line clean; see helpers.py for the actual sinks."""
+
+    name = "XMod"
+
+    def choose_next_map_task(self, job_queue):
+        jitter = entropy_seed() % 97  # expect: DET004
+        job = strict_first(job_queue)  # expect: API002
+        if jitter >= 0:
+            h.bump_dispatch(job)  # expect: SIM004
+        return job
+
+    def choose_next_reduce_task(self, job_queue):
+        """Deterministic pick; raises ``KeyError`` (via ``strict_first``)
+        when no job is eligible — declared, so API002 stays quiet."""
+        return strict_first(job_queue)

@@ -1,0 +1,30 @@
+"""Cross-module helpers for the ``xmod`` fixture scheduler.
+
+Every function here is clean under the per-file rules — the wall-clock
+read sits outside simulation scope, the raise has no rule of its own,
+and the mutation is not inside a ``choose_next_*`` body.  Only the
+whole-program call graph (DET004 / SIM004 / API002) connects these
+sinks to the scheduler in ``covert_scheduler.py``.
+"""
+
+import time
+
+
+def entropy_seed():
+    """A 'seed' that is really the host clock."""
+    return time.time_ns()
+
+
+def _pick_first(job_queue):
+    if not job_queue:
+        raise KeyError("no eligible jobs")
+    return job_queue[0]
+
+
+def strict_first(job_queue):
+    """Depth-2 chain: the raise lives one more hop down."""
+    return _pick_first(job_queue)
+
+
+def bump_dispatch(job):
+    job.reduces_dispatched += 1

@@ -31,10 +31,13 @@ from repro.cli import main
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_TREE = REPO_ROOT / "src" / "repro"
 FIXTURE = REPO_ROOT / "tests" / "fixtures" / "bad_scheduler.py"
+XMOD_DIR = REPO_ROOT / "tests" / "fixtures" / "xmod"
 
 #: Rule ids with a real checker (LINT000 is the docs-only meta rule).
 IMPLEMENTED_RULES = {
-    "DET001", "DET002", "DET003", "SIM001", "SIM002", "SIM003", "API001",
+    "DET001", "DET002", "DET003", "DET004",
+    "SIM001", "SIM002", "SIM004", "SIM003",
+    "API001", "API002",
 }
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
@@ -93,6 +96,87 @@ class TestFixture:
 # --------------------------------------------------------------------- #
 # inline suppression
 # --------------------------------------------------------------------- #
+# cross-module rules (DET004 / SIM004 / API002)
+# --------------------------------------------------------------------- #
+
+
+class TestCrossModule:
+    """The xmod fixture: sinks in helpers.py, callers in covert_scheduler.py."""
+
+    def test_xmod_findings_match_markers(self):
+        expected = set()
+        for path in sorted(XMOD_DIR.glob("*.py")):
+            expected |= {
+                (rule, line, f"tests/fixtures/xmod/{path.name}")
+                for rule, line in expected_from_markers(path)
+            }
+        assert expected, "xmod fixture lost its # expect: markers"
+        findings = lint_paths([XMOD_DIR], root=REPO_ROOT)
+        got = {(f.rule_id, f.line, f.path) for f in findings}
+        assert got == expected
+        assert {rule for rule, _, _ in got} == {"DET004", "SIM004", "API002"}
+
+    def test_witness_chain_names_depth_two_raise(self):
+        findings = lint_paths([XMOD_DIR], root=REPO_ROOT)
+        api = [f for f in findings if f.rule_id == "API002"]
+        assert len(api) == 1
+        # The two-hop chain to the sink is spelled out for the reader.
+        assert "strict_first" in api[0].message
+        assert "_pick_first" in api[0].message
+        assert "KeyError" in api[0].message
+
+    def test_declared_raises_docstring_waives_api002(self):
+        findings = lint_paths([XMOD_DIR], root=REPO_ROOT)
+        # choose_next_reduce_task calls the same raising helper but
+        # declares it in its docstring: exactly one API002, on the map side.
+        api_lines = [f.line for f in findings if f.rule_id == "API002"]
+        source = (XMOD_DIR / "covert_scheduler.py").read_text()
+        reduce_def = source.splitlines().index(
+            "    def choose_next_reduce_task(self, job_queue):"
+        ) + 1
+        assert all(line < reduce_def for line in api_lines)
+
+    def test_single_file_lint_has_no_cross_module_findings(self):
+        """Without helpers.py in the graph there is nothing to resolve."""
+        path = XMOD_DIR / "covert_scheduler.py"
+        findings = lint_source(
+            path.read_text(), path="tests/fixtures/xmod/covert_scheduler.py"
+        )
+        assert findings == []
+
+    def test_intra_file_indirection_caught_by_lint_source(self):
+        """lint_source builds a single-module graph: same-file helpers count."""
+        source = (
+            "import time\n"
+            "from repro.schedulers.base import Scheduler\n"
+            "def sneaky():\n"
+            "    return time.monotonic()\n"
+            "class S(Scheduler):\n"
+            "    name = 's'\n"
+            "    def choose_next_map_task(self, q):\n"
+            "        sneaky()\n"
+            "        return None\n"
+        )
+        findings = lint_source(source, path="plugin.py")
+        assert [(f.rule_id, f.line) for f in findings] == [("DET004", 8)]
+
+    def test_sanctioned_sink_seeds_no_taint(self):
+        """A suppressed sink line is audited: callers inherit nothing."""
+        source = (
+            "import time\n"
+            "from repro.schedulers.base import Scheduler\n"
+            "def audited():\n"
+            "    return time.monotonic()  # simlint: disable=DET001 -- metrics\n"
+            "class S(Scheduler):\n"
+            "    name = 's'\n"
+            "    def choose_next_map_task(self, q):\n"
+            "        audited()\n"
+            "        return None\n"
+        )
+        assert lint_source(source, path="plugin.py") == []
+
+
+# --------------------------------------------------------------------- #
 
 VIOLATION = "import time\nt = time.time()  {comment}\n"
 
@@ -132,6 +216,19 @@ class TestSuppression:
         # The typo'd directive suppresses nothing and is itself flagged.
         assert ("LINT000", 2) in ids
         assert ("DET001", 2) in ids
+
+    def test_trailing_justification_prose_is_ignored(self):
+        """Prose after the id list must not corrupt the parsed ids."""
+        assert self._lint("# simlint: disable=DET001 -- audited: metrics only") == []
+
+    def test_trailing_prose_does_not_flag_phantom_ids(self):
+        # Before the regex was anchored to the id list, "audited" parsed
+        # as an unknown rule id and produced a spurious LINT000.
+        findings = self._lint("# simlint: disable=DET001 audited by perf team")
+        assert findings == []
+
+    def test_list_with_spaces_and_prose(self):
+        assert self._lint("# simlint: disable=DET001, DET002 -- both audited") == []
 
 
 # --------------------------------------------------------------------- #
@@ -184,6 +281,24 @@ class TestConfig:
     def test_repo_pyproject_parses(self):
         config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
         config.validate(default_registry)
+
+    def test_repo_pyproject_whitelists_walltime(self):
+        config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+        assert config.is_timing_whitelisted("src/repro/core/walltime.py")
+        assert not config.is_timing_whitelisted("src/repro/core/engine.py")
+
+    def test_from_pyproject_malformed_toml_is_value_error(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.simlint\ndisable = [")
+        with pytest.raises(ValueError, match="invalid TOML"):
+            LintConfig.from_pyproject(pyproject)
+
+    def test_from_pyproject_unknown_rule_id_rejected_at_validate(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.simlint]\ndisable = ["DET404"]\n')
+        config = LintConfig.from_pyproject(pyproject)
+        with pytest.raises(ValueError, match="unknown rule id.*DET404"):
+            config.validate(default_registry)
 
 
 # --------------------------------------------------------------------- #
@@ -249,6 +364,33 @@ class TestCli:
     def test_lint_unknown_rule_exits_2(self, capsys):
         assert main(["lint", "--disable", "BOGUS1", str(FIXTURE)]) == 2
         assert "unknown rule id" in capsys.readouterr().err
+
+    def test_lint_malformed_config_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "pyproject.toml"
+        bad.write_text("[tool.simlint\n")
+        assert main(["lint", "--config", str(bad), str(FIXTURE)]) == 2
+        assert "invalid TOML" in capsys.readouterr().err
+
+    def test_lint_github_format(self, capsys):
+        assert main(["lint", "--format", "github", str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        # One annotation per finding, severity mapped to the command name.
+        assert "::error file=tests/fixtures/bad_scheduler.py,line=" in out
+        assert "::warning file=tests/fixtures/bad_scheduler.py,line=" in out
+        assert ",title=DET004::" in out
+        # The summary line stays greppable plain text.
+        assert "finding(s)" in out
+
+    def test_github_format_escapes_newlines_and_percent(self):
+        from repro.analysis import render_github
+        from repro.analysis.findings import Finding, Severity
+
+        f = Finding(
+            path="a.py", line=1, col=1, rule_id="DET001",
+            severity=Severity.ERROR, message="100% bad\nreally", hint="",
+        )
+        out = render_github([f])
+        assert "100%25 bad%0Areally" in out
 
     def test_lint_disable_filters(self, capsys):
         assert main(["lint", "--select", "API001", str(FIXTURE)]) == 1
