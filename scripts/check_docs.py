@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation checks: intra-repo markdown links + docs footer.
+
+Two gates, both stdlib-only so they run anywhere:
+
+1. **Relative links resolve.**  Every markdown file in the repo is
+   scanned for ``[text](target)`` links; relative targets (optionally
+   with an ``#anchor``) must exist on disk relative to the linking
+   file.  External links (``http(s)://``, ``mailto:``) and pure
+   in-page anchors are not checked — CI must not depend on the network.
+2. **The docs footer.**  Every ``docs/*.md`` page ends with the shared
+   *See also* cross-link footer, so no guide becomes an orphan.
+
+Exit status: 0 when clean, 1 with one ``file:line: message`` per
+problem otherwise.  Run from anywhere::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories never scanned for markdown.
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules", ".venv"}
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+FOOTER_MARK = "*See also:"
+
+
+def markdown_files() -> list[Path]:
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            files.append(path)
+    return files
+
+
+def check_links(path: Path) -> list[str]:
+    problems = []
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+        if in_code_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                    f"broken link {target!r}"
+                )
+    return problems
+
+
+def check_footer(path: Path) -> list[str]:
+    if FOOTER_MARK not in path.read_text():
+        return [
+            f"{path.relative_to(REPO_ROOT)}:1: missing the shared "
+            f"'{FOOTER_MARK} ...' cross-link footer"
+        ]
+    return []
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in markdown_files():
+        problems.extend(check_links(path))
+    for path in sorted((REPO_ROOT / "docs").glob("*.md")):
+        problems.extend(check_footer(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(markdown_files())} markdown files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,8 +40,9 @@ from .core import (
     TraceJob,
     simulate,
 )
+from .parallel import ResultCache, SchedulerSpec, SimTask, simulate_many
 from .planner import ClusterPlanner
-from .sweep import SweepCell, SweepResult, run_sweep
+from .sweep import GridPoint, SweepCell, SweepResult, expand_grid, run_sweep
 from .schedulers import (
     CapacityScheduler,
     CappedFIFOScheduler,
@@ -57,9 +58,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClusterPlanner",
+    "GridPoint",
     "SweepCell",
     "SweepResult",
+    "expand_grid",
     "run_sweep",
+    "ResultCache",
+    "SchedulerSpec",
+    "SimTask",
+    "simulate_many",
     "ClusterConfig",
     "Event",
     "EventQueue",

@@ -11,8 +11,17 @@ Subcommands mirror the SimMR workflow (paper Figure 4):
 * ``simmr compare`` — replay one trace under several policies and print
   the comparison;
 * ``simmr experiment`` — regenerate a paper table/figure by id;
+* ``simmr sweep`` — what-if sweep over (scheduler, cluster, slow-start)
+  grids, parallelized over a worker pool and backed by the
+  content-addressed result cache (``repro.parallel``,
+  ``docs/performance.md``);
+* ``simmr stats`` / ``compact`` / ``scale`` / ``diff-profiles`` /
+  ``fit`` — trace inspection and manipulation;
+* ``simmr validate`` — the end-to-end accuracy loop, pass/fail;
 * ``simmr lint`` — simlint: determinism & simulation-invariant static
-  analysis over the source tree (see ``docs/linting.md``).
+  analysis over the source tree (see ``docs/linting.md``);
+* ``simmr check`` — combined gate: simlint + sanitized dual-run replay
+  (see ``docs/sanitizer.md``).
 """
 
 from __future__ import annotations
@@ -104,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--runs", type=int, default=None, help="averaging runs (fig7/fig8)")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--plot", action="store_true", help="render a text plot of the result")
+    exp.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for parallelizable experiments (zoo)",
+    )
 
     stats = sub.add_parser("stats", help="summarize a trace file")
     stats.add_argument("trace", type=Path)
@@ -155,6 +168,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["makespan", "mean_duration", "p95_duration", "deadline_utility"],
         help="also print the winning configuration for this metric",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="fan the grid out over N worker processes (default: in-process)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed result cache",
+    )
+    sweep.add_argument(
+        "--fresh", action="store_true",
+        help="ignore cached results (re-execute every cell) but store the new ones",
+    )
+    sweep.add_argument(
+        "--cache-path", type=Path, default=None,
+        help="result-cache sqlite file (default: $SIMMR_CACHE_DIR/results.sqlite "
+        "or ~/.cache/simmr/results.sqlite)",
+    )
+    sweep.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_",
+        help="report format (default text)",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines (stderr)",
     )
 
     fit = sub.add_parser(
@@ -451,6 +489,9 @@ def _cmd_diff_profiles(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .core.walltime import elapsed_since, perf_seconds
     from .sweep import run_sweep
 
     trace = load_trace(args.trace)
@@ -463,17 +504,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print("--reduce-slots must match --map-slots in length", file=sys.stderr)
             return 2
     clusters = [ClusterConfig(m, r) for m, r in zip(map_slots, reduce_slots)]
+
+    if args.no_cache:
+        if args.fresh or args.cache_path:
+            print("--no-cache conflicts with --fresh/--cache-path", file=sys.stderr)
+            return 2
+        cache: object = False
+    else:
+        cache = args.cache_path if args.cache_path else True
+
+    def progress(done: int, total: int, outcome) -> None:  # SimOutcome
+        task, res = outcome.task, outcome.result
+        source = "cached" if outcome.cached else "ran"
+        print(
+            f"[{done}/{total}] {res.scheduler_name} "
+            f"{task.cluster.map_slots}x{task.cluster.reduce_slots} "
+            f"ss={task.slowstart:g} makespan={res.makespan:.1f}s ({source})",
+            file=sys.stderr,
+        )
+
+    start = perf_seconds()
     result = run_sweep(
         trace,
         schedulers=[s.strip() for s in args.schedulers.split(",") if s.strip()],
         clusters=clusters,
         slowstarts=[float(x) for x in args.slowstarts.split(",") if x.strip()],
+        workers=args.workers,
+        cache=cache,
+        fresh=args.fresh,
+        progress=None if args.quiet or args.format_ == "json" else progress,
     )
+    wall = elapsed_since(start)
+
+    if args.format_ == "json":
+        doc = {
+            "cells": [
+                {**c.row(), "cached": c.cached, "event_digest": c.event_digest}
+                for c in result.cells
+            ],
+            "cache_hits": result.cache_hits,
+            "executed": result.executed,
+            "wall_seconds": wall,
+            "workers": args.workers,
+        }
+        if args.best_by:
+            best = result.best_by(args.best_by)
+            doc["best"] = {"metric": args.best_by, **best.row()}
+        print(_json.dumps(doc, indent=2))
+        return 0
+
     print(result)
+    print(
+        f"\n{result.executed} cell(s) executed, {result.cache_hits} served "
+        f"from cache in {wall:.2f}s"
+        + (f" ({args.workers} workers)" if args.workers > 1 else ""),
+    )
     if args.best_by:
         best = result.best_by(args.best_by)
         print(
-            f"\nbest {args.best_by}: {best.scheduler} on "
+            f"best {args.best_by}: {best.scheduler} on "
             f"{best.map_slots}x{best.reduce_slots} (slowstart {best.slowstart})"
         )
     return 0
@@ -705,7 +794,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.id == "zoo":
         from .experiments.scheduler_zoo import run_scheduler_zoo
 
-        print(run_scheduler_zoo(runs=args.runs or 10, seed=args.seed))
+        print(
+            run_scheduler_zoo(
+                runs=args.runs or 10, seed=args.seed, workers=args.workers
+            )
+        )
     elif args.id == "locality":
         from .experiments.locality import run_locality_sweep
 

@@ -78,6 +78,13 @@ class SimulationResult:
     makespan: float
     events_processed: int
     wall_clock_seconds: float
+    #: BLAKE2b fingerprint of the popped event stream (hex), populated
+    #: when the run carried an event digest (a sanitizer with
+    #: ``digest=``, or the sweep layers' ``DigestRecorder``).  Two runs
+    #: with equal digests scheduled the same tasks at the same times in
+    #: the same order — the determinism contract's equality, and how the
+    #: parallel sweep cache proves a restored result faithful.
+    event_digest: Optional[str] = None
     #: The processed event stream (populated only when the engine ran
     #: with ``record_events=True``) — the paper's seven event types in
     #: processing order.

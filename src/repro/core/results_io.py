@@ -27,17 +27,31 @@ __all__ = [
     "jobs_to_csv",
 ]
 
-_FORMAT_VERSION = 1
+# Version 2 added the optional ``event_digest`` fingerprint (needed for
+# faithful cache restores in :mod:`repro.parallel`); version-1 documents
+# are still readable — they simply carry no digest.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
-    """JSON-serializable document for a full simulation result."""
+    """JSON-serializable document for a full simulation result.
+
+    The document is lossless for everything the engine reports except
+    the optional debug ``event_log``: scheduler name, makespan, the
+    engine statistics (``events_processed``, ``wall_clock_seconds``),
+    the event-stream digest, per-job results and task records all
+    round-trip exactly through :func:`result_from_dict` (pinned by
+    ``tests/test_results_io.py``) — which is what lets the parallel
+    sweep cache restore a stored run as if it had just executed.
+    """
     return {
         "format_version": _FORMAT_VERSION,
         "scheduler": result.scheduler_name,
         "makespan": result.makespan,
         "events_processed": result.events_processed,
         "wall_clock_seconds": result.wall_clock_seconds,
+        "event_digest": result.event_digest,
         "jobs": [
             {
                 "job_id": j.job_id,
@@ -71,9 +85,10 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
     """Rebuild a result from :func:`result_to_dict` output."""
     version = data.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
-            f"unsupported result format version {version!r} (expected {_FORMAT_VERSION})"
+            f"unsupported result format version {version!r} "
+            f"(readable: {', '.join(map(str, _READABLE_VERSIONS))})"
         )
     jobs = [
         JobResult(
@@ -109,6 +124,7 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         makespan=data["makespan"],
         events_processed=data["events_processed"],
         wall_clock_seconds=data["wall_clock_seconds"],
+        event_digest=data.get("event_digest"),
     )
 
 

@@ -11,12 +11,12 @@ mean job duration (what Flex(avg_response) optimizes) and makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..core.cluster import ClusterConfig
-from ..core.engine import simulate
 from ..schedulers import (
     CapacityScheduler,
     DynamicPriorityScheduler,
@@ -29,6 +29,9 @@ from ..schedulers import (
 )
 from ..workloads.mixes import permuted_deadline_trace, testbed_mix_profiles
 from .common import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.cache import ResultCache
 
 __all__ = ["SchedulerZooResult", "run_scheduler_zoo", "ZOO_POLICIES"]
 
@@ -100,27 +103,55 @@ def run_scheduler_zoo(
     seed: int = 0,
     cluster: ClusterConfig = ClusterConfig(64, 64),
     policies: Sequence[str] = tuple(ZOO_POLICIES),
+    workers: int = 0,
+    cache: "ResultCache | str | Path | bool | None" = None,
 ) -> SchedulerZooResult:
-    """Replay the testbed mix under every requested policy."""
+    """Replay the testbed mix under every requested policy.
+
+    The ``runs x policies`` replays are mutually independent, so they
+    go through :func:`repro.parallel.executor.simulate_many`:
+    ``workers=N`` fans them out over a process pool, and ``cache=``
+    reuses any replay whose (trace, policy, cluster) was already
+    simulated — re-running the zoo after adding one policy then only
+    executes the new column.  Results are identical for every
+    ``workers`` value (the executor's digest/determinism guarantees).
+    """
+    from ..parallel.executor import SchedulerSpec, SimTask, simulate_many
+
     unknown = set(policies) - set(ZOO_POLICIES)
     if unknown:
         raise ValueError(f"unknown policies {sorted(unknown)}; known: {sorted(ZOO_POLICIES)}")
     profiles = testbed_mix_profiles(2, seed=seed)
+    traces = {}
+    for r in range(runs):
+        run_seed = np.random.default_rng((seed, r))
+        traces[f"run{r}"] = permuted_deadline_trace(
+            profiles, mean_interarrival, deadline_factor, cluster, seed=run_seed
+        )
+    tasks = [
+        SimTask(
+            trace_id=f"run{r}",
+            scheduler=SchedulerSpec(kind="zoo", name=name),
+            cluster=cluster,
+            record_tasks=False,
+            tag=name,
+        )
+        for r in range(runs)
+        for name in policies
+    ]
+    outcomes = simulate_many(
+        traces, tasks, workers=workers, cache=cache, digest=False
+    )
+
     totals: dict[str, dict[str, float]] = {
         name: {"utility": 0.0, "mean_duration": 0.0, "makespan": 0.0} for name in policies
     }
-    for r in range(runs):
-        run_seed = np.random.default_rng((seed, r))
-        trace = permuted_deadline_trace(
-            profiles, mean_interarrival, deadline_factor, cluster, seed=run_seed
-        )
-        for name in policies:
-            result = simulate(trace, ZOO_POLICIES[name](), cluster, record_tasks=False)
-            totals[name]["utility"] += result.relative_deadline_exceeded()
-            totals[name]["mean_duration"] += float(
-                np.mean(list(result.durations().values()))
-            )
-            totals[name]["makespan"] += result.makespan
+    for outcome in outcomes:
+        result = outcome.result
+        agg = totals[outcome.task.tag]
+        agg["utility"] += result.relative_deadline_exceeded()
+        agg["mean_duration"] += float(np.mean(list(result.durations().values())))
+        agg["makespan"] += result.makespan
     metrics = {
         name: {k: v / runs for k, v in m.items()} for name, m in totals.items()
     }

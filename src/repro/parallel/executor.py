@@ -1,0 +1,402 @@
+"""Multiprocessing fan-out of simulation campaigns.
+
+One SimMR replay is sub-second, but a campaign — a what-if sweep, a
+scheduler-zoo comparison, a deadline-factor grid — is hundreds of
+independent replays, and the engine is pure CPU-bound Python.  This
+module fans a batch of :class:`SimTask` descriptions out across a
+``multiprocessing`` worker pool, with three properties the serial loop
+already had and must keep:
+
+* **Determinism** — every task derives a seed from its content key
+  (trace digest + scheduler identity + engine config), so a run's RNG
+  material is a pure function of *what* is simulated, never of which
+  worker ran it or in what order.  Results are returned in submission
+  order regardless of completion order.
+* **Verifiability** — each run streams its popped events into a BLAKE2b
+  :class:`~repro.sanitize.digest.EventDigest` (via the zero-check
+  :class:`~repro.sanitize.digest.DigestRecorder`), so serial, parallel
+  and cache-restored executions of the same task can be asserted
+  event-identical in one comparison.
+* **Reuse** — completed runs are stored in a content-addressed
+  :class:`~repro.parallel.cache.ResultCache` as they finish; re-running
+  a campaign only executes tasks whose inputs changed, and an
+  interrupted campaign resumes from the completed cells for free.
+
+Tasks cross the process boundary as plain picklable data: traces are
+shipped once per worker (pool initializer), schedulers as symbolic
+:class:`SchedulerSpec` names resolved inside the worker.  In-process
+factories (``SchedulerSpec.inline``) are supported for ad-hoc policies
+but always execute in the parent and bypass the cache — a closure has
+no content address.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..core.cluster import ClusterConfig
+from ..core.engine import SimulatorEngine
+from ..core.job import TraceJob
+from ..core.results import SimulationResult
+from ..core.results_io import result_from_dict, result_to_dict
+from ..sanitize.digest import DigestRecorder, trace_digest
+from ..schedulers import Scheduler, make_scheduler
+from .cache import ResultCache, cache_key, default_cache_path
+
+__all__ = [
+    "SchedulerSpec",
+    "SimTask",
+    "SimOutcome",
+    "simulate_many",
+    "register_spec_kind",
+]
+
+ProgressFn = Callable[[int, int, "SimOutcome"], None]
+
+
+# --------------------------------------------------------------------------- #
+# scheduler specs
+# --------------------------------------------------------------------------- #
+
+def _resolve_registry(name: str, kwargs: dict[str, Any]) -> Scheduler:
+    return make_scheduler(name, **kwargs)
+
+
+def _resolve_zoo(name: str, kwargs: dict[str, Any]) -> Scheduler:
+    from ..experiments.scheduler_zoo import ZOO_POLICIES
+
+    try:
+        factory = ZOO_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown zoo policy {name!r}; known: {sorted(ZOO_POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+#: Spec kind -> resolver(name, kwargs) -> fresh Scheduler.  Extend with
+#: :func:`register_spec_kind` to make custom policy families
+#: addressable (and therefore cacheable and pool-dispatchable) by name.
+_SPEC_KINDS: dict[str, Callable[[str, dict[str, Any]], Scheduler]] = {
+    "registry": _resolve_registry,
+    "zoo": _resolve_zoo,
+}
+
+
+def register_spec_kind(
+    kind: str, resolver: Callable[[str, dict[str, Any]], Scheduler]
+) -> None:
+    """Register a named scheduler family for symbolic dispatch.
+
+    ``resolver(name, kwargs)`` must build a *fresh* scheduler per call
+    (schedulers are stateful per run) and be importable in a worker
+    process — i.e. defined at module level, not a closure.
+    """
+    _SPEC_KINDS[kind] = resolver
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Symbolic, picklable description of how to build a scheduler.
+
+    ``kind``/``name``/``kwargs`` address a resolver in the spec-kind
+    table ("registry" = :func:`repro.schedulers.make_scheduler`,
+    "zoo" = :data:`repro.experiments.scheduler_zoo.ZOO_POLICIES`).
+    ``seeded=True`` passes the task's derived deterministic seed to the
+    resolver as a ``seed`` kwarg (for stochastic policies).
+
+    :meth:`inline` wraps an arbitrary zero-argument factory instead;
+    inline specs have no content identity, so they run in the parent
+    process and are never cached.
+    """
+
+    kind: str = "registry"
+    name: str = "fifo"
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    seeded: bool = False
+    factory: Optional[Callable[[], Scheduler]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @classmethod
+    def inline(cls, name: str, factory: Callable[[], Scheduler]) -> "SchedulerSpec":
+        return cls(kind="inline", name=name, factory=factory)
+
+    @property
+    def cacheable(self) -> bool:
+        return self.factory is None
+
+    def identity(self) -> str:
+        """Stable content identity (part of the cache key)."""
+        if not self.cacheable:
+            raise ValueError(f"inline scheduler spec {self.name!r} has no identity")
+        kwargs_json = json.dumps(dict(self.kwargs), sort_keys=True, separators=(",", ":"))
+        return f"{self.kind}:{self.name}:{kwargs_json}"
+
+    def build(self, seed: int) -> Scheduler:
+        """A fresh scheduler instance for one run."""
+        if self.factory is not None:
+            return self.factory()
+        try:
+            resolver = _SPEC_KINDS[self.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler spec kind {self.kind!r}; known: "
+                f"{sorted(_SPEC_KINDS)}"
+            ) from None
+        kwargs = dict(self.kwargs)
+        if self.seeded:
+            kwargs["seed"] = seed
+        return resolver(self.name, kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# tasks and outcomes
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent simulation: (trace, scheduler, engine config).
+
+    ``trace_id`` references the trace table passed to
+    :func:`simulate_many` — traces are shipped to workers once, not per
+    task.  ``tag`` is an arbitrary picklable correlation handle returned
+    untouched on the outcome (e.g. the sweep-grid point).
+    """
+
+    trace_id: str
+    scheduler: SchedulerSpec
+    cluster: ClusterConfig = ClusterConfig(64, 64)
+    slowstart: float = 0.05
+    record_tasks: bool = False
+    preemption: bool = False
+    tag: Any = None
+
+    def engine_config(self) -> dict[str, Any]:
+        """Every engine knob that can change this task's result."""
+        return {
+            "map_slots": self.cluster.map_slots,
+            "reduce_slots": self.cluster.reduce_slots,
+            "slowstart": self.slowstart,
+            "record_tasks": self.record_tasks,
+            "preemption": self.preemption,
+        }
+
+
+@dataclass
+class SimOutcome:
+    """One task's result, with its provenance."""
+
+    task: SimTask
+    result: SimulationResult
+    #: True when the result was restored from the cache, not executed.
+    cached: bool
+    #: Content address of the run; None for uncacheable (inline) tasks.
+    key: Optional[str]
+    #: The deterministic per-run seed derived from the task's content.
+    seed: int
+
+
+def _derive_seed(trace_dig: str, scheduler_id: str, config_json: str) -> int:
+    """Deterministic 63-bit seed from the task's content material."""
+    h = blake2b(digest_size=8)
+    for part in (trace_dig, scheduler_id, config_json):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return int.from_bytes(h.digest(), "little") >> 1
+
+
+def _execute(
+    trace: Sequence[TraceJob], task: SimTask, seed: int, digest: bool
+) -> SimulationResult:
+    """Run one task in the current process."""
+    recorder = DigestRecorder() if digest else None
+    engine = SimulatorEngine(
+        task.cluster,
+        task.scheduler.build(seed),
+        min_map_percent_completed=task.slowstart,
+        record_tasks=task.record_tasks,
+        preemption=task.preemption,
+        sanitizer=recorder,
+    )
+    result = engine.run(trace)
+    if recorder is not None:
+        result.event_digest = recorder.hexdigest()
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# worker-process plumbing
+# --------------------------------------------------------------------------- #
+
+#: Per-worker trace table, installed by the pool initializer so each
+#: trace crosses the process boundary once instead of once per task.
+_WORKER_TRACES: dict[str, Sequence[TraceJob]] = {}
+
+
+def _init_worker(traces: dict[str, Sequence[TraceJob]]) -> None:
+    _WORKER_TRACES.clear()
+    _WORKER_TRACES.update(traces)
+
+
+def _run_in_worker(item: tuple[int, SimTask, int, bool]) -> tuple[int, dict[str, Any]]:
+    index, task, seed, digest = item
+    result = _execute(_WORKER_TRACES[task.trace_id], task, seed, digest)
+    # Results travel back as their canonical serialization document —
+    # the exact bytes the cache would store — so a parallel result is
+    # structurally identical to a cache restore of itself.
+    return index, result_to_dict(result)
+
+
+# --------------------------------------------------------------------------- #
+# the executor
+# --------------------------------------------------------------------------- #
+
+def simulate_many(
+    traces: Mapping[str, Sequence[TraceJob]],
+    tasks: Sequence[SimTask],
+    *,
+    workers: int = 0,
+    cache: "ResultCache | str | Path | bool | None" = None,
+    fresh: bool = False,
+    digest: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> list[SimOutcome]:
+    """Execute a batch of simulation tasks, reusing cached results.
+
+    Parameters
+    ----------
+    traces:
+        ``trace_id -> trace`` table; every task references one entry.
+    workers:
+        ``<= 1`` runs in-process (no pool); ``N > 1`` fans uncached
+        tasks out over ``N`` worker processes.  Both paths produce
+        event-digest-identical results.
+    cache:
+        ``None``/``False`` disables caching; ``True`` opens the default
+        cache file (:func:`~repro.parallel.cache.default_cache_path`);
+        a path opens that file; an open :class:`ResultCache` is used
+        as-is (and not closed).  Completed runs are committed one by
+        one, so interruption never loses finished work.
+    fresh:
+        Ignore existing cache entries (every task re-executes) but still
+        store the new results — a forced re-population.
+    digest:
+        Stream each run's events into a BLAKE2b fingerprint
+        (``result.event_digest``); costs a few percent of throughput.
+    progress:
+        ``progress(done, total, outcome)`` called once per task as it
+        completes (cache hits first, then executions in completion
+        order).
+
+    Returns outcomes in task order.
+    """
+    for task in tasks:
+        if task.trace_id not in traces:
+            raise ValueError(f"task references unknown trace_id {task.trace_id!r}")
+
+    own_cache: Optional[ResultCache] = None
+    if cache is True:
+        cache = own_cache = ResultCache(default_cache_path())
+    elif isinstance(cache, (str, Path)):
+        cache = own_cache = ResultCache(cache)
+    elif cache is False:
+        cache = None
+
+    try:
+        return _simulate_many(
+            traces, tasks, workers=workers, cache=cache, fresh=fresh,
+            digest=digest, progress=progress,
+        )
+    finally:
+        if own_cache is not None:
+            own_cache.close()
+
+
+def _simulate_many(
+    traces: Mapping[str, Sequence[TraceJob]],
+    tasks: Sequence[SimTask],
+    *,
+    workers: int,
+    cache: Optional[ResultCache],
+    fresh: bool,
+    digest: bool,
+    progress: Optional[ProgressFn],
+) -> list[SimOutcome]:
+    digests = {tid: trace_digest(trace) for tid, trace in traces.items()}
+
+    total = len(tasks)
+    done = 0
+    outcomes: list[Optional[SimOutcome]] = [None] * total
+    pending: list[tuple[int, SimTask, int]] = []  # (index, task, seed)
+
+    def finish(index: int, outcome: SimOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    # Phase 1: content keys, deterministic seeds, cache lookups.
+    for index, task in enumerate(tasks):
+        trace_dig = digests[task.trace_id]
+        config_json = json.dumps(
+            task.engine_config(), sort_keys=True, separators=(",", ":")
+        )
+        if task.scheduler.cacheable:
+            scheduler_id = task.scheduler.identity()
+            key = cache_key(trace_dig, scheduler_id, task.engine_config())
+        else:
+            scheduler_id = f"inline:{task.scheduler.name}"
+            key = None
+        seed = _derive_seed(trace_dig, scheduler_id, config_json)
+        if cache is not None and key is not None and not fresh:
+            hit = cache.get(key)
+            if hit is not None:
+                finish(index, SimOutcome(task, hit, cached=True, key=key, seed=seed))
+                continue
+        pending.append((index, task, seed))
+
+    def store(index: int, task: SimTask, seed: int, result: SimulationResult) -> SimOutcome:
+        key = None
+        if task.scheduler.cacheable:
+            key = cache_key(
+                digests[task.trace_id], task.scheduler.identity(), task.engine_config()
+            )
+            if cache is not None:
+                cache.put(
+                    key,
+                    result,
+                    trace_digest=digests[task.trace_id],
+                    scheduler_id=task.scheduler.identity(),
+                )
+        return SimOutcome(task, result, cached=False, key=key, seed=seed)
+
+    # Phase 2: execute the misses.
+    parallel = [p for p in pending if p[1].scheduler.cacheable]
+    inline = [p for p in pending if not p[1].scheduler.cacheable]
+    if workers > 1 and len(parallel) > 1:
+        used_traces = {
+            task.trace_id: traces[task.trace_id] for _, task, _ in parallel
+        }
+        ctx = multiprocessing.get_context()
+        nproc = min(workers, len(parallel))
+        with ctx.Pool(nproc, initializer=_init_worker, initargs=(used_traces,)) as pool:
+            items = [(i, task, seed, digest) for i, task, seed in parallel]
+            by_index = {i: (task, seed) for i, task, seed in parallel}
+            for index, payload in pool.imap_unordered(_run_in_worker, items):
+                task, seed = by_index[index]
+                finish(index, store(index, task, seed, result_from_dict(payload)))
+    else:
+        inline = pending  # run everything in-process, in submission order
+    for index, task, seed in inline:
+        result = _execute(traces[task.trace_id], task, seed, digest)
+        finish(index, store(index, task, seed, result))
+
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]

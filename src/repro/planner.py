@@ -19,6 +19,11 @@ Objectives are checked to be monotone over the probed range (more slots
 never hurt a work-conserving replay of the same trace); should a policy
 violate that (e.g. model-driven allocations shifting discretely), the
 returned size is re-verified by simulation before being reported.
+
+The planner answers "how big a cluster"; its sibling
+:mod:`repro.sweep` answers "which configuration of this cluster"
+(and parallelizes/caches its replays via :mod:`repro.parallel`).
+``examples/cluster_sizing.py`` walks both.
 """
 
 from __future__ import annotations

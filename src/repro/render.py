@@ -4,6 +4,17 @@ The paper's figures are line plots (deadline sweeps, simulation-time
 curves) and grouped bars (accuracy panels).  This module renders both as
 plain text so ``simmr experiment --plot`` can show a figure's *shape*
 directly in the terminal, with no plotting dependency.
+
+Public API (all return strings, never print):
+
+* :func:`line_plot` — multi-series scatter/line canvas with axis labels,
+  optional log-x, and per-series markers (``ox+*`` ...);
+* :func:`bar_chart` — horizontal labelled bars with an optional
+  reference line (e.g. "100% of actual" in the accuracy panels);
+* :func:`sparkline` — a one-line block-character series for tables.
+
+Used by :mod:`repro.cli` (``--plot``) and the experiment modules'
+``__str__`` helpers; nothing here touches simulation state.
 """
 
 from __future__ import annotations

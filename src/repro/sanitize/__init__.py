@@ -22,14 +22,24 @@ is taken once per ``run()``, so the off path has zero per-event cost
 dynamic halves into one gate.  See ``docs/sanitizer.md``.
 """
 
-from .digest import DivergenceReport, DualRunOutcome, EventDigest, compare_digests, dual_run
+from .digest import (
+    DigestRecorder,
+    DivergenceReport,
+    DualRunOutcome,
+    EventDigest,
+    compare_digests,
+    dual_run,
+    trace_digest,
+)
 from .sanitizer import Sanitizer, SimsanViolation, Violation
 
 __all__ = [
     "Sanitizer",
     "SimsanViolation",
     "Violation",
+    "DigestRecorder",
     "EventDigest",
+    "trace_digest",
     "DivergenceReport",
     "DualRunOutcome",
     "compare_digests",

@@ -33,14 +33,35 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "EventDigest",
+    "DigestRecorder",
     "DivergenceReport",
     "DualRunOutcome",
     "compare_digests",
     "dual_run",
+    "trace_digest",
 ]
 
 # One packed record per event: float64 time + three int32 fields.
 _PACK = struct.Struct("<dlll").pack
+
+
+def trace_digest(trace: Sequence["TraceJob"]) -> str:
+    """Content digest of a replayable trace (the cache-key input).
+
+    BLAKE2b over the canonical JSON of the trace's
+    :func:`~repro.trace.schema.trace_to_dict` document (sorted keys, no
+    whitespace), so two traces digest equally iff they would serialize
+    identically — the same identity the trace files and the trace
+    database use.  :mod:`repro.parallel` keys its content-addressed
+    result cache on this together with the scheduler and engine
+    configuration.
+    """
+    import json
+
+    from ..trace.schema import trace_to_dict
+
+    payload = json.dumps(trace_to_dict(trace), sort_keys=True, separators=(",", ":"))
+    return blake2b(payload.encode(), digest_size=16).hexdigest()
 
 
 def _describe_event(event: tuple[float, int, int, int]) -> str:
@@ -83,6 +104,49 @@ class EventDigest:
 
     def hexdigest(self) -> str:
         return self._hash.hexdigest()
+
+
+class DigestRecorder:
+    """Minimal sanitizer stand-in that *only* streams the event digest.
+
+    Implements the four engine hooks (``begin_run`` / ``observe_pop`` /
+    ``observe_handled`` / ``end_run``) that the sanitized run-loop
+    branch calls, but performs no invariant checking — one digest update
+    per popped event and nothing else.  This is what the sweep layers
+    (:mod:`repro.sweep`, :mod:`repro.parallel`) install to fingerprint
+    every run cheaply: the full :class:`~repro.sanitize.sanitizer.Sanitizer`
+    costs roughly a 5x slowdown, the recorder a few percent.
+
+    The digest is identical to the one a full sanitizer carrying the
+    same :class:`EventDigest` would produce (both hash the popped
+    ``(time, type, job_id, task_index)`` stream), so fingerprints from
+    checked and unchecked runs are directly comparable.
+    """
+
+    __slots__ = ("digest", "violations")
+
+    def __init__(self, digest: Optional[EventDigest] = None) -> None:
+        self.digest = digest if digest is not None else EventDigest(keep_events=False)
+        #: Always empty — kept so callers can treat any installed
+        #: sanitizer uniformly (``engine.sanitizer.violations``).
+        self.violations: list = []
+
+    def begin_run(self, engine: "SimulatorEngine", trace: Sequence["TraceJob"]) -> None:
+        self.digest.reset()
+
+    def observe_pop(
+        self, time: float, etype: int, seq: int, job_id: int, task_index: int
+    ) -> None:
+        self.digest.update(time, etype, job_id, task_index)
+
+    def observe_handled(self, engine: "SimulatorEngine", job: object, etype: int) -> None:
+        pass
+
+    def end_run(self, engine: "SimulatorEngine") -> None:
+        pass
+
+    def hexdigest(self) -> str:
+        return self.digest.hexdigest()
 
 
 @dataclass(frozen=True, slots=True)

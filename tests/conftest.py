@@ -8,6 +8,16 @@ import pytest
 from repro.core import ClusterConfig, JobProfile, TraceJob
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch) -> None:
+    """Point the sweep result cache at a per-test temp dir.
+
+    Keeps tests from writing to (or being poisoned by) the developer's
+    real ``~/.cache/simmr`` store — the CLI enables the cache by default.
+    """
+    monkeypatch.setenv("SIMMR_CACHE_DIR", str(tmp_path_factory.mktemp("simmr-cache")))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -50,11 +50,36 @@ class TestResultJSON:
         loaded = load_result(path)
         assert loaded.completion_times() == result.completion_times()
 
+    def test_round_trip_is_lossless(self, result):
+        """Every field survives — including the execution metadata
+        (events_processed, wall_clock_seconds, event_digest) that a
+        cache restore depends on."""
+        result.event_digest = "ab" * 16
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.events_processed == result.events_processed
+        assert rebuilt.wall_clock_seconds == result.wall_clock_seconds
+        assert rebuilt.event_digest == result.event_digest
+        assert rebuilt == result
+
+    def test_round_trip_fixpoint(self, result):
+        """Serializing a deserialized document reproduces it exactly."""
+        doc = result_to_dict(result)
+        assert result_to_dict(result_from_dict(doc)) == doc
+
     def test_version_checked(self, result):
         doc = result_to_dict(result)
         doc["format_version"] = 99
         with pytest.raises(ValueError, match="format version"):
             result_from_dict(doc)
+
+    def test_reads_v1_documents(self, result):
+        """Pre-event-digest files (format v1) still load."""
+        doc = result_to_dict(result)
+        doc["format_version"] = 1
+        del doc["event_digest"]
+        rebuilt = result_from_dict(doc)
+        assert rebuilt.event_digest is None
+        assert rebuilt.makespan == result.makespan
 
 
 class TestCSV:

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro.cli import main
 from repro.core import ClusterConfig, TraceJob
+from repro.parallel import ResultCache, SchedulerSpec
 from repro.schedulers import FIFOScheduler, MinEDFScheduler
-from repro.sweep import run_sweep
+from repro.sweep import expand_grid, run_sweep
 
 from conftest import make_constant_profile
 
@@ -16,6 +19,58 @@ from conftest import make_constant_profile
 def trace():
     profile = make_constant_profile(num_maps=16, num_reduces=4, map_s=10.0)
     return [TraceJob(profile, 0.0, deadline=100.0), TraceJob(profile, 5.0)]
+
+
+class TestExpandGrid:
+    def test_deterministic_order(self):
+        points = expand_grid(
+            ("fifo", "maxedf"), (ClusterConfig(8, 8), ClusterConfig(16, 16)), (0.05, 1.0)
+        )
+        assert len(points) == 8
+        # Schedulers outermost, then clusters, then slow-starts.
+        assert [p.scheduler.name for p in points[:4]] == ["fifo"] * 4
+        assert [p.slowstart for p in points[:2]] == [0.05, 1.0]
+        assert points == expand_grid(
+            ("fifo", "maxedf"), (ClusterConfig(8, 8), ClusterConfig(16, 16)), (0.05, 1.0)
+        )
+
+    def test_single_point_grid(self):
+        points = expand_grid(("fifo",), (ClusterConfig(8, 8),), (0.05,))
+        assert len(points) == 1
+        assert points[0].scheduler == SchedulerSpec(name="fifo")
+        assert points[0].cluster == ClusterConfig(8, 8)
+
+    @pytest.mark.parametrize(
+        "kwargs, axis",
+        [
+            (dict(schedulers=()), "schedulers"),
+            (dict(clusters=()), "clusters"),
+            (dict(slowstarts=()), "slowstarts"),
+        ],
+    )
+    def test_empty_axis_rejected(self, kwargs, axis):
+        full = dict(
+            schedulers=("fifo",), clusters=(ClusterConfig(8, 8),), slowstarts=(0.05,)
+        )
+        full.update(kwargs)
+        with pytest.raises(ValueError, match=f"empty {axis} axis"):
+            expand_grid(**full)
+
+    def test_duplicates_dropped_keeping_first(self):
+        points = expand_grid(
+            ("fifo", "fifo", "maxedf"),
+            (ClusterConfig(8, 8), ClusterConfig(8, 8)),
+            (0.05, 0.05, 1.0),
+        )
+        assert len(points) == 4  # 2 schedulers x 1 cluster x 2 slow-starts
+        keys = [(p.scheduler.name, p.cluster, p.slowstart) for p in points]
+        assert len(set(keys)) == len(keys)
+        assert keys[0] == ("fifo", ClusterConfig(8, 8), 0.05)
+
+    def test_int_slowstart_coerced(self):
+        points = expand_grid(("fifo",), (ClusterConfig(8, 8),), (1,))
+        assert points[0].slowstart == 1.0
+        assert isinstance(points[0].slowstart, float)
 
 
 class TestRunSweep:
@@ -91,3 +146,57 @@ class TestSweepCLI:
         assert main([
             "sweep", str(trace_path), "--map-slots", "32,64", "--reduce-slots", "32",
         ]) == 2
+
+    def test_workers_and_warm_cache(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate", str(trace_path), "--jobs", "4", "--seed", "1"])
+        argv = ["sweep", str(trace_path), "--schedulers", "fifo,minedf",
+                "--map-slots", "32,64", "--workers", "2"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "4 cell(s) executed, 0 served from cache" in cold.out
+        assert "(2 workers)" in cold.out
+        assert cold.err.count("(ran)") == 4
+        # Second run: every cell restored from the default cache
+        # (redirected to a temp dir by the autouse conftest fixture).
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "0 cell(s) executed, 4 served from cache" in warm.out
+        assert warm.err.count("(cached)") == 4
+
+    def test_json_format_digests_match_serial(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate", str(trace_path), "--jobs", "4", "--seed", "1"])
+        base = ["sweep", str(trace_path), "--schedulers", "fifo",
+                "--map-slots", "32,64", "--format", "json", "--best-by", "makespan"]
+        capsys.readouterr()  # drain the generate output
+        assert main(base + ["--no-cache"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        digests = [c["event_digest"] for c in serial["cells"]]
+        assert all(digests)
+        assert [c["event_digest"] for c in parallel["cells"]] == digests
+        assert serial["best"]["metric"] == "makespan"
+        assert serial["cache_hits"] == 0 and serial["executed"] == 2
+
+    def test_fresh_reexecutes(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate", str(trace_path), "--jobs", "2", "--seed", "1"])
+        cache_path = tmp_path / "cache.sqlite"
+        argv = ["sweep", str(trace_path), "--schedulers", "fifo",
+                "--map-slots", "32", "--cache-path", str(cache_path), "--quiet"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--fresh"]) == 0
+        out = capsys.readouterr()
+        assert "1 cell(s) executed, 0 served from cache" in out.out
+        assert out.err == ""  # --quiet suppresses progress
+        with ResultCache(cache_path) as cache:
+            assert len(cache) == 1
+
+    def test_no_cache_conflicts(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate", str(trace_path), "--jobs", "2", "--seed", "1"])
+        assert main(["sweep", str(trace_path), "--no-cache", "--fresh"]) == 2
+        assert "conflicts" in capsys.readouterr().err
