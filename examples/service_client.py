@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Simulation service round trip: serve, submit, verify, reuse.
+
+Starts a :class:`SimulationServer` in-process on an ephemeral port,
+submits the same replay twice through the HTTP client — once cold
+(simulated by the worker pool) and once warm (answered from the result
+cache) — and proves the response is trustworthy by comparing its event
+digest against a local :func:`simulate_many` replay.
+
+Run: ``python examples/service_client.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import ClusterConfig, ServiceClient, ServiceConfig, SimulationServer
+from repro.parallel import SchedulerSpec, SimTask, simulate_many
+from repro.trace.arrivals import ExponentialArrivals
+from repro.trace.synthetic import SyntheticTraceGen
+from repro.workloads.apps import make_app_specs
+
+
+def main() -> None:
+    gen = SyntheticTraceGen(
+        list(make_app_specs().values()), ExponentialArrivals(60.0), seed=7
+    )
+    trace = gen.generate(8)
+    cluster = ClusterConfig(map_slots=64, reduce_slots=64)
+
+    # What the answer *should* be: replay locally and keep the digest.
+    [local] = simulate_many(
+        {"t": trace},
+        [SimTask(trace_id="t", cluster=cluster,
+                 scheduler=SchedulerSpec(kind="registry", name="minedf"))],
+        cache=None,
+    )
+    print(f"local replay: makespan {local.result.makespan:.1f}s, "
+          f"digest {local.result.event_digest[:16]}…")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(port=0, workers=2,
+                               cache=Path(tmp) / "cache.sqlite")
+        with SimulationServer(config).start() as server:
+            print(f"service up at {server.url}")
+            client = ServiceClient(server.url)
+
+            # Cold: the worker pool simulates and caches the run.
+            cold = client.replay(trace, scheduler="minedf", cluster=cluster)
+            print(f"cold submit : makespan {cold.result.makespan:.1f}s in "
+                  f"{cold.server_seconds:.3f}s (cached={cold.cached}, "
+                  f"{cold.request_id})")
+
+            # Warm: the identical question is a cache hit — no simulation.
+            warm = client.replay(trace, scheduler="minedf", cluster=cluster)
+            print(f"warm submit : makespan {warm.result.makespan:.1f}s in "
+                  f"{warm.server_seconds:.3f}s (cached={warm.cached}, "
+                  f"{warm.request_id})")
+
+            assert cold.event_digest == local.result.event_digest
+            assert warm.event_digest == local.result.event_digest
+            assert not cold.cached and warm.cached
+            print("verify      : both digests match the local replay")
+
+            hit_line = next(
+                line for line in client.metrics().splitlines()
+                if line.startswith("simmr_cache_hit_rate")
+            )
+            print(f"metrics     : {hit_line}")
+        print("service drained and shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

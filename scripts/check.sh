@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# One-shot static gate: simlint + ruff + mypy.
+# One-shot static gate: simlint + docs + ruff + mypy.
 #
-# simlint always runs (it ships with the package).  ruff and mypy run
-# when installed and are skipped with a notice otherwise, so the gate
-# works in minimal containers; install the [dev] extra to get them.
+# simlint and the docs checker always run (both ship with the repo).
+# ruff and mypy run when installed and are skipped with a notice
+# otherwise, so the gate works in minimal containers; install the
+# [dev] extra to get them.
 #
 # Usage: scripts/check.sh   (or: make lint)
 set -u
@@ -12,6 +13,14 @@ fail=0
 
 echo "== simlint (python -m repro lint src/repro) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src/repro || fail=1
+
+echo
+if [ -d docs ]; then
+    echo "== docs (scripts/check_docs.py) =="
+    python scripts/check_docs.py || fail=1
+else
+    echo "== docs: docs/ missing, skipping =="
+fi
 
 echo
 if command -v ruff >/dev/null 2>&1; then

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the real `simmr serve` process.
+
+Unlike tests/test_service.py (in-process server objects), this drives
+the shipped entrypoint exactly the way an operator would:
+
+1. launch ``python -m repro serve --port 0`` as a subprocess;
+2. discover the ephemeral port from the stable "listening on" line;
+3. submit one replay over HTTP and assert its ``event_digest`` equals
+   a local :func:`simulate_many` replay of the same request;
+4. send SIGTERM and assert the graceful drain: exit code 0 and the
+   "drained" farewell on stdout.
+
+Exits non-zero on any failure.  Run: ``python scripts/service_smoke.py``
+(CI's service-smoke job does).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import ClusterConfig  # noqa: E402
+from repro.parallel import SchedulerSpec, SimTask, simulate_many  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.trace.arrivals import ExponentialArrivals  # noqa: E402
+from repro.trace.synthetic import SyntheticTraceGen  # noqa: E402
+from repro.workloads.apps import make_app_specs  # noqa: E402
+
+LISTENING = re.compile(r"simmr service listening on (http://[\w.]+:\d+)")
+STARTUP_LINES = 50  # give up if the banner has not appeared by then
+
+
+def wait_for_url(proc: subprocess.Popen) -> str:
+    assert proc.stdout is not None
+    for _ in range(STARTUP_LINES):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"[serve] {line}")
+        match = LISTENING.search(line)
+        if match:
+            return match.group(1)
+    raise AssertionError("server never printed its listening line")
+
+
+def main() -> int:
+    gen = SyntheticTraceGen(
+        list(make_app_specs().values()), ExponentialArrivals(60.0), seed=5
+    )
+    trace = gen.generate(6)
+    cluster = ClusterConfig(map_slots=32, reduce_slots=32)
+
+    [local] = simulate_many(
+        {"t": trace},
+        [SimTask(trace_id="t", cluster=cluster,
+                 scheduler=SchedulerSpec(kind="registry", name="maxedf"))],
+        cache=None,
+    )
+    print(f"local digest: {local.result.event_digest}")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--cache-path", str(Path(tmp) / "smoke.sqlite")],
+            cwd=REPO_ROOT, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            url = wait_for_url(proc)
+            reply = ServiceClient(url, timeout=120.0).replay(
+                trace, scheduler="maxedf", cluster=cluster
+            )
+            print(f"served digest: {reply.event_digest} "
+                  f"(cached={reply.cached}, {reply.request_id})")
+            assert reply.event_digest == local.result.event_digest, \
+                "service digest diverges from local replay"
+
+            proc.send_signal(signal.SIGTERM)
+            remaining, _ = proc.communicate(timeout=30)
+            sys.stdout.write("".join(f"[serve] {l}\n" for l in
+                                     remaining.splitlines() if l))
+            assert proc.returncode == 0, f"exit code {proc.returncode}"
+            assert "drained" in remaining, "no graceful-drain farewell"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    print("service smoke OK: digest verified, SIGTERM drained cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from .core import (
 )
 from .parallel import ResultCache, SchedulerSpec, SimTask, simulate_many
 from .planner import ClusterPlanner
+from .service import ServiceClient, ServiceConfig, ServiceReply, SimulationServer
 from .sweep import GridPoint, SweepCell, SweepResult, expand_grid, run_sweep
 from .schedulers import (
     CapacityScheduler,
@@ -67,6 +68,10 @@ __all__ = [
     "SchedulerSpec",
     "SimTask",
     "simulate_many",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceReply",
+    "SimulationServer",
     "ClusterConfig",
     "Event",
     "EventQueue",

@@ -21,16 +21,22 @@ Subcommands mirror the SimMR workflow (paper Figure 4):
 * ``simmr lint`` — simlint: determinism & simulation-invariant static
   analysis over the source tree (see ``docs/linting.md``);
 * ``simmr check`` — combined gate: simlint + sanitized dual-run replay
-  (see ``docs/sanitizer.md``).
+  (see ``docs/sanitizer.md``);
+* ``simmr serve`` / ``simmr submit`` — the simulation service: a
+  long-lived HTTP replay server with a bounded job queue, result-cache
+  front and ``/metrics``, plus the matching client command
+  (``repro.service``, ``docs/service.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from . import __version__
 from .core.cluster import ClusterConfig
 from .core.engine import simulate
 from .schedulers import make_scheduler
@@ -52,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="simmr",
         description="SimMR: trace-driven MapReduce simulation (CLUSTER 2011 reproduction)",
+    )
+    # The same version string that salts ResultCache keys — so "which
+    # cache entries does this binary resurrect" is answerable from the
+    # shell.
+    parser.add_argument(
+        "--version", action="version", version=f"simmr {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -282,6 +294,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the sanitized replays")
     chk.add_argument("--dynamic-only", action="store_true",
                      help="skip the static lint")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation service (long-lived HTTP replay server)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="listen port (0 = ephemeral; the bound port is printed)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="persistent worker threads draining the job queue")
+    srv.add_argument("--queue-size", type=int, default=16,
+                     help="bounded queue length; beyond it requests get "
+                     "503 + Retry-After")
+    srv.add_argument("--request-timeout", type=float, default=120.0,
+                     help="server-side cap on one request's wall-clock budget (s)")
+    srv.add_argument("--trace-root", type=Path, default=None,
+                     help="directory trace_path requests resolve under "
+                     "(default: inline traces only)")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="disable the content-addressed result cache")
+    srv.add_argument("--cache-path", type=Path, default=None,
+                     help="result-cache sqlite file (default: $SIMMR_CACHE_DIR/"
+                     "results.sqlite or ~/.cache/simmr/results.sqlite)")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit one replay to a running simulation service",
+    )
+    sbm.add_argument("trace", type=Path, help="trace JSON path (sent inline)")
+    sbm.add_argument("--url", default="http://127.0.0.1:8642",
+                     help="service base URL (default http://127.0.0.1:8642)")
+    sbm.add_argument("--scheduler", default="fifo", help="fifo | maxedf | minedf | fair")
+    sbm.add_argument("--map-slots", type=int, default=64)
+    sbm.add_argument("--reduce-slots", type=int, default=64)
+    sbm.add_argument("--slowstart", type=float, default=0.05)
+    sbm.add_argument("--timeout", type=float, default=None,
+                     help="per-request simulation budget (seconds)")
+    sbm.add_argument("--retries", type=int, default=0,
+                     help="absorb up to N 503 rejections by honouring Retry-After")
+    sbm.add_argument("--verify", action="store_true",
+                     help="also replay locally and assert the event digests match")
 
     return parser
 
@@ -696,6 +749,88 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from .service import ServiceConfig, SimulationServer, install_signal_handlers
+
+    if args.no_cache and args.cache_path:
+        print("--no-cache conflicts with --cache-path", file=sys.stderr)
+        return 2
+    cache: object = False if args.no_cache else (args.cache_path or True)
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s", stream=sys.stderr
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache=cache,  # type: ignore[arg-type]
+        trace_root=args.trace_root,
+        request_timeout=args.request_timeout,
+    )
+    server = SimulationServer(config)
+    install_signal_handlers(server)
+    host, port = server.address
+    # The smoke tests parse this line to discover an ephemeral port —
+    # keep its shape stable.
+    print(f"simmr service listening on http://{host}:{port} "
+          f"(workers={args.workers}, queue={args.queue_size})", flush=True)
+    try:
+        server.serve_forever()  # returns once a signal starts the drain
+    finally:
+        server.shutdown()
+    print("simmr service drained, bye", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .parallel import SchedulerSpec, SimTask, simulate_many
+    from .service import ServiceClient, ServiceError
+
+    trace = load_trace(args.trace)
+    client = ServiceClient(args.url)
+    try:
+        reply = client.replay(
+            trace,
+            scheduler=args.scheduler,
+            cluster=ClusterConfig(args.map_slots, args.reduce_slots),
+            slowstart=args.slowstart,
+            timeout=args.timeout,
+            max_retries=args.retries,
+        )
+    except ServiceError as exc:
+        print(f"simmr submit: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"simmr submit: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+    result = reply.result
+    source = "cache" if reply.cached else "simulated"
+    print(f"scheduler={result.scheduler_name} makespan={result.makespan:.1f}s "
+          f"jobs={len(result.jobs)} ({source}, request {reply.request_id}, "
+          f"{reply.server_seconds:.3f}s on the server)")
+    print(f"event_digest={reply.event_digest}")
+    if args.verify:
+        task = SimTask(
+            trace_id="trace",
+            scheduler=SchedulerSpec(kind="registry", name=args.scheduler),
+            cluster=ClusterConfig(args.map_slots, args.reduce_slots),
+            slowstart=args.slowstart,
+        )
+        [local] = simulate_many({"trace": trace}, [task], cache=None)
+        if local.result.event_digest == reply.event_digest:
+            print("verify: OK — local replay digest matches")
+        else:
+            print(f"verify: MISMATCH — local {local.result.event_digest} != "
+                  f"service {reply.event_digest}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.id in ("fig1", "fig2"):
         from .experiments.progress import run_progress
@@ -820,7 +955,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _dispatch(argv: Optional[Sequence[str]]) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -837,8 +972,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _cmd_validate,
         "lint": _cmd_lint,
         "check": _cmd_check,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point with shell-grade exit hygiene.
+
+    Ctrl-C exits 130 (128+SIGINT) and a consumer closing the pipe early
+    (``simmr ... | head``) exits 141 (128+SIGPIPE) — both silently, no
+    traceback, matching what a signal-killed process would report.
+    """
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout's consumer is gone; Python would still try to flush the
+        # buffer at exit and print an unraisable error.  Point the fd at
+        # /dev/null so the final flush has somewhere harmless to go.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

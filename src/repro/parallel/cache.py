@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 from hashlib import blake2b
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional
@@ -140,22 +141,30 @@ class ResultCache:
 
     Every ``put`` commits immediately, so partial sweeps survive
     interruption.  ``":memory:"`` gives a process-local cache (tests).
+
+    One instance may be shared across threads (the simulation service
+    fronts its job queue with a cache that every HTTP handler thread
+    and worker consults): all statement execution is serialized behind
+    an internal lock, which is cheap next to the simulations it saves.
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
         #: Counters for this session (not persisted).
         self.stats = CacheStats()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -172,26 +181,28 @@ class ResultCache:
         change) is treated as absent and deleted, so a corrupt entry
         costs one re-execution instead of a crash.
         """
-        row = self._conn.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
-        ).fetchone()
-        if row is None:
-            self.stats.misses += 1
-            return None
-        try:
-            result = result_from_dict(json.loads(row[0]))
-        except (ValueError, KeyError, TypeError):
-            self.delete(key)
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            try:
+                result = result_from_dict(json.loads(row[0]))
+            except (ValueError, KeyError, TypeError):
+                self.delete(key)
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return result
 
     def contains(self, key: str) -> bool:
         """Whether ``key`` is stored (does not touch the stats)."""
-        row = self._conn.execute(
-            "SELECT 1 FROM results WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)
+            ).fetchone()
         return row is not None
 
     # -- mutation ----------------------------------------------------------
@@ -206,29 +217,35 @@ class ResultCache:
     ) -> None:
         """Store (or overwrite) a result; committed immediately."""
         payload = json.dumps(result_to_dict(result))
-        self._conn.execute(
-            "INSERT OR REPLACE INTO results (key, trace_digest, scheduler, config, payload)"
-            " VALUES (?, ?, ?, ?, ?)",
-            (key, trace_digest, scheduler_id, "", payload),
-        )
-        self._conn.commit()
-        self.stats.stores += 1
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (key, trace_digest, scheduler, config, payload)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (key, trace_digest, scheduler_id, "", payload),
+            )
+            self._conn.commit()
+            self.stats.stores += 1
 
     def delete(self, key: str) -> None:
-        self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._conn.commit()
 
     def clear(self) -> int:
         """Drop every stored result; returns the number removed."""
-        cur = self._conn.execute("DELETE FROM results")
-        self._conn.commit()
-        return cur.rowcount
+        with self._lock:
+            cur = self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+            return cur.rowcount
 
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
     def keys(self) -> Iterator[str]:
-        for (key,) in self._conn.execute("SELECT key FROM results ORDER BY key"):
+        with self._lock:
+            rows = self._conn.execute("SELECT key FROM results ORDER BY key").fetchall()
+        for (key,) in rows:
             yield key

@@ -54,6 +54,7 @@ __all__ = [
     "SimOutcome",
     "simulate_many",
     "register_spec_kind",
+    "spec_kinds",
 ]
 
 ProgressFn = Callable[[int, int, "SimOutcome"], None]
@@ -98,6 +99,15 @@ def register_spec_kind(
     process — i.e. defined at module level, not a closure.
     """
     _SPEC_KINDS[kind] = resolver
+
+
+def spec_kinds() -> tuple[str, ...]:
+    """The registered symbolic scheduler families, sorted.
+
+    ``"inline"`` is not listed: inline specs wrap a factory object and
+    cannot be named from data (a request document, a config file).
+    """
+    return tuple(sorted(_SPEC_KINDS))
 
 
 @dataclass(frozen=True)

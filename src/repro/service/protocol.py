@@ -1,0 +1,250 @@
+"""Request/response schema of the simulation service.
+
+One wire format, validated in one place: a JSON document describing a
+replay — the trace (inline, or a path the *server* resolves inside its
+configured trace root), the scheduler as a symbolic
+:class:`~repro.parallel.executor.SchedulerSpec`, and the engine
+configuration.  :func:`parse_request` turns the untrusted document into
+a typed :class:`ReplayRequest` or raises :class:`ProtocolError` with the
+HTTP status the server should answer; nothing downstream of it touches
+raw JSON.  The same module builds the documents the client sends
+(:func:`request_document`), so client and server cannot drift apart.
+
+Validation is strict — unknown top-level or config keys are rejected —
+because a silently ignored misspelled knob (``"slowstrat"``) would
+return a *wrong simulation* with a 200 status, the worst possible
+failure mode for a service whose pitch is verifiable replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
+
+from ..core.cluster import ClusterConfig
+from ..core.job import TraceJob
+from ..parallel.executor import SchedulerSpec, SimTask, spec_kinds
+from ..sanitize.digest import trace_digest
+from ..trace.schema import trace_from_dict, trace_to_dict
+
+__all__ = [
+    "ProtocolError",
+    "ReplayRequest",
+    "parse_request",
+    "request_document",
+]
+
+#: Engine knobs a request may set, with their defaults.
+_CONFIG_DEFAULTS: dict[str, Any] = {
+    "map_slots": 64,
+    "reduce_slots": 64,
+    "slowstart": 0.05,
+    "preemption": False,
+}
+
+_TOP_LEVEL_KEYS = frozenset({"trace", "trace_path", "scheduler", "config", "timeout"})
+_SCHEDULER_KEYS = frozenset({"kind", "name", "kwargs", "seeded"})
+
+
+class ProtocolError(Exception):
+    """A request the service must refuse, with the HTTP status to use."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """A validated replay: everything :func:`simulate_many` needs."""
+
+    trace: tuple[TraceJob, ...]
+    #: Content digest of ``trace`` — the executor's trace_id and the
+    #: first component of the result-cache key.
+    digest: str
+    scheduler: SchedulerSpec
+    cluster: ClusterConfig
+    slowstart: float
+    preemption: bool
+    #: Client-requested wall-clock budget (seconds); None = server default.
+    timeout: Optional[float] = None
+
+    def task(self) -> SimTask:
+        """The executor task this request resolves to."""
+        return SimTask(
+            trace_id=self.digest,
+            scheduler=self.scheduler,
+            cluster=self.cluster,
+            slowstart=self.slowstart,
+            preemption=self.preemption,
+        )
+
+
+def _require(condition: bool, message: str, status: int = 400) -> None:
+    if not condition:
+        raise ProtocolError(message, status=status)
+
+
+def _parse_scheduler(raw: Any) -> SchedulerSpec:
+    if raw is None:
+        raw = "fifo"
+    if isinstance(raw, str):
+        raw = {"kind": "registry", "name": raw}
+    _require(isinstance(raw, dict), "'scheduler' must be a name or an object")
+    unknown = set(raw) - _SCHEDULER_KEYS
+    _require(not unknown, f"unknown scheduler key(s): {sorted(unknown)}")
+    kind = raw.get("kind", "registry")
+    name = raw.get("name")
+    kwargs = raw.get("kwargs", {})
+    seeded = raw.get("seeded", False)
+    _require(isinstance(kind, str) and kind in spec_kinds(),
+             f"unknown scheduler kind {kind!r}; known: {list(spec_kinds())}")
+    _require(isinstance(name, str) and bool(name), "'scheduler.name' must be a string")
+    _require(isinstance(kwargs, dict) and all(isinstance(k, str) for k in kwargs),
+             "'scheduler.kwargs' must be an object with string keys")
+    _require(isinstance(seeded, bool), "'scheduler.seeded' must be a boolean")
+    spec = SchedulerSpec(
+        kind=kind, name=name, kwargs=tuple(sorted(kwargs.items())), seeded=seeded
+    )
+    # Build (and discard) one instance now so an unknown policy name or a
+    # bad constructor argument is a 400 at submit time, not a 500 when a
+    # worker finally dequeues the job.
+    try:
+        spec.build(seed=0)
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(f"cannot build scheduler: {exc}") from None
+    return spec
+
+
+def _parse_config(raw: Any) -> dict[str, Any]:
+    if raw is None:
+        raw = {}
+    _require(isinstance(raw, dict), "'config' must be an object")
+    unknown = set(raw) - set(_CONFIG_DEFAULTS)
+    _require(not unknown, f"unknown config key(s): {sorted(unknown)}; "
+             f"known: {sorted(_CONFIG_DEFAULTS)}")
+    config = {**_CONFIG_DEFAULTS, **raw}
+    for slots_key in ("map_slots", "reduce_slots"):
+        value = config[slots_key]
+        _require(isinstance(value, int) and not isinstance(value, bool) and value > 0,
+                 f"'config.{slots_key}' must be a positive integer")
+    slowstart = config["slowstart"]
+    _require(isinstance(slowstart, (int, float)) and not isinstance(slowstart, bool)
+             and 0.0 <= float(slowstart) <= 1.0,
+             "'config.slowstart' must be a number in [0, 1]")
+    config["slowstart"] = float(slowstart)
+    _require(isinstance(config["preemption"], bool),
+             "'config.preemption' must be a boolean")
+    return config
+
+
+def _load_trace(doc: Mapping[str, Any], trace_root: Optional[Path]) -> list[TraceJob]:
+    inline = doc.get("trace")
+    by_path = doc.get("trace_path")
+    _require((inline is None) != (by_path is None),
+             "exactly one of 'trace' (inline document) or 'trace_path' "
+             "(server-side file) is required")
+    if inline is not None:
+        _require(isinstance(inline, dict), "'trace' must be a trace document object")
+        try:
+            return trace_from_dict(inline)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ProtocolError(f"bad trace document: {exc}") from None
+    _require(isinstance(by_path, str) and bool(by_path),
+             "'trace_path' must be a non-empty string")
+    _require(trace_root is not None,
+             "this server does not serve traces by path (no trace root configured)",
+             status=403)
+    assert trace_root is not None
+    _require(not Path(by_path).is_absolute(), "'trace_path' must be relative")
+    resolved = (trace_root / by_path).resolve()
+    root = trace_root.resolve()
+    _require(resolved == root or root in resolved.parents,
+             "'trace_path' escapes the server trace root", status=403)
+    if not resolved.is_file():
+        raise ProtocolError(f"no such trace on the server: {by_path}", status=404)
+    from ..trace.schema import load_trace
+
+    try:
+        return load_trace(resolved)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ProtocolError(f"unreadable trace file {by_path}: {exc}") from None
+
+
+def parse_request(doc: Any, *, trace_root: Optional[Path] = None) -> ReplayRequest:
+    """Validate one ``POST /simulate`` body into a :class:`ReplayRequest`.
+
+    Raises :class:`ProtocolError` carrying the HTTP status: 400 for
+    malformed documents, 403 for trace paths outside the configured
+    root, 404 for a missing server-side trace file.
+    """
+    _require(isinstance(doc, dict), "request body must be a JSON object")
+    unknown = set(doc) - _TOP_LEVEL_KEYS
+    _require(not unknown, f"unknown request key(s): {sorted(unknown)}; "
+             f"known: {sorted(_TOP_LEVEL_KEYS)}")
+
+    trace = _load_trace(doc, trace_root)
+    _require(len(trace) > 0, "trace has no jobs")
+    scheduler = _parse_scheduler(doc.get("scheduler"))
+    config = _parse_config(doc.get("config"))
+
+    timeout = doc.get("timeout")
+    if timeout is not None:
+        _require(isinstance(timeout, (int, float)) and not isinstance(timeout, bool)
+                 and float(timeout) > 0.0,
+                 "'timeout' must be a positive number of seconds")
+        timeout = float(timeout)
+
+    return ReplayRequest(
+        trace=tuple(trace),
+        digest=trace_digest(trace),
+        scheduler=scheduler,
+        cluster=ClusterConfig(config["map_slots"], config["reduce_slots"]),
+        slowstart=config["slowstart"],
+        preemption=config["preemption"],
+        timeout=timeout,
+    )
+
+
+def request_document(
+    *,
+    trace: Optional[Sequence[TraceJob]] = None,
+    trace_path: Optional[str] = None,
+    scheduler: "str | SchedulerSpec" = "fifo",
+    cluster: Optional[ClusterConfig] = None,
+    slowstart: float = 0.05,
+    preemption: bool = False,
+    timeout: Optional[float] = None,
+) -> dict[str, Any]:
+    """The JSON document for one replay request (the client's half)."""
+    if (trace is None) == (trace_path is None):
+        raise ValueError("pass exactly one of trace= or trace_path=")
+    if isinstance(scheduler, SchedulerSpec):
+        if not scheduler.cacheable:
+            raise ValueError("inline scheduler specs cannot be sent over the wire")
+        scheduler_doc: Any = {
+            "kind": scheduler.kind,
+            "name": scheduler.name,
+            "kwargs": dict(scheduler.kwargs),
+            "seeded": scheduler.seeded,
+        }
+    else:
+        scheduler_doc = scheduler
+    cluster = cluster if cluster is not None else ClusterConfig(64, 64)
+    doc: dict[str, Any] = {
+        "scheduler": scheduler_doc,
+        "config": {
+            "map_slots": cluster.map_slots,
+            "reduce_slots": cluster.reduce_slots,
+            "slowstart": slowstart,
+            "preemption": preemption,
+        },
+    }
+    if trace is not None:
+        doc["trace"] = trace_to_dict(trace)
+    else:
+        doc["trace_path"] = trace_path
+    if timeout is not None:
+        doc["timeout"] = timeout
+    return doc

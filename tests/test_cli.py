@@ -180,3 +180,108 @@ class TestReplaySchedulerVariants:
         main(["generate", str(trace), "--jobs", "3", "--seed", "6"])
         assert main(["replay", str(trace), "--scheduler", name]) == 0
         assert "makespan" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_matches_package(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"simmr {__version__}"
+
+    def test_version_is_the_cache_key_salt(self, monkeypatch):
+        # The flag reports the same string cache_key() salts with, so a
+        # CLI user can tell which cache entries a binary can reuse:
+        # changing the package version must change every key.
+        import repro
+        from repro.parallel.cache import cache_key
+
+        key = cache_key("t", "s", {"x": 1})
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert cache_key("t", "s", {"x": 1}) != key
+
+
+class TestExitHygiene:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch):
+        def interrupted(argv):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli._dispatch", interrupted)
+        assert main(["--version"]) == 130
+
+    def test_broken_pipe_exits_141(self, monkeypatch, tmp_path):
+        # Simulate `simmr ... | head` closing the pipe mid-print: the
+        # handler re-points stdout's fd at /dev/null, so run it against
+        # a real fd-backed stdout instead of pytest's capture object.
+        import sys as _sys
+
+        def broken(argv):
+            raise BrokenPipeError
+
+        monkeypatch.setattr("repro.cli._dispatch", broken)
+        real_stdout = open(tmp_path / "stdout.txt", "w")
+        monkeypatch.setattr(_sys, "stdout", real_stdout)
+        try:
+            assert main(["--version"]) == 141
+        finally:
+            real_stdout.close()
+
+
+class TestServeSubmitParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8642
+        assert args.workers == 2
+        assert args.queue_size == 16
+        assert not args.no_cache
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "trace.json"])
+        assert args.url == "http://127.0.0.1:8642"
+        assert args.scheduler == "fifo"
+        assert args.retries == 0
+
+    def test_serve_cache_conflict(self, capsys):
+        assert main(["serve", "--no-cache", "--cache-path", "x.sqlite"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+
+class TestSubmitRoundTrip:
+    @pytest.fixture
+    def service_url(self, tmp_path):
+        from repro.service import ServiceConfig, SimulationServer
+
+        config = ServiceConfig(port=0, workers=1, queue_size=4,
+                               cache=tmp_path / "cli-cache.sqlite")
+        with SimulationServer(config).start() as server:
+            yield server.url
+
+    def test_submit_with_verify(self, service_url, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["generate", str(trace), "--jobs", "3", "--seed", "9"])
+        capsys.readouterr()
+        assert main([
+            "submit", str(trace), "--url", service_url, "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "event_digest=" in out
+        assert "verify: OK" in out
+
+    def test_submit_twice_hits_cache(self, service_url, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["generate", str(trace), "--jobs", "3", "--seed", "9"])
+        main(["submit", str(trace), "--url", service_url])
+        capsys.readouterr()
+        assert main(["submit", str(trace), "--url", service_url]) == 0
+        assert "(cache" in capsys.readouterr().out
+
+    def test_submit_unreachable_service(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["generate", str(trace), "--jobs", "2", "--seed", "1"])
+        assert main([
+            "submit", str(trace), "--url", "http://127.0.0.1:9",  # discard port
+        ]) == 1
+        assert "cannot reach" in capsys.readouterr().err
