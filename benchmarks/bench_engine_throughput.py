@@ -4,14 +4,26 @@ second" (paper Sections I and IV-E).
 Measures raw engine event throughput on a large saturated trace with
 task recording disabled (the configuration a capacity-planning sweep
 would use).  The asserted floor is conservative for a pure-Python
-engine; the measured number is printed for EXPERIMENTS.md.
+engine; the measured number is printed for EXPERIMENTS.md and written
+to ``BENCH_engine_throughput.json`` at the repo root, which doubles as
+the input to ``scripts/perf_gate.py`` (fresh run vs committed
+baseline).
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.core import ClusterConfig, SimulatorEngine
 from repro.experiments.performance import make_performance_trace
 from repro.schedulers import FIFOScheduler
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Hard floor asserted here; the regression gate compares against the
+#: committed baseline instead, with its own tolerance.
+MIN_EVENTS_PER_SECOND = 200_000
 
 
 def test_engine_event_throughput(benchmark):
@@ -20,5 +32,14 @@ def test_engine_event_throughput(benchmark):
 
     result = benchmark.pedantic(engine.run, args=(trace,), rounds=3, iterations=1)
     eps = result.events_per_second
+    report = {
+        "trace_jobs": len(trace),
+        "events_processed": result.events_processed,
+        "events_per_second": eps,
+        "asserted_floor": MIN_EVENTS_PER_SECOND,
+    }
+    (REPO_ROOT / "BENCH_engine_throughput.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
     print(f"\nengine throughput: {eps:,.0f} events/s over {result.events_processed} events")
-    assert eps > 200_000
+    assert eps > MIN_EVENTS_PER_SECOND

@@ -13,8 +13,16 @@ The tentpole claims of :mod:`repro.parallel`, measured:
   help (the pool only adds IPC overhead), so the measured ratio is
   recorded honestly in the report instead of asserted.
 
-Artifacts: prints the timing table and writes
-``BENCH_parallel_sweep.json`` at the repo root for EXPERIMENTS.md.
+A second bench (``test_columnar_fanout``) measures the columnar trace
+subsystem end to end: cold-parse time of the binary format vs JSON,
+bytes shipped per worker under each fan-out transport (shared memory
+must be O(1) in the worker count), and event-digest identity across
+every execution path — serial, shared-memory, tempfile, legacy pickle,
+and the HTTP service.
+
+Artifacts: prints the timing tables and writes
+``BENCH_parallel_sweep.json`` + ``BENCH_columnar.json`` at the repo
+root for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -120,3 +128,141 @@ def test_parallel_sweep(benchmark, once, tmp_path):
         assert speedup >= MIN_SPEEDUP_AT_4_CORES
     # The warm cache must beat re-simulating regardless of cores.
     assert warm_s < serial_s
+
+
+# --------------------------------------------------------------------------- #
+# columnar trace store + zero-copy fan-out
+# --------------------------------------------------------------------------- #
+
+def _timed(fn, *args, **kwargs):
+    start = perf_seconds()
+    result = fn(*args, **kwargs)
+    return result, elapsed_since(start)
+
+
+def test_columnar_fanout(benchmark, once, tmp_path):
+    from repro.parallel.executor import (
+        SchedulerSpec,
+        SimTask,
+        last_fanout_stats,
+        simulate_many,
+    )
+    from repro.sanitize.digest import trace_digest
+    from repro.service import ServiceClient, ServiceConfig, SimulationServer
+    from repro.trace.binfmt import load_trace_bin, save_trace_bin
+    from repro.trace.schema import load_trace, save_trace
+
+    # The largest trace any bench builds: 500 jobs, ~57k durations.
+    trace = make_performance_trace(500, mean_interarrival=100.0, seed=0)
+    json_path = tmp_path / "perf.json"
+    bin_path = tmp_path / "perf.simmr"
+    save_trace(trace, json_path)
+    bin_bytes = save_trace_bin(trace, bin_path)
+    json_bytes = json_path.stat().st_size
+
+    # Cold-parse comparison (best of 3 to shed filesystem noise).
+    json_s = min(_timed(load_trace, json_path)[1] for _ in range(3))
+    from_bin, _ = _timed(load_trace_bin, bin_path)
+    bin_s = min(_timed(load_trace_bin, bin_path)[1] for _ in range(3))
+    digest = trace_digest(trace)
+    assert trace_digest(from_bin) == digest
+
+    # Fan-out accounting: the same 4-task batch at 2 and 4 workers,
+    # under each transport.  Headline number = the shared-memory batch.
+    tasks = [
+        SimTask(trace_id="t", scheduler=SchedulerSpec(name=name))
+        for name in SCHEDULERS
+    ]
+    traces = {"t": trace}
+    serial = simulate_many(traces, tasks, workers=0, cache=None)
+    reference = [o.result.event_digest for o in serial]
+    assert all(reference)
+
+    once(
+        benchmark, simulate_many, traces, tasks,
+        workers=2, cache=None, transport="shared_memory",
+    )
+
+    shipping: dict[str, dict] = {}
+    path_digests = {"serial": reference}
+    for transport in ("shared_memory", "tempfile", "pickle"):
+        per_workers = {}
+        for workers in (2, 4):
+            outcomes = simulate_many(
+                traces, tasks, workers=workers, cache=None, transport=transport
+            )
+            path_digests[f"{transport}@{workers}"] = [
+                o.result.event_digest for o in outcomes
+            ]
+            per_workers[workers] = last_fanout_stats().to_dict()
+        shipping[transport] = per_workers
+
+    # The service path: a served binary trace, replayed over HTTP.
+    config = ServiceConfig(port=0, workers=1, trace_root=tmp_path, cache=False)
+    with SimulationServer(config) as server:
+        server.start()
+        client = ServiceClient(server.url)
+        reply, first_s = _timed(
+            client.replay, trace_path="perf.simmr", scheduler="fifo"
+        )
+        _, second_s = _timed(
+            client.replay, trace_path="perf.simmr", scheduler="fifo"
+        )
+        trace_cache = server.trace_cache.stats()
+    path_digests["service"] = [reply.event_digest]
+
+    shm2 = shipping["shared_memory"][2]
+    shm4 = shipping["shared_memory"][4]
+    pickle4 = shipping["pickle"][4]
+    report = {
+        "trace_jobs": len(trace),
+        "trace_digest": digest,
+        "json_bytes": json_bytes,
+        "binary_bytes": bin_bytes,
+        "binary_compression": json_bytes / bin_bytes,
+        "json_parse_seconds": json_s,
+        "binary_load_seconds": bin_s,
+        "binary_parse_speedup": json_s / bin_s,
+        "shipping": shipping,
+        "service_first_request_seconds": first_s,
+        "service_cached_trace_request_seconds": second_s,
+        "service_trace_cache": {
+            "hits": trace_cache.hits,
+            "misses": trace_cache.misses,
+        },
+        "digests_identical_all_paths": True,
+    }
+    (REPO_ROOT / "BENCH_columnar.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"\ncolumnar store over {len(trace)} jobs:"
+        f"\nJSON parse        : {json_s * 1e3:.1f}ms ({json_bytes:,} bytes)"
+        f"\nbinary load       : {bin_s * 1e3:.1f}ms ({bin_bytes:,} bytes, "
+        f"{json_s / bin_s:.0f}x faster)"
+        f"\nshm per-worker    : {shm2['bytes_per_worker']} B at 2w, "
+        f"{shm4['bytes_per_worker']} B at 4w "
+        f"(payload {shm4['payload_bytes']:,} B once)"
+        f"\npickle per-worker : {pickle4['bytes_per_worker']:,} B"
+        f"\nservice trace LRU : {trace_cache.hits} hit(s), "
+        f"{trace_cache.misses} miss(es)"
+    )
+
+    # Identity: every path replays the same event stream.
+    for path, digests in path_digests.items():
+        assert digests[0] == reference[0], path
+        if len(digests) == len(reference):
+            assert digests == reference, path
+
+    # Binary load must beat the JSON parse outright.
+    assert bin_s < json_s
+
+    # O(1) shipping: the shared payload does not grow with the worker
+    # count, and the per-worker descriptor stays far below the pickled
+    # job lists the legacy transport sends to every worker.
+    assert shm4["payload_bytes"] == shm2["payload_bytes"]
+    assert shm4["bytes_per_worker"] == shm2["bytes_per_worker"]
+    assert shm4["bytes_per_worker"] < pickle4["bytes_per_worker"] / 100
+    assert shipping["tempfile"][4]["payload_bytes"] == shm4["payload_bytes"]
+
+    # The service's second request was served from the parsed-trace LRU.
+    assert trace_cache.misses == 1 and trace_cache.hits >= 1

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-shot static gate: simlint + docs + ruff + mypy.
+# One-shot static gate: simlint + docs + trace pack/unpack smoke +
+# ruff + mypy.
 #
 # simlint and the docs checker always run (both ship with the repo).
 # ruff and mypy run when installed and are skipped with a notice
@@ -21,6 +22,36 @@ if [ -d docs ]; then
 else
     echo "== docs: docs/ missing, skipping =="
 fi
+
+echo
+echo "== trace pack/unpack smoke (simmr trace pack | unpack) =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$smoke_dir" <<'PY' || fail=1
+import subprocess, sys
+from pathlib import Path
+
+sys.path.insert(0, "src")
+from repro.experiments.performance import make_performance_trace
+from repro.sanitize.digest import trace_digest
+from repro.trace.schema import load_trace, save_trace
+
+out = Path(sys.argv[1])
+trace = make_performance_trace(20, mean_interarrival=50.0, seed=7)
+save_trace(trace, out / "smoke.json")
+digest = trace_digest(trace)
+
+def simmr(*args):
+    subprocess.run(
+        [sys.executable, "-m", "repro", *args], check=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+simmr("trace", "pack", str(out / "smoke.json"), str(out / "smoke.simmr"))
+simmr("trace", "unpack", str(out / "smoke.simmr"), str(out / "roundtrip.json"))
+assert trace_digest(load_trace(out / "roundtrip.json")) == digest, "digest drift"
+print(f"pack/unpack round trip OK (digest {digest})")
+PY
 
 echo
 if command -v ruff >/dev/null 2>&1; then

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Throughput regression gate: fresh bench vs committed baseline.
+
+Runs ``benchmarks/bench_engine_throughput.py`` (which rewrites
+``BENCH_engine_throughput.json`` at the repo root) and compares the
+fresh ``events_per_second`` against the committed baseline in
+``scripts/perf_baseline.json``.
+
+The tolerance is deliberately generous (default: fresh may be as low
+as 50% of baseline) because CI runners and dev containers differ
+wildly in single-core speed; the gate exists to catch order-of-
+magnitude regressions — an accidentally quadratic event loop, a debug
+hook left enabled — not 10% jitter.  It runs as a **non-blocking** CI
+job for the same reason.
+
+Usage:
+    python scripts/perf_gate.py            # run bench, compare, report
+    python scripts/perf_gate.py --update   # run bench, rewrite baseline
+    python scripts/perf_gate.py --no-run   # compare existing JSON only
+
+Exit codes: 0 pass / baseline updated, 1 regression past tolerance,
+2 operational error (bench failed, missing files, bad JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "scripts" / "perf_baseline.json"
+FRESH_PATH = REPO_ROOT / "BENCH_engine_throughput.json"
+BENCH = "benchmarks/bench_engine_throughput.py"
+
+#: Fresh throughput below ``tolerance * baseline`` fails the gate.
+DEFAULT_TOLERANCE = 0.5
+
+
+def run_bench() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", BENCH, "--benchmark-only", "-q"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return proc.returncode
+
+
+def load_report(path: Path) -> dict:
+    doc = json.loads(path.read_text())
+    if not isinstance(doc.get("events_per_second"), (int, float)):
+        raise ValueError(f"{path}: missing numeric 'events_per_second'")
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baseline from a fresh run",
+    )
+    parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="skip the bench; compare the existing BENCH_engine_throughput.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="minimum fresh/baseline throughput ratio (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.tolerance <= 1:
+        parser.error("--tolerance must be in (0, 1]")
+
+    if not args.no_run:
+        rc = run_bench()
+        if rc != 0:
+            print(f"perf gate: benchmark run failed (exit {rc})", file=sys.stderr)
+            return 2
+
+    try:
+        fresh = load_report(FRESH_PATH)
+    except (OSError, ValueError) as exc:
+        print(f"perf gate: cannot read fresh report: {exc}", file=sys.stderr)
+        return 2
+    fresh_eps = float(fresh["events_per_second"])
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"perf gate: baseline updated ({fresh_eps:,.0f} events/s)")
+        return 0
+
+    try:
+        baseline = load_report(BASELINE_PATH)
+    except (OSError, ValueError) as exc:
+        print(
+            f"perf gate: cannot read baseline ({exc});"
+            " run with --update to create it",
+            file=sys.stderr,
+        )
+        return 2
+    base_eps = float(baseline["events_per_second"])
+
+    ratio = fresh_eps / base_eps if base_eps else float("inf")
+    print(
+        f"perf gate: fresh {fresh_eps:,.0f} events/s"
+        f" vs baseline {base_eps:,.0f} events/s"
+        f" (ratio {ratio:.2f}, floor {args.tolerance:.2f})"
+    )
+    if ratio < args.tolerance:
+        print(
+            "perf gate: FAIL — throughput regressed past the tolerance;"
+            " if the machine is simply slower, rerun with --update on"
+            " representative hardware",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,11 @@ Subcommands mirror the SimMR workflow (paper Figure 4):
   ``docs/performance.md``);
 * ``simmr stats`` / ``compact`` / ``scale`` / ``diff-profiles`` /
   ``fit`` — trace inspection and manipulation;
+* ``simmr trace pack`` / ``unpack`` — convert between the JSON trace
+  format and the compact binary one (``repro.trace.binfmt``,
+  ``docs/traces.md``); every trace-consuming subcommand accepts either;
+* ``simmr cache stats`` / ``prune`` / ``clear`` — result-cache
+  maintenance (the sqlite store otherwise grows unboundedly);
 * ``simmr validate`` — the end-to-end accuracy loop, pass/fail;
 * ``simmr lint`` — simlint: determinism & simulation-invariant static
   analysis over the source tree (see ``docs/linting.md``);
@@ -295,6 +300,43 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--dynamic-only", action="store_true",
                      help="skip the static lint")
 
+    trc = sub.add_parser(
+        "trace",
+        help="binary trace tooling: pack/unpack the compact .simmr format",
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    pck = trc_sub.add_parser(
+        "pack", help="convert a JSON trace to the compact binary format"
+    )
+    pck.add_argument("input", type=Path, help="trace JSON path")
+    pck.add_argument("output", type=Path, help="output binary trace path (.simmr)")
+    upk = trc_sub.add_parser(
+        "unpack", help="convert a binary trace back to canonical JSON"
+    )
+    upk.add_argument("input", type=Path, help="binary trace path (.simmr)")
+    upk.add_argument("output", type=Path, help="output trace JSON path")
+
+    cch = sub.add_parser(
+        "cache",
+        help="result-cache maintenance (the sweep/service sqlite store)",
+    )
+    cch.add_argument(
+        "--cache-path", type=Path, default=None,
+        help="result-cache sqlite file (default: $SIMMR_CACHE_DIR/results.sqlite "
+        "or ~/.cache/simmr/results.sqlite)",
+    )
+    cch_sub = cch.add_subparsers(dest="cache_command", required=True)
+    cch_sub.add_parser("stats", help="summarize the store (entries, size, ages)")
+    prn = cch_sub.add_parser(
+        "prune", help="delete entries older than a given age"
+    )
+    prn.add_argument(
+        "--older-than", required=True, metavar="AGE",
+        help="age threshold: seconds, or a number suffixed s/m/h/d/w "
+        "(e.g. 90m, 12h, 7d)",
+    )
+    cch_sub.add_parser("clear", help="delete every stored result")
+
     srv = sub.add_parser(
         "serve",
         help="run the simulation service (long-lived HTTP replay server)",
@@ -317,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--cache-path", type=Path, default=None,
                      help="result-cache sqlite file (default: $SIMMR_CACHE_DIR/"
                      "results.sqlite or ~/.cache/simmr/results.sqlite)")
+    srv.add_argument("--trace-cache-size", type=int, default=8,
+                     help="parsed-trace LRU capacity for trace_path requests "
+                     "(0 disables; default 8)")
 
     sbm = sub.add_parser(
         "submit",
@@ -392,7 +437,9 @@ def _replay(
     record_tasks: bool = False,
     sanitize: Optional[bool] = None,
 ):
-    trace = load_trace(trace_path)
+    from .trace.binfmt import load_trace_auto
+
+    trace = load_trace_auto(trace_path)
     scheduler = make_scheduler(scheduler_name)
     return simulate(
         trace,
@@ -749,6 +796,99 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .sanitize.digest import trace_digest
+    from .trace.binfmt import (
+        is_binary_trace_file,
+        load_trace_bin,
+        save_trace_bin,
+    )
+
+    if args.trace_command == "pack":
+        if is_binary_trace_file(args.input):
+            print(f"simmr trace pack: {args.input} is already packed",
+                  file=sys.stderr)
+            return 2
+        trace = load_trace(args.input)
+        nbytes = save_trace_bin(trace, args.output)
+        json_bytes = args.input.stat().st_size
+        ratio = json_bytes / nbytes if nbytes else 0.0
+        print(f"packed {len(trace)} jobs: {json_bytes} -> {nbytes} bytes "
+              f"({ratio:.1f}x smaller); digest {trace_digest(trace)}")
+        return 0
+    assert args.trace_command == "unpack"
+    if not is_binary_trace_file(args.input):
+        print(f"simmr trace unpack: {args.input} is not a binary trace",
+              file=sys.stderr)
+        return 2
+    trace = load_trace_bin(args.input)
+    save_trace(trace, args.output)
+    print(f"unpacked {len(trace)} jobs to {args.output}; "
+          f"digest {trace_digest(trace)}")
+    return 0
+
+
+#: Suffix multipliers ``simmr cache prune --older-than`` understands.
+_DURATION_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def _parse_duration(text: str) -> float:
+    """``"90"``/``"90s"``/``"15m"``/``"6h"``/``"7d"``/``"2w"`` -> seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        unit = float(_DURATION_UNITS[text[-1]])
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad duration {text!r}: expected a number with an optional "
+            f"{'/'.join(_DURATION_UNITS)} suffix"
+        ) from None
+    if value < 0:
+        raise ValueError("duration must be >= 0")
+    return value * unit
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .parallel.cache import ResultCache, default_cache_path
+
+    path = args.cache_path if args.cache_path else default_cache_path()
+    if args.cache_command != "stats" and not Path(path).is_file():
+        # stats on a fresh path legitimately reports an empty store, but
+        # prune/clear would silently create an empty file — refuse.
+        print(f"simmr cache: no cache file at {path}", file=sys.stderr)
+        return 2
+    with ResultCache(path) as cache:
+        if args.cache_command == "stats":
+            info = cache.info()
+            print(f"cache {info['path']}")
+            print(f"  entries:      {info['entries']} "
+                  f"({info['distinct_traces']} trace(s), "
+                  f"{info['distinct_schedulers']} scheduler(s))")
+            print(f"  payload:      {info['payload_bytes']} bytes "
+                  f"(file: {info['file_bytes']} bytes)")
+            if info["oldest_age_seconds"] is not None:
+                print(f"  entry age:    {info['newest_age_seconds']}s newest, "
+                      f"{info['oldest_age_seconds']}s oldest")
+            return 0
+        if args.cache_command == "prune":
+            try:
+                age = _parse_duration(args.older_than)
+            except ValueError as exc:
+                print(f"simmr cache prune: {exc}", file=sys.stderr)
+                return 2
+            removed = cache.prune_older_than(age)
+            print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+                  f"older than {args.older_than} ({len(cache)} left)")
+            return 0
+        assert args.cache_command == "clear"
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
@@ -770,6 +910,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,  # type: ignore[arg-type]
         trace_root=args.trace_root,
         request_timeout=args.request_timeout,
+        trace_cache_size=args.trace_cache_size,
     )
     server = SimulationServer(config)
     install_signal_handlers(server)
@@ -789,8 +930,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .parallel import SchedulerSpec, SimTask, simulate_many
     from .service import ServiceClient, ServiceError
+    from .trace.binfmt import load_trace_auto
 
-    trace = load_trace(args.trace)
+    trace = load_trace_auto(args.trace)
     client = ServiceClient(args.url)
     try:
         reply = client.replay(
@@ -972,6 +1114,8 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         "validate": _cmd_validate,
         "lint": _cmd_lint,
         "check": _cmd_check,
+        "trace": _cmd_trace,
+        "cache": _cmd_cache,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
     }

@@ -1,6 +1,7 @@
 """SimMR core: the discrete-event simulator engine and its data model."""
 
 from .cluster import ClusterConfig
+from .columns import TraceColumns, columns_from_trace, trace_from_columns
 from .engine import SimulatorEngine, simulate
 from .events import Event, EventQueue, EventType
 from .job import Job, JobProfile, JobState, PhaseStats, TaskRecord, TraceJob
@@ -19,7 +20,10 @@ from .results_io import jobs_to_csv, load_result, result_from_dict, result_to_di
 __all__ = [
     "ClusterConfig",
     "SimulatorEngine",
+    "TraceColumns",
+    "columns_from_trace",
     "simulate",
+    "trace_from_columns",
     "Event",
     "EventQueue",
     "EventType",

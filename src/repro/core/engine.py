@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import os
 from heapq import heappop, heappush
+from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from .cluster import ClusterConfig
@@ -583,9 +584,19 @@ class SimulatorEngine:
         running = self._running_tasks.get((victim.job_id, kind))
         if not running:
             return 0
-        youngest_first = sorted(running.items(), key=lambda kv: -kv[1][1])
+        # Decorate-sort on the start time with a C-level key: stable
+        # sort + reverse=True keeps equal-start attempts in dict
+        # (insertion) order — exactly the order the old
+        # ``key=lambda kv: -start`` ascending sort produced, so kill
+        # order (and thus the event digest) is unchanged, minus the
+        # per-item lambda call and tuple indexing.
+        youngest_first = [
+            (start, index, dep_seq, record)
+            for index, (dep_seq, start, record) in running.items()
+        ]
+        youngest_first.sort(key=itemgetter(0), reverse=True)
         killed = 0
-        for index, (dep_seq, _start, record) in youngest_first[:count]:
+        for _start, index, dep_seq, record in youngest_first[:count]:
             del running[index]
             if record is not None:
                 record.end = self._now

@@ -23,21 +23,25 @@ documents the knobs and the benchmark (``bench_parallel_sweep.py``).
 
 from .cache import CacheStats, ResultCache, cache_key, default_cache_path
 from .executor import (
+    FanoutStats,
     SchedulerSpec,
     SimOutcome,
     SimTask,
+    last_fanout_stats,
     register_spec_kind,
     simulate_many,
 )
 
 __all__ = [
     "CacheStats",
+    "FanoutStats",
     "ResultCache",
     "cache_key",
     "default_cache_path",
     "SchedulerSpec",
     "SimOutcome",
     "SimTask",
+    "last_fanout_stats",
     "register_spec_kind",
     "simulate_many",
 ]

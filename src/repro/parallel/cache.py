@@ -50,10 +50,16 @@ CREATE TABLE IF NOT EXISTS results (
     trace_digest TEXT NOT NULL,
     scheduler    TEXT NOT NULL,
     config       TEXT NOT NULL,
-    payload      TEXT NOT NULL
+    payload      TEXT NOT NULL,
+    created_at   INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS idx_results_trace ON results (trace_digest);
 """
+
+#: SQL expression for "now" (unix seconds).  Timestamps are assigned by
+#: sqlite, not Python — store-maintenance bookkeeping, never simulation
+#: input, so the determinism contract (no wall-clock in sim code) holds.
+_SQL_NOW = "CAST(strftime('%s','now') AS INTEGER)"
 
 
 def default_cache_path() -> Path:
@@ -156,9 +162,27 @@ class ResultCache:
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            self._migrate()
             self._conn.commit()
         #: Counters for this session (not persisted).
         self.stats = CacheStats()
+
+    def _migrate(self) -> None:
+        """Bring a pre-``created_at`` cache file up to the current table.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves an existing table alone,
+        so files written before the timestamp column exist without it;
+        add it in place (existing rows read as 0 = "age unknown", which
+        every prune treats as prunable).  Runs under the instance lock.
+        """
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(results)").fetchall()
+        }
+        if "created_at" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN created_at INTEGER NOT NULL DEFAULT 0"
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -219,8 +243,9 @@ class ResultCache:
         payload = json.dumps(result_to_dict(result))
         with self._lock:
             self._conn.execute(
-                "INSERT OR REPLACE INTO results (key, trace_digest, scheduler, config, payload)"
-                " VALUES (?, ?, ?, ?, ?)",
+                "INSERT OR REPLACE INTO results"
+                " (key, trace_digest, scheduler, config, payload, created_at)"
+                f" VALUES (?, ?, ?, ?, ?, {_SQL_NOW})",
                 (key, trace_digest, scheduler_id, "", payload),
             )
             self._conn.commit()
@@ -238,7 +263,59 @@ class ResultCache:
             self._conn.commit()
             return cur.rowcount
 
+    def prune_older_than(self, seconds: float) -> int:
+        """Delete entries stored more than ``seconds`` ago; returns the count.
+
+        The age comparison happens entirely in SQL against sqlite's
+        clock (the same clock that stamped the rows), so there is no
+        cross-clock skew.  Rows from pre-timestamp cache files carry
+        ``created_at = 0`` and are always pruned — their age is unknown,
+        and a deleted entry only costs one deterministic re-execution.
+        """
+        if seconds < 0:
+            raise ValueError("prune age must be >= 0 seconds")
+        with self._lock:
+            # Inclusive comparison: an entry exactly at the threshold is
+            # pruned, so ``prune_older_than(0)`` empties the store even
+            # for rows written this same second.
+            cur = self._conn.execute(
+                f"DELETE FROM results WHERE created_at <= {_SQL_NOW} - ?",
+                (int(seconds),),
+            )
+            self._conn.commit()
+            return cur.rowcount
+
     # -- introspection -----------------------------------------------------
+
+    def info(self) -> dict[str, Any]:
+        """One-shot summary of the store (the ``simmr cache stats`` view)."""
+        with self._lock:
+            entries, traces, schedulers, payload_bytes = self._conn.execute(
+                "SELECT COUNT(*), COUNT(DISTINCT trace_digest),"
+                " COUNT(DISTINCT scheduler),"
+                " COALESCE(SUM(LENGTH(CAST(payload AS BLOB))), 0) FROM results"
+            ).fetchone()
+            oldest_age, newest_age = self._conn.execute(
+                f"SELECT {_SQL_NOW} - MIN(created_at), {_SQL_NOW} - MAX(created_at)"
+                " FROM results WHERE created_at > 0"
+            ).fetchone()
+        file_bytes = 0
+        if self.path != ":memory:":
+            try:
+                file_bytes = os.stat(self.path).st_size
+            except OSError:
+                pass
+        return {
+            "path": self.path,
+            "entries": entries,
+            "distinct_traces": traces,
+            "distinct_schedulers": schedulers,
+            "payload_bytes": payload_bytes,
+            "file_bytes": file_bytes,
+            "oldest_age_seconds": oldest_age,
+            "newest_age_seconds": newest_age,
+            "session": self.stats.to_dict(),
+        }
 
     def __len__(self) -> int:
         with self._lock:

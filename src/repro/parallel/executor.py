@@ -22,18 +22,30 @@ already had and must keep:
   a campaign only executes tasks whose inputs changed, and an
   interrupted campaign resumes from the completed cells for free.
 
-Tasks cross the process boundary as plain picklable data: traces are
-shipped once per worker (pool initializer), schedulers as symbolic
-:class:`SchedulerSpec` names resolved inside the worker.  In-process
-factories (``SchedulerSpec.inline``) are supported for ad-hoc policies
-but always execute in the parent and bypass the cache — a closure has
-no content address.
+Tasks cross the process boundary as plain picklable data: schedulers
+as symbolic :class:`SchedulerSpec` names resolved inside the worker,
+traces as *references into shared storage*.  Each distinct trace is
+packed once into the compact binary format
+(:mod:`repro.trace.binfmt`) and published under its content digest in a
+``multiprocessing.shared_memory`` segment (fallback: a temporary file,
+``mmap``-ed read-only by each worker); workers attach lazily and
+rebuild zero-copy :class:`~repro.core.columns.TraceColumns` views, so
+the bytes shipped per worker are O(1) in the trace size and all workers
+share one physical copy of the durations.  The legacy pickle transport
+is kept selectable for measurement (``transport="pickle"``).
+
+In-process factories (``SchedulerSpec.inline``) are supported for
+ad-hoc policies but always execute in the parent and bypass the cache —
+a closure has no content address.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass, field
 from hashlib import blake2b
 from pathlib import Path
@@ -49,13 +61,21 @@ from ..schedulers import Scheduler, make_scheduler
 from .cache import ResultCache, cache_key, default_cache_path
 
 __all__ = [
+    "FanoutStats",
     "SchedulerSpec",
     "SimTask",
     "SimOutcome",
+    "last_fanout_stats",
     "simulate_many",
     "register_spec_kind",
     "spec_kinds",
 ]
+
+#: Trace-shipping transports ``simulate_many`` accepts.  ``"auto"``
+#: prefers shared memory and degrades to a tempfile; the explicit names
+#: force one mechanism (benchmarks, tests); ``"pickle"`` is the legacy
+#: ship-the-job-objects path.
+TRANSPORTS = ("auto", "shared_memory", "tempfile", "pickle")
 
 ProgressFn = Callable[[int, int, "SimOutcome"], None]
 
@@ -244,23 +264,218 @@ def _execute(
 # worker-process plumbing
 # --------------------------------------------------------------------------- #
 
-#: Per-worker trace table, installed by the pool initializer so each
-#: trace crosses the process boundary once instead of once per task.
+#: One published trace: how a worker can reach its bytes.
+#: ``("shm", segment_name, nbytes)`` / ``("file", path, nbytes)`` /
+#: ``("pickle", [TraceJob, ...])``.
+_TraceSource = tuple
+
+#: Per-worker source table (installed by the pool initializer) and the
+#: traces already attached and decoded in this worker.  Shared-memory
+#: segments and mmaps are pinned in ``_WORKER_OWNERS`` for the worker's
+#: lifetime — the decoded jobs are views into them.
+_WORKER_SOURCES: dict[str, _TraceSource] = {}
 _WORKER_TRACES: dict[str, Sequence[TraceJob]] = {}
+_WORKER_OWNERS: list[object] = []
 
 
-def _init_worker(traces: dict[str, Sequence[TraceJob]]) -> None:
+def _init_worker(sources: dict[str, _TraceSource]) -> None:
+    _WORKER_SOURCES.clear()
+    _WORKER_SOURCES.update(sources)
     _WORKER_TRACES.clear()
-    _WORKER_TRACES.update(traces)
+    _WORKER_OWNERS.clear()
+
+
+def _attach_shared_memory(name: str, nbytes: int) -> Sequence[TraceJob]:
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    # CPython registers the segment with the resource tracker on attach
+    # as well as on create (bpo-39959).  fork/forkserver children share
+    # the parent's tracker, so their registration is an idempotent no-op
+    # and must stay; a spawn child runs its *own* tracker, which would
+    # unlink the parent's segment when the child exits — take that
+    # registration back out.  The parent owns the lifetime either way.
+    if multiprocessing.get_start_method(allow_none=True) == "spawn":
+        try:  # pragma: no cover - depends on stdlib internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    _WORKER_OWNERS.append(segment)
+    from ..trace.binfmt import unpack_columns
+
+    columns, _digest = unpack_columns(
+        memoryview(segment.buf)[:nbytes], owner=segment
+    )
+    return columns.jobs()
+
+
+def _attach_file(path: str) -> Sequence[TraceJob]:
+    from ..trace.binfmt import load_columns
+
+    columns, _digest = load_columns(path)
+    _WORKER_OWNERS.append(columns.owner)
+    return columns.jobs()
+
+
+def _worker_trace(trace_id: str) -> Sequence[TraceJob]:
+    """The worker-local trace for ``trace_id``, attached and decoded once."""
+    trace = _WORKER_TRACES.get(trace_id)
+    if trace is None:
+        source = _WORKER_SOURCES[trace_id]
+        if source[0] == "shm":
+            trace = _attach_shared_memory(source[1], source[2])
+        elif source[0] == "file":
+            trace = _attach_file(source[1])
+        else:  # "pickle": the job objects crossed with the initializer
+            trace = source[1]
+        _WORKER_TRACES[trace_id] = trace
+    return trace
 
 
 def _run_in_worker(item: tuple[int, SimTask, int, bool]) -> tuple[int, dict[str, Any]]:
     index, task, seed, digest = item
-    result = _execute(_WORKER_TRACES[task.trace_id], task, seed, digest)
+    result = _execute(_worker_trace(task.trace_id), task, seed, digest)
     # Results travel back as their canonical serialization document —
     # the exact bytes the cache would store — so a parallel result is
     # structurally identical to a cache restore of itself.
     return index, result_to_dict(result)
+
+
+# --------------------------------------------------------------------------- #
+# parent-side trace publication
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class FanoutStats:
+    """How the last pool fan-out shipped its traces (perf accounting).
+
+    ``payload_bytes`` counts the trace bytes that exist *once* in
+    shared storage (binary-packed traces in shared memory or tempfiles;
+    0 for the pickle transport, whose payload is per-worker instead).
+    ``bytes_per_worker`` is what actually crosses each worker's process
+    boundary via the pool initializer — segment names and sizes for the
+    shared transports, the full pickled job lists for ``"pickle"``.
+    """
+
+    transport: str
+    traces: int
+    workers: int
+    payload_bytes: int
+    bytes_per_worker: int
+
+    @property
+    def total_shipped_bytes(self) -> int:
+        """Bytes moved in total: shared payload + per-worker copies."""
+        return self.payload_bytes + self.bytes_per_worker * self.workers
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "transport": self.transport,
+            "traces": self.traces,
+            "workers": self.workers,
+            "payload_bytes": self.payload_bytes,
+            "bytes_per_worker": self.bytes_per_worker,
+            "total_shipped_bytes": self.total_shipped_bytes,
+        }
+
+
+#: Stats of the most recent pooled ``simulate_many`` fan-out in this
+#: process (None when everything ran in-process).  Read via
+#: :func:`last_fanout_stats`; benchmarks use this to pin the O(1)
+#: shipping claim.
+_LAST_FANOUT: Optional[FanoutStats] = None
+
+
+def last_fanout_stats() -> Optional[FanoutStats]:
+    """Shipping stats of this process's most recent pooled fan-out."""
+    return _LAST_FANOUT
+
+
+class _PublishedTraces:
+    """Parent-side shared storage for one pool's traces.
+
+    Packs each trace once (binary format), publishes it under the
+    requested transport, and tears the storage down in :meth:`close`
+    after the pool has exited.  Fallback order for ``"auto"``: shared
+    memory, then a temporary file (``mmap``-ed by workers).
+    """
+
+    def __init__(
+        self,
+        traces: Mapping[str, Sequence[TraceJob]],
+        transport: str,
+        workers: int,
+    ) -> None:
+        from ..trace.binfmt import pack_trace
+
+        self.sources: dict[str, _TraceSource] = {}
+        self._segments: list[Any] = []
+        self._files: list[str] = []
+        payload_bytes = 0
+        used: set[str] = set()
+        for trace_id, trace in traces.items():
+            if transport == "pickle":
+                jobs = list(trace)
+                self.sources[trace_id] = ("pickle", jobs)
+                used.add("pickle")
+                continue
+            payload = pack_trace(trace)
+            payload_bytes += len(payload)
+            if transport in ("auto", "shared_memory"):
+                try:
+                    self.sources[trace_id] = self._publish_shm(payload)
+                    used.add("shared_memory")
+                    continue
+                except (ImportError, OSError):
+                    if transport == "shared_memory":
+                        raise
+            self.sources[trace_id] = self._publish_file(payload)
+            used.add("tempfile")
+        self.stats = FanoutStats(
+            transport="+".join(sorted(used)) if used else "none",
+            traces=len(self.sources),
+            workers=workers,
+            payload_bytes=payload_bytes,
+            bytes_per_worker=len(pickle.dumps(self.sources)),
+        )
+
+    def _publish_shm(self, payload: bytes) -> _TraceSource:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+        segment.buf[:len(payload)] = payload
+        self._segments.append(segment)
+        return ("shm", segment.name, len(payload))
+
+    def _publish_file(self, payload: bytes) -> _TraceSource:
+        fd, path = tempfile.mkstemp(prefix="simmr-trace-", suffix=".simmr")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        self._files.append(path)
+        return ("file", path, len(payload))
+
+    def close(self) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        for path in self._files:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._files.clear()
+
+    def __enter__(self) -> "_PublishedTraces":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -276,6 +491,7 @@ def simulate_many(
     fresh: bool = False,
     digest: bool = True,
     progress: Optional[ProgressFn] = None,
+    transport: str = "auto",
 ) -> list[SimOutcome]:
     """Execute a batch of simulation tasks, reusing cached results.
 
@@ -287,6 +503,12 @@ def simulate_many(
         ``<= 1`` runs in-process (no pool); ``N > 1`` fans uncached
         tasks out over ``N`` worker processes.  Both paths produce
         event-digest-identical results.
+    transport:
+        How traces reach the workers — one of :data:`TRANSPORTS`.
+        ``"auto"`` (default) publishes each trace once in shared memory
+        and falls back to a tempfile; ``"pickle"`` ships job objects
+        with the pool initializer (legacy behaviour, kept for
+        measurement).  All transports are event-digest-identical.
     cache:
         ``None``/``False`` disables caching; ``True`` opens the default
         cache file (:func:`~repro.parallel.cache.default_cache_path`);
@@ -306,6 +528,10 @@ def simulate_many(
 
     Returns outcomes in task order.
     """
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
     for task in tasks:
         if task.trace_id not in traces:
             raise ValueError(f"task references unknown trace_id {task.trace_id!r}")
@@ -321,7 +547,7 @@ def simulate_many(
     try:
         return _simulate_many(
             traces, tasks, workers=workers, cache=cache, fresh=fresh,
-            digest=digest, progress=progress,
+            digest=digest, progress=progress, transport=transport,
         )
     finally:
         if own_cache is not None:
@@ -337,7 +563,9 @@ def _simulate_many(
     fresh: bool,
     digest: bool,
     progress: Optional[ProgressFn],
+    transport: str = "auto",
 ) -> list[SimOutcome]:
+    global _LAST_FANOUT
     digests = {tid: trace_digest(trace) for tid, trace in traces.items()}
 
     total = len(tasks)
@@ -396,12 +624,16 @@ def _simulate_many(
         }
         ctx = multiprocessing.get_context()
         nproc = min(workers, len(parallel))
-        with ctx.Pool(nproc, initializer=_init_worker, initargs=(used_traces,)) as pool:
-            items = [(i, task, seed, digest) for i, task, seed in parallel]
-            by_index = {i: (task, seed) for i, task, seed in parallel}
-            for index, payload in pool.imap_unordered(_run_in_worker, items):
-                task, seed = by_index[index]
-                finish(index, store(index, task, seed, result_from_dict(payload)))
+        with _PublishedTraces(used_traces, transport, nproc) as published:
+            _LAST_FANOUT = published.stats
+            with ctx.Pool(
+                nproc, initializer=_init_worker, initargs=(published.sources,)
+            ) as pool:
+                items = [(i, task, seed, digest) for i, task, seed in parallel]
+                by_index = {i: (task, seed) for i, task, seed in parallel}
+                for index, payload in pool.imap_unordered(_run_in_worker, items):
+                    task, seed = by_index[index]
+                    finish(index, store(index, task, seed, result_from_dict(payload)))
     else:
         inline = pending  # run everything in-process, in submission order
     for index, task, seed in inline:

@@ -21,6 +21,7 @@ from .jobs import JobManager, JobTicket, QueueFullError, ServiceClosedError
 from .metrics import ServiceMetrics
 from .protocol import ProtocolError, ReplayRequest, parse_request, request_document
 from .server import ServiceConfig, SimulationServer, install_signal_handlers
+from .tracecache import TraceCache, TraceCacheStats
 
 __all__ = [
     "JobManager",
@@ -36,6 +37,8 @@ __all__ = [
     "ServiceRejected",
     "ServiceReply",
     "SimulationServer",
+    "TraceCache",
+    "TraceCacheStats",
     "install_signal_handlers",
     "parse_request",
     "request_document",

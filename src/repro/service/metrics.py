@@ -92,6 +92,9 @@ class ServiceMetrics:
         workers: int = 0,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        trace_cache_hits: int = 0,
+        trace_cache_misses: int = 0,
+        trace_cache_entries: int = 0,
     ) -> str:
         """The full ``/metrics`` page, Prometheus text format."""
         with self._lock:
@@ -129,6 +132,14 @@ class ServiceMetrics:
             "# HELP simmr_cache_hit_rate Fraction of cache lookups that hit.",
             "# TYPE simmr_cache_hit_rate gauge",
             f"simmr_cache_hit_rate {hit_rate:.6f}",
+            "# HELP simmr_trace_cache_lookups_total Parsed-trace LRU lookups "
+            "by outcome.",
+            "# TYPE simmr_trace_cache_lookups_total counter",
+            f'simmr_trace_cache_lookups_total{{outcome="hit"}} {trace_cache_hits}',
+            f'simmr_trace_cache_lookups_total{{outcome="miss"}} {trace_cache_misses}',
+            "# HELP simmr_trace_cache_entries Parsed traces currently held.",
+            "# TYPE simmr_trace_cache_entries gauge",
+            f"simmr_trace_cache_entries {trace_cache_entries}",
             "# HELP simmr_request_latency_seconds Request latency "
             "(recent-sample quantiles).",
             "# TYPE simmr_request_latency_seconds summary",

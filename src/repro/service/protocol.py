@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tracecache import TraceCache
 
 from ..core.cluster import ClusterConfig
 from ..core.job import TraceJob
@@ -139,7 +142,19 @@ def _parse_config(raw: Any) -> dict[str, Any]:
     return config
 
 
-def _load_trace(doc: Mapping[str, Any], trace_root: Optional[Path]) -> list[TraceJob]:
+def _load_trace(
+    doc: Mapping[str, Any],
+    trace_root: Optional[Path],
+    trace_cache: "Optional[TraceCache]" = None,
+) -> tuple[Sequence[TraceJob], Optional[str]]:
+    """The request's trace and, when already known, its content digest.
+
+    Inline traces always parse fresh (their digest is computed by the
+    caller).  Server-side ``trace_path`` traces go through the service's
+    :class:`~repro.service.tracecache.TraceCache` when one is
+    configured, which also pins the digest — a cache hit costs one
+    ``stat``, no I/O and no parsing.
+    """
     inline = doc.get("trace")
     by_path = doc.get("trace_path")
     _require((inline is None) != (by_path is None),
@@ -148,7 +163,7 @@ def _load_trace(doc: Mapping[str, Any], trace_root: Optional[Path]) -> list[Trac
     if inline is not None:
         _require(isinstance(inline, dict), "'trace' must be a trace document object")
         try:
-            return trace_from_dict(inline)
+            return trace_from_dict(inline), None
         except (ValueError, KeyError, TypeError) as exc:
             raise ProtocolError(f"bad trace document: {exc}") from None
     _require(isinstance(by_path, str) and bool(by_path),
@@ -164,27 +179,33 @@ def _load_trace(doc: Mapping[str, Any], trace_root: Optional[Path]) -> list[Trac
              "'trace_path' escapes the server trace root", status=403)
     if not resolved.is_file():
         raise ProtocolError(f"no such trace on the server: {by_path}", status=404)
-    from ..trace.schema import load_trace
+    from .tracecache import load_trace_cached
 
     try:
-        return load_trace(resolved)
-    except (ValueError, KeyError, TypeError) as exc:
+        return load_trace_cached(resolved, trace_cache)
+    except (ValueError, KeyError, TypeError, OSError) as exc:
         raise ProtocolError(f"unreadable trace file {by_path}: {exc}") from None
 
 
-def parse_request(doc: Any, *, trace_root: Optional[Path] = None) -> ReplayRequest:
+def parse_request(
+    doc: Any,
+    *,
+    trace_root: Optional[Path] = None,
+    trace_cache: "Optional[TraceCache]" = None,
+) -> ReplayRequest:
     """Validate one ``POST /simulate`` body into a :class:`ReplayRequest`.
 
     Raises :class:`ProtocolError` carrying the HTTP status: 400 for
     malformed documents, 403 for trace paths outside the configured
-    root, 404 for a missing server-side trace file.
+    root, 404 for a missing server-side trace file.  ``trace_cache``
+    (optional) serves repeated ``trace_path`` requests from memory.
     """
     _require(isinstance(doc, dict), "request body must be a JSON object")
     unknown = set(doc) - _TOP_LEVEL_KEYS
     _require(not unknown, f"unknown request key(s): {sorted(unknown)}; "
              f"known: {sorted(_TOP_LEVEL_KEYS)}")
 
-    trace = _load_trace(doc, trace_root)
+    trace, known_digest = _load_trace(doc, trace_root, trace_cache)
     _require(len(trace) > 0, "trace has no jobs")
     scheduler = _parse_scheduler(doc.get("scheduler"))
     config = _parse_config(doc.get("config"))
@@ -198,7 +219,7 @@ def parse_request(doc: Any, *, trace_root: Optional[Path] = None) -> ReplayReque
 
     return ReplayRequest(
         trace=tuple(trace),
-        digest=trace_digest(trace),
+        digest=known_digest if known_digest is not None else trace_digest(trace),
         scheduler=scheduler,
         cluster=ClusterConfig(config["map_slots"], config["reduce_slots"]),
         slowstart=config["slowstart"],

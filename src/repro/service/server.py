@@ -42,6 +42,7 @@ from ..parallel.cache import ResultCache, default_cache_path
 from .jobs import JobManager, QueueFullError, ServiceClosedError
 from .metrics import PROMETHEUS_CONTENT_TYPE, ServiceMetrics
 from .protocol import ProtocolError, parse_request
+from .tracecache import TraceCache
 
 __all__ = ["ServiceConfig", "SimulationServer", "install_signal_handlers"]
 
@@ -71,6 +72,9 @@ class ServiceConfig:
     trace_root: Optional[Path] = None
     #: Server-side cap on one request's wall-clock budget (seconds).
     request_timeout: float = 120.0
+    #: Parsed-trace LRU capacity (distinct ``trace_path`` files held in
+    #: memory); 0 disables the trace cache.
+    trace_cache_size: int = 8
 
 
 def _json_bytes(doc: Any) -> bytes:
@@ -211,7 +215,11 @@ class _Handler(BaseHTTPRequestHandler):
             except (ValueError, UnicodeDecodeError) as exc:
                 raise ProtocolError(f"request body is not valid JSON: {exc}") from None
 
-            request = parse_request(doc, trace_root=service.config.trace_root)
+            request = parse_request(
+                doc,
+                trace_root=service.config.trace_root,
+                trace_cache=service.trace_cache,
+            )
             timeout = min(
                 request.timeout or service.config.request_timeout,
                 service.config.request_timeout,
@@ -303,6 +311,11 @@ class SimulationServer:
 
     def __post_init__(self) -> None:
         self.metrics = ServiceMetrics()
+        self.trace_cache: Optional[TraceCache] = (
+            TraceCache(self.config.trace_cache_size)
+            if self.config.trace_cache_size > 0
+            else None
+        )
         self._own_cache: Optional[ResultCache] = None
         if self.manager is None:
             cache_opt = self.config.cache
@@ -352,12 +365,18 @@ class SimulationServer:
         assert self.manager is not None
         cache = self.manager.cache
         stats = cache.stats if cache is not None else None
+        trace_stats = (
+            self.trace_cache.stats() if self.trace_cache is not None else None
+        )
         return self.metrics.render(
             queue_depth=self.manager.depth,
             in_flight=self.manager.in_flight,
             workers=self.manager.workers,
             cache_hits=stats.hits if stats else 0,
             cache_misses=stats.misses if stats else 0,
+            trace_cache_hits=trace_stats.hits if trace_stats else 0,
+            trace_cache_misses=trace_stats.misses if trace_stats else 0,
+            trace_cache_entries=trace_stats.entries if trace_stats else 0,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -10,6 +10,16 @@ from .arrivals import (
     PeriodicArrivals,
     RecordedArrivals,
 )
+from .binfmt import (
+    BINARY_MAGIC,
+    BINARY_VERSION,
+    is_binary_trace_file,
+    load_trace_auto,
+    load_trace_bin,
+    pack_trace,
+    save_trace_bin,
+    unpack_columns,
+)
 from .database import TraceDatabase
 from .deadlines import DeadlineFactorPolicy, solo_completion_time
 from .fit import fit_duration_distribution, fit_spec_from_profiles
@@ -41,10 +51,18 @@ from .workflows import WorkflowSpec, WorkflowStage, chain
 
 __all__ = [
     "ArrivalProcess",
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
     "BatchArrivals",
     "ExponentialArrivals",
     "PeriodicArrivals",
     "RecordedArrivals",
+    "is_binary_trace_file",
+    "load_trace_auto",
+    "load_trace_bin",
+    "pack_trace",
+    "save_trace_bin",
+    "unpack_columns",
     "TraceDatabase",
     "DeadlineFactorPolicy",
     "solo_completion_time",

@@ -285,3 +285,99 @@ class TestSubmitRoundTrip:
             "submit", str(trace), "--url", "http://127.0.0.1:9",  # discard port
         ]) == 1
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestTracePackUnpack:
+    @pytest.fixture
+    def json_trace(self, tmp_path):
+        path = tmp_path / "t.json"
+        main(["generate", str(path), "--jobs", "4", "--seed", "11"])
+        return path
+
+    def test_pack_then_unpack_preserves_digest(self, json_trace, tmp_path, capsys):
+        packed = tmp_path / "t.simmr"
+        unpacked = tmp_path / "t2.json"
+        capsys.readouterr()
+        assert main(["trace", "pack", str(json_trace), str(packed)]) == 0
+        pack_out = capsys.readouterr().out
+        assert "packed 4 jobs" in pack_out
+        assert main(["trace", "unpack", str(packed), str(unpacked)]) == 0
+        unpack_out = capsys.readouterr().out
+        digest = pack_out.split("digest ")[1].strip()
+        assert digest in unpack_out  # same digest survives the round trip
+
+        from repro.sanitize.digest import trace_digest
+
+        assert trace_digest(load_trace(unpacked)) == digest
+
+    def test_pack_is_smaller_than_json(self, json_trace, tmp_path):
+        packed = tmp_path / "t.simmr"
+        main(["trace", "pack", str(json_trace), str(packed)])
+        assert packed.stat().st_size < json_trace.stat().st_size
+
+    def test_pack_refuses_double_pack(self, json_trace, tmp_path, capsys):
+        packed = tmp_path / "t.simmr"
+        main(["trace", "pack", str(json_trace), str(packed)])
+        capsys.readouterr()
+        assert main(["trace", "pack", str(packed), str(tmp_path / "x")]) == 2
+        assert "already packed" in capsys.readouterr().err
+
+    def test_unpack_refuses_json_input(self, json_trace, tmp_path, capsys):
+        assert main(["trace", "unpack", str(json_trace), str(tmp_path / "x")]) == 2
+        assert "not a binary trace" in capsys.readouterr().err
+
+    def test_replay_accepts_packed_trace(self, json_trace, tmp_path, capsys):
+        packed = tmp_path / "t.simmr"
+        main(["trace", "pack", str(json_trace), str(packed)])
+        capsys.readouterr()
+        assert main(["replay", str(json_trace)]) == 0
+        json_line = capsys.readouterr().out.splitlines()[0]
+        assert main(["replay", str(packed)]) == 0
+        packed_line = capsys.readouterr().out.splitlines()[0]
+        # Same makespan and event count; drop the wall-clock events/s tail.
+        assert packed_line.split(" (")[0] == json_line.split(" (")[0]
+
+
+class TestCacheMaintenance:
+    @pytest.fixture
+    def warm_cache(self, tmp_path):
+        """A cache populated by one small sweep."""
+        trace = tmp_path / "t.json"
+        main(["generate", str(trace), "--jobs", "3", "--seed", "5"])
+        assert main([
+            "sweep", str(trace), "--schedulers", "fifo",
+            "--map-slots", "32,64", "--quiet",
+        ]) == 0
+        return trace
+
+    def test_stats_reports_entries(self, warm_cache, capsys):
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:      2" in out
+        assert "1 trace(s)" in out
+
+    def test_prune_honours_age(self, warm_cache, capsys):
+        capsys.readouterr()
+        assert main(["cache", "prune", "--older-than", "1d"]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        assert main(["cache", "prune", "--older-than", "0s"]) == 0
+        assert "pruned 2" in capsys.readouterr().out
+
+    def test_clear_empties_store(self, warm_cache, capsys):
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:      0" in capsys.readouterr().out
+
+    def test_bad_duration_rejected(self, warm_cache, capsys):
+        assert main(["cache", "prune", "--older-than", "tomorrow"]) == 2
+        assert "bad duration" in capsys.readouterr().err
+
+    def test_prune_missing_file_rejected(self, tmp_path, capsys):
+        assert main([
+            "cache", "--cache-path", str(tmp_path / "nope.sqlite"),
+            "prune", "--older-than", "1d",
+        ]) == 2
+        assert "no cache file" in capsys.readouterr().err
