@@ -12,8 +12,11 @@ set -u
 cd "$(dirname "$0")/.."
 fail=0
 
-echo "== simlint (python -m repro lint src/repro) =="
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src/repro || fail=1
+echo "== simlint (python -m repro lint src/repro --baseline scripts/lint_baseline.json) =="
+# The baseline is the accepted-debt ledger: only findings absent from it
+# fail the gate, and so do stale entries it still lists (baseline drift).
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src/repro \
+    --baseline scripts/lint_baseline.json || fail=1
 
 echo
 if [ -d docs ]; then

@@ -13,7 +13,13 @@ Layout
 ``config``     :class:`LintConfig` (rule selection, path classification)
 ``registry``   the rule registry, rule docs, id validation
 ``visitor``    the single-pass AST walker and per-file context
-``rules``      the DET/SIM/API rule implementations
+``rules``      the DET/SIM/API rule implementations and CONC/RES shims
+``callgraph``  the whole-program module index and call edges
+``cfg``        per-function control-flow graphs with exceptional edges
+``dataflow``   the forward "held resource" walk over CFGs
+``concurrency`` thread-entry reachability and the CONC rule family
+``resources``  acquire/release path tracking and the RES rule family
+``baseline``   the committed accepted-findings ledger
 ``reporter``   text and JSON renderers
 ``runner``     directory walking and the public ``lint_paths`` API
 
@@ -24,6 +30,7 @@ and the CI gate in ``tests/test_simlint.py``.
 
 from __future__ import annotations
 
+from .baseline import Baseline, load_baseline, partition_findings, write_baseline
 from .config import LintConfig
 from .findings import Finding, Severity
 from .registry import RuleInfo, RuleRegistry, default_registry
@@ -31,6 +38,7 @@ from .reporter import render_github, render_json, render_text
 from .runner import lint_paths, lint_source
 
 __all__ = [
+    "Baseline",
     "Finding",
     "Severity",
     "LintConfig",
@@ -39,7 +47,10 @@ __all__ = [
     "default_registry",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "partition_findings",
     "render_text",
     "render_json",
     "render_github",
+    "write_baseline",
 ]

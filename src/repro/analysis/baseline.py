@@ -1,0 +1,150 @@
+"""Findings baseline: accepted lint debt, committed next to the code.
+
+Whole-program rules (CONC/RES) can surface debt in code that predates
+them.  Blocking CI on day one would force either mass suppressions or
+a rules-off launch; a *baseline file* is the standard third way (same
+shape as ruff's ``--add-noqa`` alternative or mypy's baseline
+wrappers): known findings are recorded in a committed JSON file, the
+gate fails only on findings **not** in the baseline, and a *stale*
+baseline entry (recorded finding that no longer fires) also fails so
+the file shrinks monotonically as debt is paid down.
+
+Findings match baseline entries on ``(path, rule_id, line)``.  Line
+numbers make entries brittle against unrelated edits by design — a
+baseline is a debt ledger, not a suppression mechanism; when a file is
+refactored the baseline must be re-examined, which is exactly when
+re-examining is cheap.
+
+The file format is versioned JSON::
+
+    {"version": 1, "findings": [
+        {"path": "src/...", "rule_id": "RES002", "line": 92,
+         "message": "sqlite cursor 'cur' is never closed ..."}
+    ]}
+
+``message`` is informational (kept for reviewers reading the diff);
+matching ignores it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    rule_id: str
+    line: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.path, self.rule_id, self.line)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    entries: tuple[BaselineEntry, ...]
+
+    @property
+    def keys(self) -> frozenset[tuple[str, str, int]]:
+        return frozenset(entry.key for entry in self.entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load and validate a baseline file; raises ``ValueError`` on bad shape."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path}: expected a version-{_VERSION} baseline object"
+        )
+    raw = payload.get("findings")
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path}: 'findings' must be a list")
+    entries = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise ValueError(f"baseline {path}: finding entries must be objects")
+        try:
+            entries.append(BaselineEntry(
+                path=str(item["path"]),
+                rule_id=str(item["rule_id"]),
+                line=int(item["line"]),
+                message=str(item.get("message", "")),
+            ))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"baseline {path}: malformed entry {item!r}") from exc
+    return Baseline(entries=tuple(entries))
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Record ``findings`` as the new accepted baseline at ``path``."""
+    entries = tuple(
+        BaselineEntry(
+            path=f.path, rule_id=f.rule_id, line=f.line, message=f.message
+        )
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {
+                "path": e.path,
+                "rule_id": e.rule_id,
+                "line": e.line,
+                "message": e.message,
+            }
+            for e in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return Baseline(entries=entries)
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (new, baselined) and report stale entries.
+
+    *new* findings are absent from the baseline and must fail the gate;
+    *baselined* findings are accepted debt; *stale* entries are baseline
+    records that no longer fire — also a gate failure, so the ledger
+    never accumulates dead weight.
+    """
+    keys = baseline.keys
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    hit: set[tuple[str, str, int]] = set()
+    for finding in findings:
+        key = (finding.path, finding.rule_id, finding.line)
+        if key in keys:
+            matched.append(finding)
+            hit.add(key)
+        else:
+            new.append(finding)
+    stale = [entry for entry in baseline.entries if entry.key not in hit]
+    return new, matched, stale

@@ -151,6 +151,11 @@ class FuncNode:
     path: str
     qname: str  # "func" or "Class.method"
     lineno: int
+    #: The function's AST — kept so the CFG/dataflow layer can analyze
+    #: bodies without re-parsing (one parse feeds every pass).
+    node: "Optional[ast.FunctionDef | ast.AsyncFunctionDef]" = None
+    #: Enclosing class name for methods, None for module-level functions.
+    cls_name: Optional[str] = None
     sinks: list[Sink] = field(default_factory=list)
     #: Unresolved call references: (descriptor, call-site node).
     #: Descriptors: ("self", cls, attr) | ("name", name) | ("dotted", dotted)
@@ -367,12 +372,24 @@ class CallGraph:
     # construction
     # ------------------------------------------------------------------ #
 
-    def add_module(self, path: str, tree: ast.Module, source: str) -> None:
-        """Index one parsed module (``path`` is the display path)."""
+    def add_module(
+        self,
+        path: str,
+        tree: ast.Module,
+        source: str,
+        suppressions: Optional[dict[int, set[str]]] = None,
+    ) -> None:
+        """Index one parsed module (``path`` is the display path).
+
+        ``suppressions`` lets the runner share one parsed-directive map
+        per file instead of re-scanning the source here.
+        """
         name = module_name_for_path(path)
         mod = _ModuleIdx(name=name, path=path)
         self._modules[name] = mod
-        self._suppressions[path] = parse_suppressions(source)
+        self._suppressions[path] = (
+            suppressions if suppressions is not None else parse_suppressions(source)
+        )
         self._whitelisted[path] = self.config.is_timing_whitelisted(path)
         self._testpath[path] = self.config.is_test_path(path)
         is_package = path.replace("\\", "/").endswith("__init__.py")
@@ -420,7 +437,10 @@ class CallGraph:
         cls: Optional[str],
     ) -> None:
         qname = f"{cls}.{node.name}" if cls else node.name
-        fn = FuncNode(module=mod.name, path=mod.path, qname=qname, lineno=node.lineno)
+        fn = FuncNode(
+            module=mod.name, path=mod.path, qname=qname, lineno=node.lineno,
+            node=node, cls_name=cls,
+        )
         if cls is None:
             mod.functions[qname] = fn
         else:
@@ -595,6 +615,37 @@ class CallGraph:
         """Lookup helper for tests."""
         mod = self._modules.get(module)
         return mod.functions.get(qname) if mod else None
+
+    # ------------------------------------------------------------------ #
+    # shared-index access (the CFG/dataflow layer reuses this index
+    # instead of re-parsing or re-scanning modules)
+    # ------------------------------------------------------------------ #
+
+    def iter_functions(self) -> "Iterable[FuncNode]":
+        """Every indexed function, in deterministic module/qname order."""
+        for mod_name in sorted(self._modules):
+            mod = self._modules[mod_name]
+            for qname in sorted(mod.functions):
+                yield mod.functions[qname]
+
+    def module_index(self, name: str) -> "Optional[_ModuleIdx]":
+        """The per-module index (aliases, classes) built by add_module."""
+        return self._modules.get(name)
+
+    def iter_module_indexes(self) -> "Iterable[_ModuleIdx]":
+        for name in sorted(self._modules):
+            yield self._modules[name]
+
+    def resolve_ref(self, module: str, ref: tuple) -> Optional[FuncNode]:
+        """Resolve a callee descriptor against the project index.
+
+        Descriptors are the same shape :class:`_FunctionScanner` records:
+        ``("self", cls, attr)`` / ``("name", name)`` / ``("dotted", dotted)``.
+        """
+        mod = self._modules.get(module)
+        if mod is None:
+            return None
+        return self._resolve_ref(mod, ref)
 
 
 def _attr_dotted(node: ast.Attribute, aliases: dict[str, str]) -> Optional[str]:

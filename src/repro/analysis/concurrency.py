@@ -1,0 +1,874 @@
+"""Whole-program concurrency analysis: the CONC rule family.
+
+The repo runs real concurrency — ``ThreadingHTTPServer`` handler
+threads, the :class:`~repro.service.jobs.JobManager` worker pool, and a
+``multiprocessing`` fleet — and a replay service is only as
+deterministic as its synchronization discipline.  This module layers
+four checks over the :mod:`repro.analysis.callgraph` index:
+
+``CONC001``
+    A write to ``self.<attr>`` that is lock-guarded somewhere in the
+    class but *not* at this site, in a method reachable from concurrent
+    thread entry points.  Inconsistent guarding is the classic
+    race-detection signal (guarded-elsewhere means the author considers
+    the attribute shared).
+``CONC002``
+    Lock acquisitions in inconsistent order across the program
+    (``A`` then ``B`` here, ``B`` then ``A`` there) — a deadlock a
+    single test run will essentially never produce.
+``CONC003``
+    A sqlite connection declared cross-thread
+    (``check_same_thread=False``) or owned by a class in concurrent
+    scope, dereferenced without the class's guarding lock held.  The
+    sanctioned wrapper idiom (:class:`~repro.parallel.cache.ResultCache`)
+    serializes *every* statement behind one lock and passes clean.
+``CONC004``
+    A manual ``lock.acquire()`` with a path (normal or exceptional) to
+    function exit that never calls ``release()`` — use ``with`` or
+    ``try/finally``.
+
+**Thread entry points** are HTTP handler methods (``do_*`` on request
+-handler classes), ``threading.Thread`` targets, and ``multiprocessing``
+pool targets/initializers.  Thread/handler entries carry a concurrency
+multiplicity (handlers and loop-spawned threads count twice — they run
+concurrently with themselves); multiprocessing targets are indexed as
+entry points but carry no *thread* weight, since pool worker processes
+do not share Python memory.  Reachability is a forward BFS over the
+call graph, remembering one breadcrumb step per function so findings
+can print the taint-style witness chain (``do_POST -> _handle_simulate
+-> submit``).
+
+Methods named ``__init__``/``__post_init__``/``__new__`` are exempt
+from CONC001/CONC003: the object is not yet shared while constructing.
+Like the rest of simlint, every heuristic over-approximates toward
+"no edge / no finding" when resolution is ambiguous.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from .callgraph import CallGraph, FuncNode, _ModuleIdx
+from .cfg import build_cfg
+from .config import LintConfig
+from .dataflow import RawFinding, track_acquisition
+
+__all__ = ["ConcurrencyAnalysis", "EntryPoint", "analyze_concurrency"]
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Names that look like synchronization primitives.
+_LOCKISH_RE = re.compile(r"lock|mutex|semaphore|condvar", re.IGNORECASE)
+
+#: Constructors whose result is a lock attribute, alias-resolved.
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+#: Base-class names marking an HTTP request-handler class; its ``do_*``
+#: methods run on per-connection server threads.
+_HANDLER_BASE_RE = re.compile(r"RequestHandler$")
+
+#: Pool methods whose function argument runs in worker processes.
+_POOL_METHODS = frozenset({
+    "imap", "imap_unordered", "map", "map_async", "starmap",
+    "starmap_async", "apply_async",
+})
+
+#: Constructor-family methods that run before the object is shared.
+_INIT_EXEMPT = frozenset({"__init__", "__post_init__", "__new__"})
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "sort", "reverse",
+    "move_to_end",
+})
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """One function the runtime invokes on its own thread/process."""
+
+    fn: FuncNode
+    kind: str  # "thread" | "handler" | "mp"
+    #: How many concurrent activations share memory (handlers and
+    #: loop-spawned threads: 2; single threads: 1; processes: 0 —
+    #: they do not share Python state).
+    weight: int
+    detail: str
+
+
+@dataclass
+class _AttrAccess:
+    attr: str
+    is_write: bool
+    lineno: int
+    col: int
+    method: str
+    locks_held: tuple[str, ...]
+
+    @property
+    def guarded(self) -> bool:
+        return bool(self.locks_held)
+
+
+@dataclass
+class _LockOrderSite:
+    held: str
+    acquired: str
+    path: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class _ClassFacts:
+    """Per-class aggregation feeding CONC001/CONC003."""
+
+    module: str
+    path: str
+    name: str
+    lock_attrs: set[str] = field(default_factory=set)
+    #: sqlite connection attrs -> declared check_same_thread=False.
+    conn_attrs: dict[str, bool] = field(default_factory=dict)
+    conn_lineno: dict[str, int] = field(default_factory=dict)
+    accesses: list[_AttrAccess] = field(default_factory=list)
+    #: Unguarded dereferences of a connection attr: (attr, line, col, method).
+    conn_uses: list[tuple[str, int, int, str, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+
+def _dotted(node: ast.AST, aliases: dict[str, str]) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _local_aliases(mod: _ModuleIdx, fn: FuncDef) -> dict[str, str]:
+    """Module aliases extended with the function's own imports."""
+    aliases = dict(mod.aliases)
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                aliases[local] = (
+                    alias.name if alias.asname else alias.name.split(".", 1)[0]
+                )
+        elif isinstance(stmt, ast.ImportFrom) and stmt.module and not stmt.level:
+            for alias in stmt.names:
+                aliases[alias.asname or alias.name] = f"{stmt.module}.{alias.name}"
+    return aliases
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """First-level attribute name of a ``self.<attr>...`` chain root."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self":
+        if isinstance(parent, ast.Attribute):
+            return parent.attr
+    return None
+
+
+def _callee_descriptor(
+    node: ast.AST, aliases: dict[str, str], cls_name: Optional[str]
+) -> Optional[tuple]:
+    """A callgraph-style descriptor for a function reference expression."""
+    if isinstance(node, ast.Name):
+        dotted = aliases.get(node.id)
+        return ("dotted", dotted) if dotted is not None else ("name", node.id)
+    if isinstance(node, ast.Attribute):
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and cls_name is not None
+        ):
+            return ("self", cls_name, node.attr)
+        dotted = _dotted(node, aliases)
+        if dotted is not None:
+            return ("dotted", dotted)
+    return None
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """One pass over a method body: lock scopes, attr accesses, calls.
+
+    Tracks the ``with``-lock stack while visiting, so every recorded
+    access/call/dereference knows which locks were held at that point.
+    """
+
+    def __init__(
+        self,
+        analysis: "ConcurrencyAnalysis",
+        mod: _ModuleIdx,
+        fn: FuncNode,
+        facts: Optional[_ClassFacts],
+    ) -> None:
+        self.analysis = analysis
+        self.mod = mod
+        self.fn = fn
+        self.facts = facts
+        self.aliases = _local_aliases(mod, fn.node) if fn.node else dict(mod.aliases)
+        self.held: list[str] = []
+        #: Locks this function acquires directly (for the order closure).
+        self.acquired: set[str] = set()
+        self.method_name = fn.qname.rpartition(".")[2]
+
+    # -- lock identity -------------------------------------------------- #
+
+    def lock_id(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self" and self.facts is not None:
+                if expr.attr in self.facts.lock_attrs or _LOCKISH_RE.search(expr.attr):
+                    return f"{self.facts.name}.{expr.attr}"
+                return None
+            if _LOCKISH_RE.search(expr.attr):
+                return f"*.{expr.attr}"
+            return None
+        if isinstance(expr, ast.Name) and _LOCKISH_RE.search(expr.id):
+            return f"{self.mod.name}:{expr.id}"
+        if isinstance(expr, ast.Attribute) and _LOCKISH_RE.search(expr.attr):
+            return f"*.{expr.attr}"
+        return None
+
+    # -- visits --------------------------------------------------------- #
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        pushed = 0
+        for item in node.items:
+            lock = self.lock_id(item.context_expr)
+            self.visit(item.context_expr)
+            if lock is not None:
+                for held in self.held:
+                    if held != lock:
+                        self.analysis.order_sites.append(_LockOrderSite(
+                            held=held,
+                            acquired=lock,
+                            path=self.fn.path,
+                            lineno=item.context_expr.lineno,
+                            col=item.context_expr.col_offset + 1,
+                        ))
+                self.held.append(lock)
+                self.acquired.add(lock)
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Cross-function lock ordering: calling under a held lock pulls
+        # in every lock the callee (transitively) acquires.
+        if self.held:
+            self.analysis.held_calls.append(
+                (self.fn, node, tuple(self.held))
+            )
+        # Mutator-method write on a self attribute (self.x.append(...)).
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                self._record_access(attr, True, node)
+        self.generic_visit(node)
+
+    def _record_access(self, attr: str, is_write: bool, node: ast.AST) -> None:
+        if self.facts is None:
+            return
+        self.facts.accesses.append(_AttrAccess(
+            attr=attr,
+            is_write=is_write,
+            lineno=getattr(node, "lineno", self.fn.lineno),
+            col=getattr(node, "col_offset", 0) + 1,
+            method=self.method_name,
+            locks_held=tuple(self.held),
+        ))
+
+    def _record_write_target(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_write_target(elt, node)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._record_access(attr, True, target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_write_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Reads of self.<attr> (writes were recorded by the assign hooks;
+        # recording the read side too only adds guard examples).
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            self._record_access(node.attr, False, node)
+            if self.facts is not None and node.attr in self.facts.conn_attrs:
+                self.facts.conn_uses.append((
+                    node.attr, node.lineno, node.col_offset + 1,
+                    self.method_name, tuple(self.held),
+                ))
+        self.generic_visit(node)
+
+    # Nested defs: their bodies run later on unknown threads; scanning
+    # them with the enclosing lock stack would fabricate guarantees.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+class _EntryScanner(ast.NodeVisitor):
+    """Find thread/process entry-point registrations in one function."""
+
+    def __init__(
+        self, analysis: "ConcurrencyAnalysis", mod: _ModuleIdx, fn: FuncNode
+    ) -> None:
+        self.analysis = analysis
+        self.mod = mod
+        self.fn = fn
+        self.aliases = _local_aliases(mod, fn.node) if fn.node else dict(mod.aliases)
+        self.loop_depth = 0
+
+    def _add(self, ref: Optional[tuple], kind: str, detail: str) -> None:
+        if ref is None:
+            return
+        target = self.analysis.graph.resolve_ref(self.fn.module, ref)
+        if target is None:
+            return
+        if kind == "mp":
+            weight = 0
+        else:
+            weight = 2 if self.loop_depth > 0 else 1
+        self.analysis.add_entry(EntryPoint(target, kind, weight, detail))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func, self.aliases) or ""
+        target_kw = next(
+            (kw.value for kw in node.keywords if kw.arg == "target"), None
+        )
+        init_kw = next(
+            (kw.value for kw in node.keywords if kw.arg == "initializer"), None
+        )
+        cls = self.fn.cls_name
+        if target_kw is not None:
+            kind = "mp" if dotted.endswith("multiprocessing.Process") else "thread"
+            self._add(
+                _callee_descriptor(target_kw, self.aliases, cls),
+                kind,
+                "threading.Thread target" if kind == "thread"
+                else "multiprocessing.Process target",
+            )
+        if init_kw is not None:
+            self._add(
+                _callee_descriptor(init_kw, self.aliases, cls),
+                "mp", "pool initializer",
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_METHODS
+            and node.args
+        ):
+            self._add(
+                _callee_descriptor(node.args[0], self.aliases, cls),
+                "mp", f"pool.{node.func.attr} function",
+            )
+        self.generic_visit(node)
+
+    def _loopish(self, node: ast.AST) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loopish(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._loopish(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loopish(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._loopish(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._loopish(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._loopish(node)
+
+
+class ConcurrencyAnalysis:
+    """Runs the CONC001–004 checks over a finalized call graph."""
+
+    def __init__(self, graph: CallGraph, config: LintConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.entries: list[EntryPoint] = []
+        self.order_sites: list[_LockOrderSite] = []
+        self.held_calls: list[tuple[FuncNode, ast.Call, tuple[str, ...]]] = []
+        self._weights: dict[int, int] = {}
+        #: id(fn) -> {entry-id: breadcrumb caller FuncNode or None}.
+        self._parents: dict[int, dict[int, Optional[FuncNode]]] = {}
+        self._entry_by_id: dict[int, EntryPoint] = {}
+        self._direct_locks: dict[int, set[str]] = {}
+        self._class_facts: dict[tuple[str, str], _ClassFacts] = {}
+        self.findings: list[RawFinding] = []
+
+    # -- public API ----------------------------------------------------- #
+
+    def run(self) -> list[RawFinding]:
+        self._collect_class_facts()
+        self._collect_entries()
+        self._propagate_reachability()
+        self._scan_methods()
+        self._check_conc001()
+        self._check_conc002()
+        self._check_conc003()
+        self._check_conc004()
+        self.findings.sort(key=lambda f: f.sort_key)
+        return self.findings
+
+    def add_entry(self, entry: EntryPoint) -> None:
+        self.entries.append(entry)
+
+    def thread_weight(self, fn: FuncNode) -> int:
+        """Concurrent thread activations that can reach ``fn``."""
+        return self._weights.get(id(fn), 0)
+
+    # -- construction passes -------------------------------------------- #
+
+    def _iter_functions(self) -> Iterable[tuple[_ModuleIdx, FuncNode]]:
+        for mod in self.graph.iter_module_indexes():
+            if self.config.is_test_path(mod.path):
+                continue
+            for qname in sorted(mod.functions):
+                fn = mod.functions[qname]
+                if fn.node is not None:
+                    yield mod, fn
+
+    def _collect_class_facts(self) -> None:
+        """Lock attributes and sqlite connection attributes per class."""
+        for mod, fn in self._iter_functions():
+            if fn.cls_name is None:
+                continue
+            key = (mod.name, fn.cls_name)
+            facts = self._class_facts.get(key)
+            if facts is None:
+                facts = _ClassFacts(module=mod.name, path=fn.path, name=fn.cls_name)
+                self._class_facts[key] = facts
+            aliases = _local_aliases(mod, fn.node) if fn.node else dict(mod.aliases)
+            assert fn.node is not None
+            for stmt in ast.walk(fn.node):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                target = stmt.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if not isinstance(stmt.value, ast.Call):
+                    continue
+                dotted = _dotted(stmt.value.func, aliases)
+                if dotted in _LOCK_FACTORIES:
+                    facts.lock_attrs.add(target.attr)
+                elif dotted == "sqlite3.connect":
+                    declared = any(
+                        kw.arg == "check_same_thread"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                        for kw in stmt.value.keywords
+                    )
+                    facts.conn_attrs[target.attr] = declared
+                    facts.conn_lineno[target.attr] = stmt.lineno
+
+    def _collect_entries(self) -> None:
+        for mod, fn in self._iter_functions():
+            _EntryScanner(self, mod, fn).visit(fn.node)  # type: ignore[arg-type]
+        # HTTP handler methods: do_* on request-handler classes.
+        for mod in self.graph.iter_module_indexes():
+            if self.config.is_test_path(mod.path):
+                continue
+            for cls_name in sorted(mod.classes):
+                cls = mod.classes[cls_name]
+                if not any(
+                    _HANDLER_BASE_RE.search(base.rpartition(".")[2])
+                    for base in cls.base_refs
+                ):
+                    continue
+                for method_name in sorted(cls.methods):
+                    if method_name.startswith("do_"):
+                        self.add_entry(EntryPoint(
+                            cls.methods[method_name], "handler", 2,
+                            "HTTP handler method",
+                        ))
+
+    def _propagate_reachability(self) -> None:
+        seen_entries: set[tuple[int, str]] = set()
+        for entry in self.entries:
+            key = (id(entry.fn), entry.kind)
+            if key in seen_entries:
+                continue  # the same target registered twice adds no facts
+            seen_entries.add(key)
+            self._entry_by_id[id(entry.fn)] = entry
+            parents: dict[int, Optional[FuncNode]] = {id(entry.fn): None}
+            order = [entry.fn]
+            frontier = [entry.fn]
+            while frontier:
+                nxt: list[FuncNode] = []
+                for fn in frontier:
+                    for callee in fn.callees:
+                        if id(callee) not in parents:
+                            parents[id(callee)] = fn
+                            order.append(callee)
+                            nxt.append(callee)
+                frontier = nxt
+            for fn in order:
+                self._parents.setdefault(id(fn), {})[id(entry.fn)] = parents[id(fn)]
+                if entry.weight:
+                    self._weights[id(fn)] = self._weights.get(id(fn), 0) + entry.weight
+
+    def _scan_methods(self) -> None:
+        for mod, fn in self._iter_functions():
+            facts = (
+                self._class_facts.get((mod.name, fn.cls_name))
+                if fn.cls_name is not None
+                else None
+            )
+            method = fn.qname.rpartition(".")[2]
+            if method in _INIT_EXEMPT:
+                # Constructors still contribute lock-order facts, but
+                # their attr writes happen before the object is shared.
+                facts = None
+            scanner = _MethodScanner(self, mod, fn, facts)
+            assert fn.node is not None
+            for stmt in fn.node.body:
+                scanner.visit(stmt)
+            self._direct_locks[id(fn)] = scanner.acquired
+
+    # -- breadcrumbs ----------------------------------------------------- #
+
+    def entry_chain(self, fn: FuncNode, entry_fn_id: int) -> list[str]:
+        """Display-name chain from the entry point down to ``fn``."""
+        chain: list[str] = []
+        cursor: Optional[FuncNode] = fn
+        guard = 0
+        while cursor is not None and guard < 32:
+            chain.append(cursor.display)
+            cursor = self._parents.get(id(cursor), {}).get(entry_fn_id)
+            guard += 1
+        return list(reversed(chain))
+
+    def _chains_for(self, fn: FuncNode, limit: int = 2) -> str:
+        parts: list[str] = []
+        entry_ids = sorted(
+            self._parents.get(id(fn), {}),
+            key=lambda eid: self._entry_by_id[eid].fn.display,
+        )
+        for entry_id in entry_ids:
+            entry = self._entry_by_id[entry_id]
+            if entry.weight == 0:
+                continue
+            chain = self.entry_chain(fn, entry_id)
+            label = " -> ".join(chain)
+            parts.append(f"{label} [{entry.detail} x{entry.weight}]")
+            if len(parts) >= limit:
+                break
+        return "; ".join(parts)
+
+    # -- the checks ------------------------------------------------------ #
+
+    def _method_node(self, facts: _ClassFacts, method: str) -> Optional[FuncNode]:
+        mod = self.graph.module_index(facts.module)
+        if mod is None:
+            return None
+        return mod.functions.get(f"{facts.name}.{method}")
+
+    def _check_conc001(self) -> None:
+        for key in sorted(self._class_facts):
+            facts = self._class_facts[key]
+            by_attr: dict[str, list[_AttrAccess]] = {}
+            for access in facts.accesses:
+                if access.attr in facts.lock_attrs or _LOCKISH_RE.search(access.attr):
+                    continue
+                by_attr.setdefault(access.attr, []).append(access)
+            for attr in sorted(by_attr):
+                accesses = by_attr[attr]
+                guard = next((a for a in accesses if a.guarded), None)
+                if guard is None:
+                    continue  # never guarded: no declared discipline to break
+                for access in accesses:
+                    if not access.is_write or access.guarded:
+                        continue
+                    fn = self._method_node(facts, access.method)
+                    if fn is None:
+                        continue
+                    weight = self.thread_weight(fn)
+                    if weight < 2:
+                        continue
+                    self.findings.append(RawFinding(
+                        rule_id="CONC001",
+                        path=facts.path,
+                        line=access.lineno,
+                        col=access.col,
+                        message=(
+                            f"unsynchronized write to self.{attr} can race: "
+                            f"guarded by {guard.locks_held[0]} at "
+                            f"{facts.path}:{guard.lineno} but not here; "
+                            f"reachable from {weight} concurrent thread(s) "
+                            f"({self._chains_for(fn)})"
+                        ),
+                    ))
+
+    def _lock_closure(self, fn: FuncNode) -> set[str]:
+        out: set[str] = set()
+        frontier = [fn]
+        seen = {id(fn)}
+        depth = 0
+        while frontier and depth < 12:
+            nxt: list[FuncNode] = []
+            for node in frontier:
+                out |= self._direct_locks.get(id(node), set())
+                for callee in node.callees:
+                    if id(callee) not in seen:
+                        seen.add(id(callee))
+                        nxt.append(callee)
+            frontier = nxt
+            depth += 1
+        return out
+
+    def _check_conc002(self) -> None:
+        # Cross-function pairs: a call made while holding H acquires
+        # (transitively) every lock in the callee's closure.
+        sites = list(self.order_sites)
+        for fn, call, held in self.held_calls:
+            for callee in self.graph.callees_at(call):
+                for lock in sorted(self._lock_closure(callee)):
+                    for h in held:
+                        if h != lock:
+                            sites.append(_LockOrderSite(
+                                held=h, acquired=lock, path=fn.path,
+                                lineno=call.lineno, col=call.col_offset + 1,
+                            ))
+        edges: dict[tuple[str, str], _LockOrderSite] = {}
+        for site in sites:
+            edges.setdefault((site.held, site.acquired), site)
+        # An ordered pair is a deadlock candidate when the opposite
+        # order is also reachable (mutual reachability in the edge graph).
+        succs: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            succs.setdefault(a, set()).add(b)
+
+        def reaches(src: str, dst: str) -> bool:
+            frontier, seen = [src], {src}
+            while frontier:
+                nxt: list[str] = []
+                for node in frontier:
+                    for succ in succs.get(node, ()):
+                        if succ == dst:
+                            return True
+                        if succ not in seen:
+                            seen.add(succ)
+                            nxt.append(succ)
+                frontier = nxt
+            return False
+
+        for (a, b) in sorted(edges):
+            if not reaches(b, a):
+                continue
+            site = edges[(a, b)]
+            reverse = edges.get((b, a))
+            if reverse is not None:
+                counter = f"the opposite order is at {reverse.path}:{reverse.lineno}"
+            else:
+                counter = f"a cycle back through {a} exists"
+            self.findings.append(RawFinding(
+                rule_id="CONC002",
+                path=site.path,
+                line=site.lineno,
+                col=site.col,
+                message=(
+                    f"lock order inversion: {b} acquired while holding {a}, "
+                    f"but {counter}; concurrent callers can deadlock"
+                ),
+            ))
+
+    def _check_conc003(self) -> None:
+        for key in sorted(self._class_facts):
+            facts = self._class_facts[key]
+            if not facts.conn_attrs:
+                continue
+            concurrent = any(
+                (fn := self._method_node(facts, m)) is not None
+                and self.thread_weight(fn) >= 2
+                for m in {u[3] for u in facts.conn_uses}
+            )
+            for attr in sorted(facts.conn_attrs):
+                declared = facts.conn_attrs[attr]
+                if not declared and not concurrent:
+                    continue  # single-threaded store: nothing to enforce
+                reason = (
+                    "declared cross-thread via check_same_thread=False"
+                    if declared else "owned by a class in concurrent scope"
+                )
+                if not facts.lock_attrs:
+                    self.findings.append(RawFinding(
+                        rule_id="CONC003",
+                        path=facts.path,
+                        line=facts.conn_lineno.get(attr, 1),
+                        col=1,
+                        message=(
+                            f"sqlite connection self.{attr} is {reason} but "
+                            f"{facts.name} has no guarding lock; serialize "
+                            f"every use behind one lock (the ResultCache idiom)"
+                        ),
+                    ))
+                    continue
+                for use_attr, lineno, col, method, held in facts.conn_uses:
+                    if use_attr != attr or held or method in _INIT_EXEMPT:
+                        continue
+                    self.findings.append(RawFinding(
+                        rule_id="CONC003",
+                        path=facts.path,
+                        line=lineno,
+                        col=col,
+                        message=(
+                            f"sqlite connection self.{attr} ({reason}) used "
+                            f"without holding {facts.name}'s guarding lock"
+                        ),
+                    ))
+
+    def _check_conc004(self) -> None:
+        for mod, fn in self._iter_functions():
+            assert fn.node is not None
+            acquires: list[tuple[ast.Call, str]] = []
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                ):
+                    recv = self._receiver_key(node.func.value, fn)
+                    if recv is not None:
+                        acquires.append((node, recv))
+            if not acquires:
+                continue
+            cfg = build_cfg(fn.node)
+            for call, recv in acquires:
+                acquire_idx = _node_scanning(cfg, call)
+                if acquire_idx is None:
+                    continue
+                kills = {
+                    n.index
+                    for n in cfg.nodes
+                    if any(
+                        self._is_release(sub, recv, fn)
+                        for root in n.scan
+                        for sub in ast.walk(root)
+                    )
+                }
+                report = track_acquisition(
+                    cfg, acquire_idx, lambda i, k=frozenset(kills): i in k
+                )
+                if report.held_at_exit:
+                    detail = "no release() on some path to return"
+                elif report.held_at_raise:
+                    detail = (
+                        "an exception"
+                        + (f" at line {report.raise_line}" if report.raise_line else "")
+                        + " can exit before release()"
+                    )
+                else:
+                    continue
+                self.findings.append(RawFinding(
+                    rule_id="CONC004",
+                    path=fn.path,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    message=(
+                        f"manual {recv}.acquire() without a guaranteed "
+                        f"release: {detail}; use 'with {recv}:' or try/finally"
+                    ),
+                ))
+
+    def _receiver_key(self, expr: ast.AST, fn: FuncNode) -> Optional[str]:
+        """Lock-ish receiver of an ``acquire``/``release`` call."""
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self":
+                facts = (
+                    self._class_facts.get((fn.module, fn.cls_name))
+                    if fn.cls_name is not None else None
+                )
+                lockish = _LOCKISH_RE.search(expr.attr) or (
+                    facts is not None and expr.attr in facts.lock_attrs
+                )
+                return f"self.{expr.attr}" if lockish else None
+        if isinstance(expr, ast.Name) and _LOCKISH_RE.search(expr.id):
+            return expr.id
+        return None
+
+    def _is_release(self, node: ast.AST, recv: str, fn: FuncNode) -> bool:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+        ):
+            return False
+        return self._receiver_key(node.func.value, fn) == recv
+
+
+def _node_scanning(cfg: "object", target: ast.AST) -> Optional[int]:
+    """Index of the CFG node whose scan region contains ``target``."""
+    from .cfg import CFG
+
+    assert isinstance(cfg, CFG)
+    for node in cfg.nodes:
+        for root in node.scan:
+            for sub in ast.walk(root):
+                if sub is target:
+                    return node.index
+    return None
+
+
+def analyze_concurrency(graph: CallGraph, config: LintConfig) -> list[RawFinding]:
+    """Run the CONC family over a finalized call graph."""
+    return ConcurrencyAnalysis(graph, config).run()

@@ -1,0 +1,177 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+Two consumers sit on top of this module:
+
+* :mod:`repro.analysis.resources` (RES001–003) asks *resource-path*
+  questions: after a resource is acquired at some CFG node, can control
+  reach the function's normal or exceptional exit while the resource is
+  still held (not released, not handed to an owner)?
+* :mod:`repro.analysis.concurrency` (CONC004) asks the same question
+  about manually ``acquire()``-d locks.
+
+The core primitive is :func:`track_acquisition` — a worklist walk from
+the acquisition node that propagates a single "held" bit along normal
+*and* exceptional edges, killed at release / escape / rebinding nodes.
+The walk is deliberately optimistic at kill nodes (a ``close()`` that
+itself raises still counts as released) so cleanup code never flags
+itself, and pessimistic everywhere else (any call/attribute access can
+raise), matching the rest of simlint's "never guess, over-approximate
+toward *a path exists*" stance.
+
+This module also defines :class:`RawFinding`, the location-addressed
+record the whole-program analyses emit; the thin rule classes in
+:mod:`repro.analysis.rules` replay them through the normal
+:meth:`~repro.analysis.visitor.FileContext.report` machinery so config
+selection and inline ``# simlint: disable=`` suppression apply
+unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .cfg import CFG
+
+__all__ = ["RawFinding", "Anchor", "PathReport", "track_acquisition"]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A minimal AST-node stand-in carrying just a source location."""
+
+    lineno: int
+    col_offset: int
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """One whole-program finding, before suppression/config filtering."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def anchor(self) -> Anchor:
+        return Anchor(lineno=self.line, col_offset=max(0, self.col - 1))
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """Where a tracked acquisition can still be held at function exit."""
+
+    #: A path reaches the normal exit with the resource held.
+    held_at_exit: bool
+    #: A path reaches the exceptional exit with the resource held.
+    held_at_raise: bool
+    #: Line of the statement whose exception escapes with the resource
+    #: held (the witness for the exceptional-path message); 0 if none.
+    raise_line: int
+
+
+def track_acquisition(
+    cfg: CFG,
+    acquire: int,
+    is_kill: Callable[[int], bool],
+    is_escape: Optional[Callable[[int], bool]] = None,
+) -> PathReport:
+    """Propagate "held" from ``acquire`` and report leaky exits.
+
+    ``is_kill(index)`` marks nodes that release the resource (or rebind
+    its name — tracking stops either way); ``is_escape(index)`` marks
+    nodes that transfer ownership (stored on ``self``, appended to a
+    container, returned, ...).  Both stop propagation *before* the
+    node's own exceptional edge is considered, so registering a segment
+    with its cleanup list is an escape even if the registering call
+    could itself raise.
+    """
+    if is_escape is None:
+        is_escape = lambda _i: False  # noqa: E731 - tiny default predicate
+
+    held_at_exit = False
+    held_at_raise = False
+    raise_line = 0
+
+    #: (node, via_exception_from_line) — the line rides along so the
+    #: first statement whose exception escapes can be named.  Each node
+    #: is visited once per propagation mode (normal / exceptional): the
+    #: shared-``finally`` lowering merges exception continuations into
+    #: the normal successor fan-out, so reaching EXIT *on an exception
+    #: path* must still count as an exceptional leak, not a normal one.
+    queue: deque[tuple[int, int]] = deque()
+    seen: set[tuple[int, bool]] = set()
+    start = cfg.nodes[acquire]
+    for succ in start.succs:
+        queue.append((succ, 0))
+    # The acquisition's own exceptional edge carries nothing: if the
+    # acquiring call raises, the name was never bound.
+    while queue:
+        index, via_line = queue.popleft()
+        key = (index, bool(via_line))
+        if key in seen:
+            continue
+        seen.add(key)
+        if index == CFG.EXIT:
+            if via_line:
+                held_at_raise = True
+                if raise_line == 0:
+                    raise_line = via_line
+            else:
+                held_at_exit = True
+            continue
+        if index == CFG.RAISE_EXIT:
+            held_at_raise = True
+            if raise_line == 0:
+                raise_line = via_line
+            continue
+        if index == acquire or is_kill(index) or is_escape(index):
+            continue
+        node = cfg.nodes[index]
+        for succ in node.succs:
+            queue.append((succ, via_line))
+        for succ in node.exc_succs:
+            queue.append((succ, node.lineno or via_line))
+    return PathReport(
+        held_at_exit=held_at_exit,
+        held_at_raise=held_at_raise,
+        raise_line=raise_line,
+    )
+
+
+def bare_names(expr: ast.AST, name: str) -> list[ast.Name]:
+    """Occurrences of ``name`` in *value* position inside ``expr``.
+
+    ``seg`` in ``f(seg)`` or ``return seg`` is bare; ``seg`` in
+    ``seg.buf`` or ``seg.close()`` is a dereference, not a value use —
+    the object is being *used*, not handed anywhere.
+    """
+    out: list[ast.Name] = []
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            # ``v.attr``: the root Name is a dereference, not bare.
+            if isinstance(node.value, ast.Name):
+                return
+            walk(node.value)
+            return
+        if isinstance(node, ast.Name):
+            if node.id == name:
+                out.append(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(expr)
+    return out
+
+
+__all__ += ["bare_names"]

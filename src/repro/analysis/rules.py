@@ -13,6 +13,20 @@ Rule ids are grouped by invariant family:
   profile durations; scheduler plugins see the engine through the
   narrow ``choose_next_*`` contract (Section III-B).
 * **API** — engine event protocol: time only moves forward.
+* **CONC** — concurrency: shared state reachable from multiple thread
+  entry points stays behind its lock, lock order is globally
+  consistent, and cross-thread sqlite use goes through the sanctioned
+  wrapper idiom.
+* **RES** — resource safety: shared-memory segments, sqlite handles,
+  and tempfiles are released (or ownership-transferred) on every CFG
+  path, including exceptional ones.
+
+The CONC/RES families are *whole-program* analyses computed by
+:mod:`repro.analysis.concurrency` and :mod:`repro.analysis.resources`
+over the finalized call graph; the rule classes here are thin shims
+that replay the precomputed findings through the normal per-file
+reporting machinery so ``--select``/``--disable`` and inline
+``# simlint: disable=`` apply uniformly.
 """
 
 from __future__ import annotations
@@ -618,3 +632,161 @@ class UndeclaredRaiseRule(LintRule):
                         f"{' -> '.join(chain)} without declaring it"
                     ),
                 )
+
+
+# --------------------------------------------------------------------- #
+# CONC/RES — whole-program families, replayed from the dataflow layer
+# --------------------------------------------------------------------- #
+
+
+class _ProgramRule(LintRule):
+    """Shim replaying precomputed whole-program findings for one rule.
+
+    The runner attaches this file's slice of the CONC/RES analysis
+    output to the :class:`~repro.analysis.visitor.FileContext`; the
+    shim routes each raw finding through ``ctx.report`` so rule
+    selection and line suppression behave exactly like per-file rules.
+    """
+
+    def check_Module(self, node: ast.Module, ctx: FileContext) -> None:
+        for raw in ctx.program_findings_for(self.info.rule_id):
+            ctx.report(self.info, raw.anchor, message=raw.message)
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="CONC001",
+        title="unsynchronized write to lock-guarded shared attribute",
+        severity=Severity.ERROR,
+        rationale=(
+            "An attribute the class guards with a lock *somewhere* is "
+            "declared shared state; writing it without that lock in a "
+            "method reachable from two or more concurrent thread entry "
+            "points (HTTP handlers, worker threads) is a data race that "
+            "replays may or may not reproduce — the exact failure mode "
+            "the paper's digest-identity guarantee exists to rule out."
+        ),
+        hint="wrap the write in 'with self._lock:' (the same lock that "
+        "guards the attribute elsewhere), or stop sharing the attribute",
+    )
+)
+class UnsyncSharedWriteRule(_ProgramRule):
+    pass
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="CONC002",
+        title="locks acquired in inconsistent order (potential deadlock)",
+        severity=Severity.ERROR,
+        rationale=(
+            "Acquiring lock B while holding A on one path and A while "
+            "holding B on another (directly or through a callee) can "
+            "deadlock under concurrent load; a single test run will "
+            "essentially never produce the interleaving, so only static "
+            "ordering discipline catches it before production."
+        ),
+        hint="pick one global acquisition order and restructure the "
+        "later acquisition (release first, or merge the critical "
+        "sections under the outer lock)",
+    )
+)
+class LockOrderRule(_ProgramRule):
+    pass
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="CONC003",
+        title="cross-thread sqlite use outside the sanctioned wrapper",
+        severity=Severity.ERROR,
+        rationale=(
+            "sqlite3 connections are not thread-safe; a connection "
+            "declared cross-thread (check_same_thread=False) or owned "
+            "by a class whose methods run on multiple threads must have "
+            "every use serialized behind one lock — the ResultCache "
+            "idiom.  An unguarded execute corrupts state silently."
+        ),
+        hint="hold the class's guarding lock around every connection "
+        "use, or keep the connection thread-local",
+    )
+)
+class CrossThreadSqliteRule(_ProgramRule):
+    pass
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="CONC004",
+        title="manual lock acquire without guaranteed release",
+        severity=Severity.WARNING,
+        rationale=(
+            "A bare lock.acquire() with any path (normal or "
+            "exceptional) to function exit that skips release() leaves "
+            "the lock held forever — every other thread then parks on "
+            "it and the service wedges without crashing."
+        ),
+        hint="use 'with lock:' (or try/finally with release()) so every "
+        "exit path releases",
+    )
+)
+class ManualAcquireRule(_ProgramRule):
+    pass
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="RES001",
+        title="SharedMemory segment may leak on an exit path",
+        severity=Severity.ERROR,
+        rationale=(
+            "A multiprocessing SharedMemory segment pins /dev/shm "
+            "backing until unlink(); if an exception escapes between "
+            "creation and registration with its cleanup owner, the "
+            "segment outlives the process — a crashed sweep then leaks "
+            "real memory until reboot."
+        ),
+        hint="register the segment with its cleanup owner before any "
+        "fallible write, or close()/unlink() in a finally",
+    )
+)
+class SharedMemoryLeakRule(_ProgramRule):
+    pass
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="RES002",
+        title="sqlite connection or cursor not closed on every path",
+        severity=Severity.WARNING,
+        rationale=(
+            "Unclosed sqlite connections hold file locks and journal "
+            "state; unclosed cursors pin result sets until GC runs.  "
+            "Both are invisible in tests and surface as 'database is "
+            "locked' under concurrent load."
+        ),
+        hint="use 'with contextlib.closing(...)' for connections and "
+        "close cursors once the result is read",
+    )
+)
+class SqliteLifetimeRule(_ProgramRule):
+    pass
+
+
+@default_registry.register(
+    RuleInfo(
+        rule_id="RES003",
+        title="tempfile created without cleanup on an exit path",
+        severity=Severity.WARNING,
+        rationale=(
+            "mkstemp/mkdtemp/NamedTemporaryFile(delete=False) create "
+            "durable filesystem artifacts; a path that exits without "
+            "os.unlink/shutil.rmtree and without handing the path to a "
+            "cleanup owner fills the spill directory across sweeps."
+        ),
+        hint="hand the path to its cleanup owner before fallible "
+        "writes, or remove it in a finally",
+    )
+)
+class TempfileLeakRule(_ProgramRule):
+    pass

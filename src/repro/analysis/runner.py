@@ -16,10 +16,13 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
 from .callgraph import CallGraph
+from .concurrency import analyze_concurrency
 from .config import LintConfig
+from .dataflow import RawFinding
 from .findings import Finding
 from .registry import RuleRegistry, default_registry
-from .visitor import FileContext, Walker
+from .resources import analyze_resources
+from .visitor import FileContext, Walker, parse_suppressions
 
 # Rule classes attach to default_registry at import time.
 from . import rules as _rules  # noqa: F401  (import for side effect)
@@ -65,6 +68,16 @@ def _display_path(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
+def _program_findings(
+    graph: CallGraph, config: LintConfig
+) -> dict[str, list[RawFinding]]:
+    """Run the whole-program CONC/RES analyses, grouped by display path."""
+    by_path: dict[str, list[RawFinding]] = {}
+    for raw in analyze_concurrency(graph, config) + analyze_resources(graph, config):
+        by_path.setdefault(raw.path, []).append(raw)
+    return by_path
+
+
 def _lint_tree(
     source: str,
     path: str,
@@ -73,9 +86,19 @@ def _lint_tree(
     config: LintConfig,
     registry: RuleRegistry,
     callgraph: Optional[CallGraph],
+    program_findings: Optional[list[RawFinding]] = None,
+    suppressions: Optional[dict[int, set[str]]] = None,
 ) -> list[Finding]:
     """Walk one pre-parsed module (or report its parse failure)."""
-    ctx = FileContext(path, source, config, registry, callgraph=callgraph)
+    ctx = FileContext(
+        path,
+        source,
+        config,
+        registry,
+        callgraph=callgraph,
+        program_findings=program_findings,
+        suppressions=suppressions,
+    )
     if tree is None:
         if parse_error is not None:
             ctx.report_meta(parse_error.lineno or 1, f"cannot parse file: {parse_error.msg}")
@@ -98,15 +121,21 @@ def lint_source(
     tree: Optional[ast.Module] = None
     parse_error: Optional[SyntaxError] = None
     graph: Optional[CallGraph] = None
+    program: Optional[list[RawFinding]] = None
+    suppressions = parse_suppressions(source)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         parse_error = exc
     if tree is not None:
         graph = CallGraph(config)
-        graph.add_module(path, tree, source)
+        graph.add_module(path, tree, source, suppressions=suppressions)
         graph.finalize()
-    return _lint_tree(source, path, tree, parse_error, config, registry, graph)
+        program = _program_findings(graph, config).get(path)
+    return _lint_tree(
+        source, path, tree, parse_error, config, registry, graph,
+        program_findings=program, suppressions=suppressions,
+    )
 
 
 def lint_paths(
@@ -126,8 +155,13 @@ def lint_paths(
     if root is None:
         root = Path.cwd()
     findings: list[Finding] = []
-    # Pass 1: read + parse everything, building the shared call graph.
-    parsed: list[tuple[str, str, Optional[ast.Module], Optional[SyntaxError]]] = []
+    # Pass 1: read + parse everything ONCE, building the shared call
+    # graph.  The parsed trees, the suppression maps, and the graph's
+    # module index are all reused by pass 2 and by the whole-program
+    # dataflow analyses — no file is read or parsed twice.
+    parsed: list[
+        tuple[str, str, Optional[ast.Module], Optional[SyntaxError], dict[int, set[str]]]
+    ] = []
     graph = CallGraph(config)
     for file_path in iter_python_files(Path(p) for p in paths):
         display = _display_path(file_path, root)
@@ -138,19 +172,25 @@ def lint_paths(
             ctx.report_meta(1, f"cannot read file: {exc}")
             findings.extend(ctx.findings)
             continue
+        suppressions = parse_suppressions(source)
         try:
             tree: Optional[ast.Module] = ast.parse(source, filename=display)
             parse_error: Optional[SyntaxError] = None
         except SyntaxError as exc:
             tree, parse_error = None, exc
         if tree is not None:
-            graph.add_module(display, tree, source)
-        parsed.append((display, source, tree, parse_error))
+            graph.add_module(display, tree, source, suppressions=suppressions)
+        parsed.append((display, source, tree, parse_error, suppressions))
     graph.finalize()
+    # Whole-program CONC/RES dataflow over the same finalized graph.
+    program = _program_findings(graph, config)
     # Pass 2: per-file walks with the whole-program graph in scope.
-    for display, source, tree, parse_error in parsed:
+    for display, source, tree, parse_error, suppressions in parsed:
         findings.extend(
-            _lint_tree(source, display, tree, parse_error, config, registry, graph)
+            _lint_tree(
+                source, display, tree, parse_error, config, registry, graph,
+                program_findings=program.get(display), suppressions=suppressions,
+            )
         )
     findings.sort(key=lambda f: f.sort_key)
     return findings

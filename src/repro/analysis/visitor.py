@@ -29,6 +29,7 @@ from .registry import META_RULE_ID, RuleInfo, RuleRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .callgraph import CallGraph
+    from .dataflow import RawFinding
 
 __all__ = ["LintRule", "FileContext", "Walker", "parse_suppressions"]
 
@@ -127,6 +128,8 @@ class FileContext:
         config: LintConfig,
         registry: RuleRegistry,
         callgraph: "Optional[CallGraph]" = None,
+        program_findings: "Optional[list[RawFinding]]" = None,
+        suppressions: Optional[dict[int, set[str]]] = None,
     ) -> None:
         self.path = path
         self.source = source
@@ -135,8 +138,18 @@ class FileContext:
         #: Whole-program call graph (DET004/SIM004/API002); ``None`` when
         #: the caller did not build one — cross-module rules then no-op.
         self.callgraph = callgraph
+        #: Whole-program CONC/RES findings for *this* path, computed by
+        #: the runner over the finalized graph; the thin rule classes
+        #: replay them through :meth:`report` so config selection and
+        #: inline suppression apply like any per-file finding.
+        self.program_findings = program_findings or []
         self.findings: list[Finding] = []
-        self.suppressions = parse_suppressions(source)
+        # The runner parses suppressions once per file and shares the
+        # result here and with the call graph; standalone construction
+        # still parses its own.
+        self.suppressions = (
+            suppressions if suppressions is not None else parse_suppressions(source)
+        )
         # Import alias tracking: local name -> dotted module/object path.
         self.aliases: dict[str, str] = {}
         self.class_stack: list[ClassInfo] = []
@@ -284,6 +297,9 @@ class FileContext:
                 return f
         return None
 
+    def program_findings_for(self, rule_id: str) -> "list[RawFinding]":
+        return [raw for raw in self.program_findings if raw.rule_id == rule_id]
+
 
 class LintRule:
     """Base class for rules.
@@ -334,7 +350,11 @@ class Walker(ast.NodeVisitor):
                 self._hooks.setdefault(name, []).extend(fns)
 
     def run(self, tree: ast.Module) -> None:
+        # Module-level hooks bracket the walk; the whole-program rule
+        # shims (CONC/RES replay) hang off check_Module.
+        self._dispatch("check", tree)
         self.visit(tree)
+        self._dispatch("finish", tree)
 
     def _dispatch(self, phase: str, node: ast.AST) -> None:
         for fn in self._hooks.get(f"{phase}_{type(node).__name__}", ()):

@@ -266,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print every rule with its documentation and exit",
     )
+    lint.add_argument(
+        "--baseline", type=Path, default=None,
+        help="accepted-findings baseline JSON: exit non-zero only on "
+        "findings absent from it (or on stale entries it still lists)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings into --baseline and exit 0",
+    )
 
     chk = sub.add_parser(
         "check",
@@ -299,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the sanitized replays")
     chk.add_argument("--dynamic-only", action="store_true",
                      help="skip the static lint")
+    chk.add_argument(
+        "--baseline", type=Path, default=None,
+        help="accepted-findings baseline JSON for the static half "
+        "(see 'simmr lint --baseline')",
+    )
 
     trc = sub.add_parser(
         "trace",
@@ -748,11 +762,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"simmr lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("simmr lint: --write-baseline requires --baseline <path>",
+                  file=sys.stderr)
+            return 2
+        from .analysis import write_baseline
+
+        recorded = write_baseline(args.baseline, findings)
+        print(f"simmr lint: recorded {len(recorded.entries)} finding(s) "
+              f"into {args.baseline}")
+        return 0
+
+    fail = bool(findings)
+    if args.baseline is not None:
+        from .analysis import load_baseline, partition_findings
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"simmr lint: {exc}", file=sys.stderr)
+            return 2
+        new, _matched, stale = partition_findings(findings, baseline)
+        findings = new  # baselined debt is not re-reported
+        for entry in stale:
+            print(f"simmr lint: stale baseline entry (no longer fires, "
+                  f"remove it): {entry.format()}", file=sys.stderr)
+        fail = bool(new) or bool(stale)
+
     render = {"json": render_json, "github": render_github}.get(
         args.format_, render_text
     )
     print(render(findings))
-    return 1 if findings else 0
+    return 1 if fail else 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -779,6 +822,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(f"simmr check: {exc}", file=sys.stderr)
             return 2
 
+    if args.baseline is not None and not args.baseline.is_file():
+        print(f"simmr check: baseline {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
     schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
     trace = load_trace(args.trace) if args.trace is not None else None
     report = run_check(
@@ -791,6 +838,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         cluster=ClusterConfig(args.map_slots, args.reduce_slots),
         static=static,
         dynamic=dynamic,
+        baseline=args.baseline,
     )
     print(report.render_json() if args.format_ == "json" else report.render_text())
     return 0 if report.ok else 1

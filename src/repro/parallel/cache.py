@@ -173,16 +173,18 @@ class ResultCache:
         ``CREATE TABLE IF NOT EXISTS`` leaves an existing table alone,
         so files written before the timestamp column exist without it;
         add it in place (existing rows read as 0 = "age unknown", which
-        every prune treats as prunable).  Runs under the instance lock.
+        every prune treats as prunable).  Takes the (reentrant) instance
+        lock itself rather than relying on the caller already holding it.
         """
-        columns = {
-            row[1]
-            for row in self._conn.execute("PRAGMA table_info(results)").fetchall()
-        }
-        if "created_at" not in columns:
-            self._conn.execute(
-                "ALTER TABLE results ADD COLUMN created_at INTEGER NOT NULL DEFAULT 0"
-            )
+        with self._lock:
+            columns = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(results)").fetchall()
+            }
+            if "created_at" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN created_at INTEGER NOT NULL DEFAULT 0"
+                )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -261,7 +263,9 @@ class ResultCache:
         with self._lock:
             cur = self._conn.execute("DELETE FROM results")
             self._conn.commit()
-            return cur.rowcount
+            removed = cur.rowcount
+            cur.close()
+            return removed
 
     def prune_older_than(self, seconds: float) -> int:
         """Delete entries stored more than ``seconds`` ago; returns the count.
@@ -283,7 +287,9 @@ class ResultCache:
                 (int(seconds),),
             )
             self._conn.commit()
-            return cur.rowcount
+            removed = cur.rowcount
+            cur.close()
+            return removed
 
     # -- introspection -----------------------------------------------------
 

@@ -289,6 +289,10 @@ def _attach_shared_memory(name: str, nbytes: int) -> Sequence[TraceJob]:
     from multiprocessing import shared_memory
 
     segment = shared_memory.SharedMemory(name=name)
+    # Pin the segment for the worker's lifetime *before* anything below
+    # can raise: once in _WORKER_OWNERS the handle has an owner, so an
+    # exception past this point cannot strand an unreferenced mapping.
+    _WORKER_OWNERS.append(segment)
     # CPython registers the segment with the resource tracker on attach
     # as well as on create (bpo-39959).  fork/forkserver children share
     # the parent's tracker, so their registration is an idempotent no-op
@@ -302,7 +306,6 @@ def _attach_shared_memory(name: str, nbytes: int) -> Sequence[TraceJob]:
             resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
         except Exception:
             pass
-    _WORKER_OWNERS.append(segment)
     from ..trace.binfmt import unpack_columns
 
     columns, _digest = unpack_columns(
@@ -415,24 +418,31 @@ class _PublishedTraces:
         self._files: list[str] = []
         payload_bytes = 0
         used: set[str] = set()
-        for trace_id, trace in traces.items():
-            if transport == "pickle":
-                jobs = list(trace)
-                self.sources[trace_id] = ("pickle", jobs)
-                used.add("pickle")
-                continue
-            payload = pack_trace(trace)
-            payload_bytes += len(payload)
-            if transport in ("auto", "shared_memory"):
-                try:
-                    self.sources[trace_id] = self._publish_shm(payload)
-                    used.add("shared_memory")
+        try:
+            for trace_id, trace in traces.items():
+                if transport == "pickle":
+                    jobs = list(trace)
+                    self.sources[trace_id] = ("pickle", jobs)
+                    used.add("pickle")
                     continue
-                except (ImportError, OSError):
-                    if transport == "shared_memory":
-                        raise
-            self.sources[trace_id] = self._publish_file(payload)
-            used.add("tempfile")
+                payload = pack_trace(trace)
+                payload_bytes += len(payload)
+                if transport in ("auto", "shared_memory"):
+                    try:
+                        self.sources[trace_id] = self._publish_shm(payload)
+                        used.add("shared_memory")
+                        continue
+                    except (ImportError, OSError):
+                        if transport == "shared_memory":
+                            raise
+                self.sources[trace_id] = self._publish_file(payload)
+                used.add("tempfile")
+        except BaseException:
+            # A failure publishing trace N must not strand segments and
+            # spill files already published for traces 1..N-1: the
+            # context manager is never entered, so clean up here.
+            self.close()
+            raise
         self.stats = FanoutStats(
             transport="+".join(sorted(used)) if used else "none",
             traces=len(self.sources),
@@ -445,15 +455,20 @@ class _PublishedTraces:
         from multiprocessing import shared_memory
 
         segment = shared_memory.SharedMemory(create=True, size=len(payload))
-        segment.buf[:len(payload)] = payload
+        # Register with the cleanup list before the (fallible) copy into
+        # the mapping, so close() releases the segment even when the
+        # write below raises.
         self._segments.append(segment)
+        segment.buf[:len(payload)] = payload
         return ("shm", segment.name, len(payload))
 
     def _publish_file(self, payload: bytes) -> _TraceSource:
         fd, path = tempfile.mkstemp(prefix="simmr-trace-", suffix=".simmr")
+        # Same ordering as _publish_shm: the path joins its cleanup
+        # owner before the write that could fail part-way.
+        self._files.append(path)
         with os.fdopen(fd, "wb") as fh:
             fh.write(payload)
-        self._files.append(path)
         return ("file", path, len(payload))
 
     def close(self) -> None:

@@ -1,0 +1,74 @@
+"""Deliberately leaky resource handling: the RES-family fixture.
+
+Every ``# expect: RULE`` marker pins the exact rule id and line the
+analyzer must report; the clean variants next to each violation pin
+the sanctioned forms (ownership transfer before fallible writes,
+try/finally release) that must stay silent.  See
+``tests/test_simlint.py::TestResFixture``.
+"""
+
+import os
+import shutil
+import sqlite3
+import tempfile
+from multiprocessing import shared_memory
+
+
+def publish_segment(payload):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))  # expect: RES001
+    seg.buf[: len(payload)] = payload
+    return seg.name
+
+
+def publish_segment_registered(payload, owners):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    owners.append(seg)  # ownership transferred before the fallible write
+    seg.buf[: len(payload)] = payload
+    return seg.name
+
+
+def query_once(path):
+    conn = sqlite3.connect(path)  # expect: RES002
+    cur = conn.execute("SELECT 1")  # expect: RES002
+    return cur.fetchone()
+
+
+def query_closed(path):
+    conn = sqlite3.connect(path)
+    try:
+        cur = conn.execute("SELECT 1")
+        row = cur.fetchone()
+        cur.close()
+        return row
+    finally:
+        conn.close()
+
+
+def spill(payload):
+    fd, path = tempfile.mkstemp()  # expect: RES003
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(payload)
+    return path
+
+
+def spill_owned(payload, files):
+    fd, path = tempfile.mkstemp()
+    files.append(path)  # the cleanup list owns the path from here on
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(payload)
+    return path
+
+
+def scratch_dir(build):
+    root = tempfile.mkdtemp()  # expect: RES003
+    if not build:
+        return None  # leaves the directory behind
+    shutil.rmtree(root)
+    return None
+
+
+def keep_report(data):
+    tmp = tempfile.NamedTemporaryFile(delete=False)  # simlint: disable=RES003 -- handed to the caller by name
+    tmp.write(data)
+    tmp.close()
+    return tmp.name

@@ -1,0 +1,114 @@
+"""Deliberately racy service code: the CONC-family fixture.
+
+Every ``# expect: RULE`` marker pins the exact rule id and line the
+analyzer must report; the clean variants next to each violation pin
+the sanctioned forms that must stay silent.  See
+``tests/test_simlint.py::TestConcFixture``.
+"""
+
+import sqlite3
+import threading
+from http.server import BaseHTTPRequestHandler
+
+
+class Tally:
+    """Worker-thread shared state with inconsistent lock discipline."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.values = []
+
+    def start(self):
+        # Two concurrent activations of _drain share self.values.
+        return [threading.Thread(target=self._drain) for _ in range(2)]
+
+    def _drain(self):
+        with self._lock:
+            self.values.append(0)
+        self.values.pop()  # expect: CONC001
+
+
+class StatsHandler(BaseHTTPRequestHandler):
+    """HTTP handler methods are thread entry points on their own."""
+
+    def do_GET(self):
+        with self._lock:
+            self.hits += 1
+
+    def do_POST(self):
+        self.hits += 1  # expect: CONC001
+
+    def do_PUT(self):
+        self.hits += 1  # simlint: disable=CONC001 -- single-writer by design
+
+
+class Transfer:
+    """Opposite nesting orders: the classic two-lock deadlock."""
+
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def alpha_then_beta(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # expect: CONC002
+                return True
+
+    def beta_then_alpha(self):
+        with self._beta_lock:
+            with self._alpha_lock:  # expect: CONC002
+                return True
+
+
+class Pipeline:
+    """One global order, consistently applied: no deadlock, no finding."""
+
+    def __init__(self):
+        self._outer_lock = threading.Lock()
+        self._inner_lock = threading.Lock()
+
+    def forward(self):
+        with self._outer_lock:
+            with self._inner_lock:
+                return True
+
+    def forward_again(self):
+        with self._outer_lock:
+            with self._inner_lock:
+                return False
+
+
+class LedgerStore:
+    """Cross-thread sqlite: every use must hold the guarding lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(":memory:", check_same_thread=False)
+
+    def read(self):
+        with self._lock:
+            return self._conn.execute("SELECT 1").fetchone()
+
+    def record(self, key):
+        self._conn.execute("INSERT INTO ledger VALUES (?)", (key,))  # expect: CONC003
+
+
+class BareStore:
+    """Declared cross-thread but owns no lock at all."""
+
+    def __init__(self):
+        self._conn = sqlite3.connect(":memory:", check_same_thread=False)  # expect: CONC003
+
+
+def manual_toggle(state_lock, flag):
+    state_lock.acquire()  # expect: CONC004
+    flag.set()
+    state_lock.release()
+
+
+def manual_toggle_guarded(state_lock, flag):
+    state_lock.acquire()
+    try:
+        flag.set()
+    finally:
+        state_lock.release()

@@ -1,0 +1,391 @@
+"""CFG construction and dataflow-core unit tests.
+
+The CONC/RES rules (``tests/test_simlint.py``) pin end-to-end analyzer
+behaviour; this file pins the layer underneath — the per-function CFG
+lowering (``repro.analysis.cfg``), the held-resource path walk
+(``repro.analysis.dataflow``), and the parse-each-module-once contract
+of ``lint_paths``.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.cfg import CFG, build_cfg, can_raise
+from repro.analysis.dataflow import bare_names, track_acquisition
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+XMOD_DIR = REPO_ROOT / "tests" / "fixtures" / "xmod"
+
+
+def func_cfg(source: str) -> CFG:
+    mod = ast.parse(textwrap.dedent(source))
+    func = next(
+        n for n in mod.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def line_of(source: str, needle: str) -> int:
+    for lineno, line in enumerate(textwrap.dedent(source).splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not in source")
+
+
+def node_at(cfg: CFG, lineno: int) -> int:
+    """Index of the (unique) statement node anchored at ``lineno``."""
+    hits = [
+        n.index
+        for n in cfg.nodes
+        if n.kind in ("stmt", "test", "with_enter") and n.lineno == lineno
+    ]
+    assert len(hits) == 1, f"expected one node at line {lineno}, got {hits}"
+    return hits[0]
+
+
+def reachable(cfg: CFG, start: int, *, exceptional: bool = True) -> set[int]:
+    seen, stack = set(), [start]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        node = cfg.nodes[index]
+        stack.extend(node.succs)
+        if exceptional:
+            stack.extend(node.exc_succs)
+    return seen
+
+
+# --------------------------------------------------------------------- #
+# CFG construction
+# --------------------------------------------------------------------- #
+
+
+class TestCfgShape:
+    def test_linear_body_chains_entry_to_exit(self):
+        cfg = func_cfg(
+            """
+            def f():
+                a = 1
+                b = a
+            """
+        )
+        assert CFG.EXIT in reachable(cfg, CFG.ENTRY)
+        # Plain name/constant traffic cannot raise: no exceptional edges.
+        assert all(not n.exc_succs for n in cfg.nodes)
+
+    def test_call_statement_gets_exceptional_edge(self):
+        source = """
+        def f(x):
+            x.poke()
+        """
+        cfg = func_cfg(source)
+        idx = node_at(cfg, line_of(source, "poke"))
+        assert cfg.nodes[idx].exc_succs == [CFG.RAISE_EXIT]
+
+    def test_early_return_drops_unreachable_tail(self):
+        source = """
+        def f(flag):
+            if flag:
+                return 1
+            return 2
+            never = 3
+        """
+        cfg = func_cfg(source)
+        assert all(
+            n.lineno != line_of(source, "never = 3") for n in cfg.nodes
+        ), "code after the last return must not be lowered"
+        for needle in ("return 1", "return 2"):
+            idx = node_at(cfg, line_of(source, needle))
+            assert CFG.EXIT in cfg.nodes[idx].succs
+
+    def test_if_without_else_falls_through(self):
+        source = """
+        def f(flag):
+            if flag:
+                a = 1
+            b = 2
+        """
+        cfg = func_cfg(source)
+        test = node_at(cfg, line_of(source, "if flag"))
+        after = node_at(cfg, line_of(source, "b = 2"))
+        body = node_at(cfg, line_of(source, "a = 1"))
+        # Both the taken and the skipped branch reach the statement after.
+        assert after in cfg.nodes[test].succs
+        assert after in cfg.nodes[body].succs
+
+    def test_while_has_back_edge_and_exit(self):
+        source = """
+        def f(n):
+            while n:
+                n = step(n)
+            done = 1
+        """
+        cfg = func_cfg(source)
+        head = node_at(cfg, line_of(source, "while n"))
+        body = node_at(cfg, line_of(source, "step(n)"))
+        after = node_at(cfg, line_of(source, "done = 1"))
+        assert head in cfg.nodes[body].succs  # back edge
+        assert after in cfg.nodes[head].succs  # loop exit
+
+    def test_break_reaches_code_after_loop(self):
+        source = """
+        def f(items):
+            for item in items:
+                if item:
+                    break
+            after = 1
+        """
+        cfg = func_cfg(source)
+        brk = node_at(cfg, line_of(source, "break"))
+        after = node_at(cfg, line_of(source, "after = 1"))
+        assert after in reachable(cfg, brk)
+
+    def test_try_finally_runs_on_both_paths(self):
+        source = """
+        def f(conn):
+            try:
+                conn.execute()
+            finally:
+                conn.close()
+        """
+        cfg = func_cfg(source)
+        execute = node_at(cfg, line_of(source, "execute"))
+        close = node_at(cfg, line_of(source, "close"))
+        fin_enter = cfg.nodes[execute].exc_succs[0]
+        # The body's exception routes into the finally, never straight out.
+        assert cfg.nodes[fin_enter].kind == "finally"
+        assert close in reachable(cfg, fin_enter, exceptional=False)
+        # The finally's exit reaches both continuations.
+        tail = reachable(cfg, close)
+        assert CFG.EXIT in tail and CFG.RAISE_EXIT in tail
+
+    def test_return_inside_try_routes_through_finally(self):
+        source = """
+        def f(conn):
+            try:
+                return conn.fetch()
+            finally:
+                conn.close()
+        """
+        cfg = func_cfg(source)
+        ret = node_at(cfg, line_of(source, "return conn.fetch"))
+        close = node_at(cfg, line_of(source, "close"))
+        assert close in reachable(cfg, ret, exceptional=False)
+        assert CFG.EXIT not in cfg.nodes[ret].succs  # no finally bypass
+
+    def test_with_body_exception_runs_exit_handler(self):
+        source = """
+        def f(lock, jobs):
+            with lock:
+                jobs.pop()
+            after = 1
+        """
+        cfg = func_cfg(source)
+        pop = node_at(cfg, line_of(source, "pop"))
+        [exc_exit] = cfg.nodes[pop].exc_succs
+        # __exit__ runs, then the exception keeps propagating.
+        assert cfg.nodes[exc_exit].kind == "with_exit"
+        assert cfg.nodes[exc_exit].succs == [CFG.RAISE_EXIT]
+        # The normal path leaves through a *different* with_exit node.
+        after = node_at(cfg, line_of(source, "after = 1"))
+        [norm_exit] = [
+            n.index for n in cfg.nodes
+            if n.kind == "with_exit" and after in n.succs
+        ]
+        assert norm_exit != exc_exit
+
+    def test_nested_function_body_is_not_lowered(self):
+        source = """
+        def f():
+            def helper():
+                dangerous.call()
+            return helper
+        """
+        cfg = func_cfg(source)
+        assert all(
+            n.lineno != line_of(source, "dangerous.call") for n in cfg.nodes
+        ), "inner bodies run elsewhere; they get no nodes here"
+        helper_def = node_at(cfg, line_of(source, "def helper"))
+        assert not cfg.nodes[helper_def].exc_succs  # defining cannot raise
+
+    def test_comprehension_counts_as_raising(self):
+        source = """
+        def f(xs):
+            ys = [step(x) for x in xs]
+            return ys
+        """
+        cfg = func_cfg(source)
+        comp = node_at(cfg, line_of(source, "step(x)"))
+        assert cfg.nodes[comp].exc_succs == [CFG.RAISE_EXIT]
+
+    def test_can_raise_skips_lambda_bodies(self):
+        mod = ast.parse("f = lambda: boom()\n")
+        assert not can_raise((mod.body[0],))
+
+
+# --------------------------------------------------------------------- #
+# track_acquisition
+# --------------------------------------------------------------------- #
+
+
+def _track(source: str, var: str):
+    """Track ``var`` acquired at its first assignment; ``var.close()``
+    kills, any other bare use escapes."""
+    cfg = func_cfg(source)
+
+    def is_acquire(index: int) -> bool:
+        for frag in cfg.nodes[index].scan:
+            if isinstance(frag, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == var for t in frag.targets
+            ):
+                return True
+        return False
+
+    def is_kill(index: int) -> bool:
+        for frag in cfg.nodes[index].scan:
+            for call in ast.walk(frag):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "close"
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == var
+                ):
+                    return True
+        return False
+
+    def is_escape(index: int) -> bool:
+        if is_kill(index):
+            return False
+        return any(bare_names(frag, var) for frag in cfg.nodes[index].scan)
+
+    acquire = next(n.index for n in cfg.nodes if is_acquire(n.index))
+    return track_acquisition(cfg, acquire, is_kill, is_escape)
+
+
+class TestTrackAcquisition:
+    def test_never_released_leaks_both_exits(self):
+        report = _track(
+            """
+            def f(path):
+                r = grab(path)
+                r.poke()
+            """,
+            "r",
+        )
+        assert report.held_at_exit
+        assert report.held_at_raise
+
+    def test_try_finally_release_is_clean(self):
+        report = _track(
+            """
+            def f(path):
+                r = grab(path)
+                try:
+                    r.poke()
+                finally:
+                    r.close()
+            """,
+            "r",
+        )
+        assert not report.held_at_exit
+        assert not report.held_at_raise
+
+    def test_release_only_at_end_leaks_the_exception_path(self):
+        source = """
+        def f(path):
+            r = grab(path)
+            r.poke()
+            r.close()
+        """
+        report = _track(source, "r")
+        assert not report.held_at_exit
+        assert report.held_at_raise
+        # The witness is the statement whose exception skips the close.
+        assert report.raise_line == line_of(source, "r.poke()")
+
+    def test_escape_transfers_ownership(self):
+        report = _track(
+            """
+            def f(path, owners):
+                r = grab(path)
+                owners.append(r)
+                r.poke()
+            """,
+            "r",
+        )
+        assert not report.held_at_exit
+        assert not report.held_at_raise
+
+    def test_raising_close_still_counts_as_released(self):
+        # Optimistic-at-kill: cleanup code must not flag itself even
+        # though close() itself can raise.
+        report = _track(
+            """
+            def f(path):
+                r = grab(path)
+                r.close()
+            """,
+            "r",
+        )
+        assert not report.held_at_exit
+        assert not report.held_at_raise
+
+    def test_exception_path_through_shared_finally_is_exceptional(self):
+        # The finally lowering merges exception continuations into the
+        # normal successor fan-out; reaching EXIT that way must still
+        # register as an exceptional leak, not a normal-exit one.
+        source = """
+        def f(conn):
+            r = conn.cursor()
+            try:
+                r.poke()
+                r.close()
+            finally:
+                conn.close()
+        """
+        report = _track(source, "r")
+        assert not report.held_at_exit
+        assert report.held_at_raise
+        assert report.raise_line == line_of(source, "r.poke()")
+
+
+class TestBareNames:
+    def test_value_positions_are_bare(self):
+        expr = ast.parse("owners.append(seg)").body[0]
+        assert len(bare_names(expr, "seg")) == 1
+        ret = ast.parse("def f():\n    return seg\n").body[0].body[0]
+        assert len(bare_names(ret, "seg")) == 1
+
+    def test_dereferences_are_not_bare(self):
+        for text in ("seg.close()", "x = seg.name", "seg.buf[:1] = b'x'"):
+            expr = ast.parse(text).body[0]
+            assert bare_names(expr, "seg") == []
+
+
+# --------------------------------------------------------------------- #
+# lint_paths parses each module exactly once
+# --------------------------------------------------------------------- #
+
+
+class TestParseOnce:
+    def test_each_module_parsed_once(self, monkeypatch):
+        counts: Counter[str] = Counter()
+        real_parse = ast.parse
+
+        def counting_parse(source, filename="<unknown>", *args, **kwargs):
+            counts[str(filename)] += 1
+            return real_parse(source, filename, *args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting_parse)
+        lint_paths([XMOD_DIR], root=REPO_ROOT)
+        per_module = {f: c for f, c in counts.items() if f.endswith(".py")}
+        assert len(per_module) == len(list(XMOD_DIR.glob("*.py")))
+        assert all(c == 1 for c in per_module.values()), per_module

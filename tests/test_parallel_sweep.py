@@ -320,3 +320,151 @@ class TestSimulateMany:
             {"t": trace}, grid_tasks(n_schedulers=1, n_clusters=1), digest=False
         )
         assert outcomes[0].result.event_digest is None
+
+
+# --------------------------------------------------------------------------- #
+# resource-safety regressions (the simlint CONC/RES findings fixed in
+# cache.py / executor.py — each fix must preserve digest identity)
+# --------------------------------------------------------------------------- #
+
+class TestResourceSafetyRegressions:
+    def _digest_of(self, trace):
+        [outcome] = simulate_many(
+            {"t": trace}, grid_tasks(n_schedulers=1, n_clusters=1), cache=None
+        )
+        return outcome
+
+    def test_publish_failure_cleans_up_earlier_spill_files(self, trace, monkeypatch):
+        """Failing to pack trace N must not strand spill files already
+        published for earlier traces (RES003 fix in _PublishedTraces)."""
+        import os
+        import tempfile as _tempfile
+
+        from repro.parallel import executor as ex
+        from repro.trace import binfmt
+
+        created = []
+        real_mkstemp = _tempfile.mkstemp
+
+        def recording_mkstemp(*args, **kwargs):
+            fd, path = real_mkstemp(*args, **kwargs)
+            created.append(path)
+            return fd, path
+
+        monkeypatch.setattr(_tempfile, "mkstemp", recording_mkstemp)
+        real_pack = binfmt.pack_trace
+        calls = {"n": 0}
+
+        def failing_pack(t):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("disk full")
+            return real_pack(t)
+
+        monkeypatch.setattr(binfmt, "pack_trace", failing_pack)
+        with pytest.raises(OSError, match="disk full"):
+            ex._PublishedTraces({"a": trace, "b": trace}, "tempfile", 2)
+        assert created, "first trace should have spilled to a tempfile"
+        assert all(not os.path.exists(p) for p in created)
+
+    def test_publish_failure_unlinks_earlier_segments(self, trace, monkeypatch):
+        """Same contract for the shared-memory transport (RES001 fix)."""
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:
+            pytest.skip("no shared_memory support")
+
+        from repro.parallel import executor as ex
+        from repro.trace import binfmt
+
+        names = []
+        real_publish = ex._PublishedTraces._publish_shm
+
+        def recording_publish(self, payload):
+            source = real_publish(self, payload)
+            names.append(source[1])
+            return source
+
+        monkeypatch.setattr(ex._PublishedTraces, "_publish_shm", recording_publish)
+        real_pack = binfmt.pack_trace
+        calls = {"n": 0}
+
+        def failing_pack(t):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("boom")
+            return real_pack(t)
+
+        monkeypatch.setattr(binfmt, "pack_trace", failing_pack)
+        try:
+            with pytest.raises(OSError, match="boom"):
+                ex._PublishedTraces({"a": trace, "b": trace}, "shared_memory", 2)
+        except (ImportError, OSError) as exc:  # platform without shm
+            pytest.skip(f"shared memory unavailable: {exc}")
+        assert names, "first trace should have been published"
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=names[0])
+
+    def test_legacy_schema_migrates_and_preserves_digest(self, trace, tmp_path):
+        """Opening a pre-``created_at`` cache file migrates it in place
+        (now under the instance lock — CONC003 fix in _migrate) and a
+        restored result keeps its event digest bit-for-bit."""
+        import sqlite3
+
+        path = tmp_path / "legacy.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE results ("
+            " key TEXT PRIMARY KEY, trace_digest TEXT NOT NULL,"
+            " scheduler TEXT NOT NULL, config TEXT NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        conn.commit()
+        conn.close()
+
+        fresh = self._digest_of(trace)
+        assert fresh.result.event_digest is not None
+        with ResultCache(path) as cache:
+            cache.put(fresh.key, fresh.result)
+            restored = cache.get(fresh.key)
+        assert restored is not None
+        assert restored.event_digest == fresh.result.event_digest
+
+    def test_migrate_is_safe_under_concurrent_use(self, trace, tmp_path):
+        """_migrate takes the (reentrant) lock itself, so it can run
+        while other threads are mid-operation without corruption."""
+        import threading
+
+        fresh = self._digest_of(trace)
+        with ResultCache(tmp_path / "cache.sqlite") as cache:
+            errors = []
+
+            def hammer():
+                try:
+                    for i in range(10):
+                        cache._migrate()
+                        cache.put(f"k{i}", fresh.result)
+                        cache.get(f"k{i}")
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            restored = cache.get("k0")
+        assert restored is not None
+        assert restored.event_digest == fresh.result.event_digest
+
+    def test_clear_and_prune_close_their_cursors(self, trace):
+        """clear/prune read rowcount then close the cursor (RES002 fix)
+        — the reported counts stay exact."""
+        result = SimulatorEngine(ClusterConfig(16, 16), FIFOScheduler()).run(trace)
+        with ResultCache(":memory:") as cache:
+            for i in range(3):
+                cache.put(f"k{i}", result)
+            assert cache.prune_older_than(10_000) == 0
+            assert cache.clear() == 3
+            assert len(cache) == 0

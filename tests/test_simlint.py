@@ -22,6 +22,8 @@ from repro.analysis import (
     default_registry,
     lint_paths,
     lint_source,
+    load_baseline,
+    partition_findings,
     render_json,
     render_text,
 )
@@ -32,12 +34,22 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_TREE = REPO_ROOT / "src" / "repro"
 FIXTURE = REPO_ROOT / "tests" / "fixtures" / "bad_scheduler.py"
 XMOD_DIR = REPO_ROOT / "tests" / "fixtures" / "xmod"
+CONC_FIXTURE = REPO_ROOT / "tests" / "fixtures" / "racy_service.py"
+RES_FIXTURE = REPO_ROOT / "tests" / "fixtures" / "leaky_resources.py"
+BASELINE = REPO_ROOT / "scripts" / "lint_baseline.json"
 
 #: Rule ids with a real checker (LINT000 is the docs-only meta rule).
 IMPLEMENTED_RULES = {
     "DET001", "DET002", "DET003", "DET004",
     "SIM001", "SIM002", "SIM004", "SIM003",
     "API001", "API002",
+}
+
+#: Whole-program rule ids (fire from the CONC/RES dataflow analyses,
+#: pinned by their own fixtures rather than bad_scheduler.py).
+PROGRAM_RULES = {
+    "CONC001", "CONC002", "CONC003", "CONC004",
+    "RES001", "RES002", "RES003",
 }
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
@@ -59,8 +71,21 @@ def expected_from_markers(path: Path) -> set[tuple[str, int]]:
 
 class TestCleanTree:
     def test_source_tree_is_clean(self):
+        """Zero non-baseline findings, and zero stale baseline entries.
+
+        The committed baseline (scripts/lint_baseline.json) is the
+        accepted-debt ledger; anything the tree adds beyond it fails
+        here, and so does a ledger entry that no longer fires (pay the
+        debt down *and* shrink the ledger in the same change).
+        """
         findings = lint_paths([SRC_TREE], root=REPO_ROOT)
-        assert findings == [], "\n" + render_text(findings)
+        new, _matched, stale = partition_findings(
+            findings, load_baseline(BASELINE)
+        )
+        assert new == [], "\n" + render_text(new)
+        assert stale == [], "\nstale baseline entries:\n" + "\n".join(
+            e.format() for e in stale
+        )
 
     def test_check_script_passes(self):
         """`make lint` / scripts/check.sh is green on the committed tree."""
@@ -91,6 +116,214 @@ class TestFixture:
             assert f.message and f.hint
             info = default_registry.info(f.rule_id)
             assert f.severity is info.severity
+
+
+# --------------------------------------------------------------------- #
+# whole-program rules (CONC001–004 / RES001–003)
+# --------------------------------------------------------------------- #
+
+
+class TestConcFixture:
+    """racy_service.py pins the concurrency family: every CONC rule has
+    at least one marked true positive and one sanctioned/suppressed
+    clean variant right next to it."""
+
+    def test_conc_findings_match_markers(self):
+        expected = expected_from_markers(CONC_FIXTURE)
+        assert expected, "fixture lost its # expect: markers"
+        findings = lint_paths([CONC_FIXTURE], root=REPO_ROOT)
+        got = {(f.rule_id, f.line) for f in findings}
+        assert got == expected
+        assert {rule for rule, _ in got} == {
+            "CONC001", "CONC002", "CONC003", "CONC004",
+        }
+
+    def test_conc001_message_carries_witness_chain(self):
+        findings = lint_paths([CONC_FIXTURE], root=REPO_ROOT)
+        drain = [
+            f for f in findings if f.rule_id == "CONC001" and "_drain" in f.message
+        ]
+        assert len(drain) == 1
+        # The entry chain names how the racy method becomes concurrent.
+        assert "threading.Thread target" in drain[0].message
+
+    def test_conc002_names_the_opposite_site(self):
+        findings = lint_paths([CONC_FIXTURE], root=REPO_ROOT)
+        order = [f for f in findings if f.rule_id == "CONC002"]
+        assert len(order) == 2
+        for f in order:
+            assert "opposite order" in f.message
+            assert "racy_service.py:" in f.message
+
+
+class TestResFixture:
+    """leaky_resources.py pins the resource family the same way."""
+
+    def test_res_findings_match_markers(self):
+        expected = expected_from_markers(RES_FIXTURE)
+        assert expected, "fixture lost its # expect: markers"
+        findings = lint_paths([RES_FIXTURE], root=REPO_ROOT)
+        got = {(f.rule_id, f.line) for f in findings}
+        assert got == expected
+        assert {rule for rule, _ in got} == {"RES001", "RES002", "RES003"}
+
+    def test_res001_names_the_raise_witness(self):
+        findings = lint_paths([RES_FIXTURE], root=REPO_ROOT)
+        shm = [f for f in findings if f.rule_id == "RES001"]
+        assert len(shm) == 1
+        # The message points at the statement whose exception leaks.
+        assert "exception" in shm[0].message
+
+
+#: One minimal firing snippet per whole-program rule.  ``{d}`` marks the
+#: anchor line: empty → the rule fires there; a disable directive → the
+#: same program stays silent.
+_PROGRAM_SNIPPETS = {
+    "CONC001": (
+        "import threading\n"
+        "from http.server import BaseHTTPRequestHandler\n"
+        "class H(BaseHTTPRequestHandler):\n"
+        "    def do_GET(self):\n"
+        "        with self._lock:\n"
+        "            self.hits += 1\n"
+        "    def do_POST(self):\n"
+        "        self.hits += 1{d}\n",
+        8,
+    ),
+    "CONC002": (
+        "import threading\n"
+        "class T:\n"
+        "    def __init__(self):\n"
+        "        self._a_lock = threading.Lock()\n"
+        "        self._b_lock = threading.Lock()\n"
+        "    def ab(self):\n"
+        "        with self._a_lock:\n"
+        "            with self._b_lock:{d}\n"
+        "                pass\n"
+        "    def ba(self):\n"
+        "        with self._b_lock:\n"
+        "            with self._a_lock:{d}\n"
+        "                pass\n",
+        8,
+    ),
+    "CONC003": (
+        "import sqlite3\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._conn = sqlite3.connect(':memory:', check_same_thread=False){d}\n",
+        4,
+    ),
+    "CONC004": (
+        "def toggle(state_lock, flag):\n"
+        "    state_lock.acquire(){d}\n"
+        "    flag.set()\n"
+        "    state_lock.release()\n",
+        2,
+    ),
+    "RES001": (
+        "from multiprocessing import shared_memory\n"
+        "def publish(n):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=n){d}\n"
+        "    seg.buf[:1] = b'x'\n"
+        "    return seg.name\n",
+        3,
+    ),
+    "RES002": (
+        "import sqlite3\n"
+        "def query(path):\n"
+        "    conn = sqlite3.connect(path){d}\n"
+        "    return conn.execute('SELECT 1').fetchone()\n",
+        3,
+    ),
+    "RES003": (
+        "import os\n"
+        "import tempfile\n"
+        "def spill(payload):\n"
+        "    fd, path = tempfile.mkstemp(){d}\n"
+        "    os.write(fd, payload)\n"
+        "    return path\n",
+        4,
+    ),
+}
+
+
+class TestProgramRuleSuppression:
+    """`# simlint: disable=<ID>` on the anchor line silences each of the
+    whole-program rules, exactly like the single-file families."""
+
+    @pytest.mark.parametrize("rule_id", sorted(_PROGRAM_SNIPPETS))
+    def test_snippet_fires(self, rule_id):
+        template, line = _PROGRAM_SNIPPETS[rule_id]
+        findings = lint_source(template.format(d=""), path="svc/app.py")
+        assert (rule_id, line) in {(f.rule_id, f.line) for f in findings}
+        assert {f.rule_id for f in findings} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", sorted(_PROGRAM_SNIPPETS))
+    def test_disable_directive_silences(self, rule_id):
+        template, _line = _PROGRAM_SNIPPETS[rule_id]
+        directive = f"  # simlint: disable={rule_id} -- audited"
+        assert lint_source(template.format(d=directive), path="svc/app.py") == []
+
+    @pytest.mark.parametrize("rule_id", sorted(_PROGRAM_SNIPPETS))
+    def test_config_disable_silences(self, rule_id):
+        template, _line = _PROGRAM_SNIPPETS[rule_id]
+        config = LintConfig(disable=frozenset({rule_id}))
+        assert lint_source(template.format(d=""), path="svc/app.py", config=config) == []
+
+
+# --------------------------------------------------------------------- #
+# baseline (accepted-findings ledger)
+# --------------------------------------------------------------------- #
+
+
+class TestBaselineCli:
+    def test_write_then_compare_is_green(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(FIXTURE), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert "recorded" in capsys.readouterr().out
+        # The exact same findings now all match the ledger: exit 0.
+        assert main(["lint", str(FIXTURE), "--baseline", str(baseline)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_non_baseline_finding_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 1, "findings": []}\n')
+        assert main(["lint", str(FIXTURE), "--baseline", str(baseline)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_stale_entry_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(FIXTURE), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        capsys.readouterr()
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert main([
+            "lint", str(clean), "--no-config", "--baseline", str(baseline),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+
+    def test_write_baseline_requires_path(self, capsys):
+        assert main(["lint", str(FIXTURE), "--write-baseline"]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99, "findings": []}\n')
+        assert main(["lint", str(FIXTURE), "--baseline", str(baseline)]) == 2
+        assert "version" in capsys.readouterr().err
+
+    def test_committed_baseline_is_sorted_and_versioned(self):
+        payload = json.loads(BASELINE.read_text())
+        assert payload["version"] == 1
+        keys = [
+            (e["path"], e["line"], e["rule_id"]) for e in payload["findings"]
+        ]
+        assert keys == sorted(keys)
 
 
 # --------------------------------------------------------------------- #
@@ -400,13 +633,16 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in sorted(IMPLEMENTED_RULES | {"LINT000"}):
+        for rule_id in sorted(IMPLEMENTED_RULES | PROGRAM_RULES | {"LINT000"}):
             assert rule_id in out
 
     def test_module_entry_point(self):
         """`python -m repro lint` (the documented invocation) works."""
         proc = subprocess.run(
-            [sys.executable, "-m", "repro", "lint", "src/repro"],
+            [
+                sys.executable, "-m", "repro", "lint", "src/repro",
+                "--baseline", "scripts/lint_baseline.json",
+            ],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
