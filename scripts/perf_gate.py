@@ -4,7 +4,11 @@
 Runs ``benchmarks/bench_engine_throughput.py`` (which rewrites
 ``BENCH_engine_throughput.json`` at the repo root) and compares the
 fresh ``events_per_second`` against the committed baseline in
-``scripts/perf_baseline.json``.
+``scripts/perf_baseline.json``.  Also runs ``benchmarks/bench_lint.py``
+(writing ``BENCH_lint.json``) and enforces the incremental-analysis
+warm-run floor: a warm cached lint must be at least ``--lint-floor``
+times faster than the cold run, or the analysis cache has silently
+stopped matching.
 
 The tolerance is deliberately generous (default: fresh may be as low
 as 50% of baseline) because CI runners and dev containers differ
@@ -34,19 +38,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "scripts" / "perf_baseline.json"
 FRESH_PATH = REPO_ROOT / "BENCH_engine_throughput.json"
+LINT_PATH = REPO_ROOT / "BENCH_lint.json"
 BENCH = "benchmarks/bench_engine_throughput.py"
+LINT_BENCH = "benchmarks/bench_lint.py"
 
 #: Fresh throughput below ``tolerance * baseline`` fails the gate.
 DEFAULT_TOLERANCE = 0.5
 
+#: Warm cached lint must beat the cold run by at least this factor.
+DEFAULT_LINT_FLOOR = 3.0
 
-def run_bench() -> int:
+
+def run_bench(bench: str = BENCH) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     proc = subprocess.run(
-        [sys.executable, "-m", "pytest", BENCH, "--benchmark-only", "-q"],
+        [sys.executable, "-m", "pytest", bench, "--benchmark-only", "-q"],
         cwd=REPO_ROOT,
         env=env,
     )
@@ -78,15 +87,25 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="minimum fresh/baseline throughput ratio (default %(default)s)",
     )
+    parser.add_argument(
+        "--lint-floor",
+        type=float,
+        default=DEFAULT_LINT_FLOOR,
+        help="minimum warm/cold lint speedup (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.tolerance <= 1:
         parser.error("--tolerance must be in (0, 1]")
+    if args.lint_floor < 1:
+        parser.error("--lint-floor must be >= 1")
 
     if not args.no_run:
-        rc = run_bench()
-        if rc != 0:
-            print(f"perf gate: benchmark run failed (exit {rc})", file=sys.stderr)
-            return 2
+        for bench in (BENCH, LINT_BENCH):
+            rc = run_bench(bench)
+            if rc != 0:
+                print(f"perf gate: benchmark {bench} failed (exit {rc})",
+                      file=sys.stderr)
+                return 2
 
     try:
         fresh = load_report(FRESH_PATH)
@@ -117,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
         f" vs baseline {base_eps:,.0f} events/s"
         f" (ratio {ratio:.2f}, floor {args.tolerance:.2f})"
     )
+    failed = False
     if ratio < args.tolerance:
         print(
             "perf gate: FAIL — throughput regressed past the tolerance;"
@@ -124,6 +144,30 @@ def main(argv: list[str] | None = None) -> int:
             " representative hardware",
             file=sys.stderr,
         )
+        failed = True
+
+    # Warm-lint floor: a machine-speed-independent ratio, so no
+    # committed baseline — the floor is absolute.
+    try:
+        lint = json.loads(LINT_PATH.read_text())
+        speedup = float(lint["speedup"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"perf gate: cannot read lint report: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"perf gate: warm lint {lint.get('warm_seconds', 0):.3f}s vs cold"
+        f" {lint.get('cold_seconds', 0):.2f}s"
+        f" (speedup {speedup:.1f}x, floor {args.lint_floor:.1f}x)"
+    )
+    if speedup < args.lint_floor:
+        print(
+            "perf gate: FAIL — warm incremental lint is not meaningfully"
+            " faster than cold; the analysis cache is not being hit",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
         return 1
     print("perf gate: OK")
     return 0

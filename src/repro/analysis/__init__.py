@@ -19,8 +19,11 @@ Layout
 ``dataflow``   the forward "held resource" walk over CFGs
 ``concurrency`` thread-entry reachability and the CONC rule family
 ``resources``  acquire/release path tracking and the RES rule family
+``effects``    per-function effect/determinism inference (the lattice)
+``certify``    signed scheduler safety certificates over the lattice
+``cache``      the content-addressed incremental analysis store
 ``baseline``   the committed accepted-findings ledger
-``reporter``   text and JSON renderers
+``reporter``   text, JSON, GitHub-annotation and SARIF renderers
 ``runner``     directory walking and the public ``lint_paths`` API
 
 Entry points: ``simmr lint`` / ``python -m repro lint`` (see
@@ -31,19 +34,24 @@ and the CI gate in ``tests/test_simlint.py``.
 from __future__ import annotations
 
 from .baseline import Baseline, load_baseline, partition_findings, write_baseline
+from .cache import AnalysisCache, default_cache_path
+from .certify import certify_target, verify_certificate
 from .config import LintConfig
 from .findings import Finding, Severity
 from .registry import RuleInfo, RuleRegistry, default_registry
-from .reporter import render_github, render_json, render_text
+from .reporter import render_github, render_json, render_sarif, render_text
 from .runner import lint_paths, lint_source
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "Finding",
     "Severity",
     "LintConfig",
     "RuleInfo",
     "RuleRegistry",
+    "certify_target",
+    "default_cache_path",
     "default_registry",
     "lint_paths",
     "lint_source",
@@ -52,5 +60,7 @@ __all__ = [
     "render_text",
     "render_json",
     "render_github",
+    "render_sarif",
+    "verify_certificate",
     "write_baseline",
 ]

@@ -170,8 +170,6 @@ class _Builder:
         self._loops: list[_Loop] = []
         #: Frontier: nodes whose normal successor is the next lowered node.
         self._frontier: list[int] = [CFG.ENTRY]
-        #: Landing pad after the most recent try/finally (see ``_try``).
-        self._after_pad: int = CFG.EXIT
 
     # -- plumbing ------------------------------------------------------- #
 
@@ -416,21 +414,24 @@ class _Builder:
             self._exc_stack.pop()
             # Normal fall-through also runs the finally.
             self._link(after, fin.enter)
-            fin.continuations.add(self._fresh_after())
+            # The pad must be held locally: a try/finally nested inside
+            # *this* finally body allocates its own pad, and resuming
+            # from that inner pad would dead-end the outer continuation.
+            pad = self._fresh_after()
+            fin.continuations.add(pad)
             self._frontier = [fin.enter]
             self._body(stmt.finalbody)
             fin_exits = list(self._frontier)
             for continuation in sorted(fin.continuations):
                 self._link(fin_exits, continuation)
             # Resume lowering from the landing pad created above.
-            self._frontier = [self._after_pad]
+            self._frontier = [pad]
         else:
             self._frontier = after
 
     def _fresh_after(self) -> int:
         """A landing-pad node for code following a try/finally."""
-        self._after_pad = self._new("stmt")
-        return self._after_pad
+        return self._new("stmt")
 
 
 def _is_catch_all(handler: ast.ExceptHandler) -> bool:

@@ -7,7 +7,10 @@ from typing import Iterable, Sequence
 
 from .findings import Finding, Severity
 
-__all__ = ["render_text", "render_json", "render_github", "parse_json", "summarize"]
+__all__ = [
+    "render_text", "render_json", "render_github", "render_sarif",
+    "parse_json", "summarize",
+]
 
 #: Bumped on any backwards-incompatible change to the JSON layout.
 JSON_FORMAT_VERSION = 1
@@ -95,6 +98,75 @@ def render_json(findings: Iterable[Finding]) -> str:
         "findings": [f.to_dict() for f in ordered],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF is standardized; pin the exact schema the output claims.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """SARIF 2.1.0 log, the interchange format code-scanning UIs ingest.
+
+    One run, one ``simlint`` tool driver carrying the full rule catalog
+    (id, short description, rationale as full description, hint as
+    help), one result per finding.  ``simmr lint --format sarif`` in CI
+    feeds this straight to ``github/codeql-action/upload-sarif`` so
+    findings land in the repository's code-scanning tab.
+    """
+    from .registry import default_registry
+
+    rules = []
+    rule_index: dict[str, int] = {}
+    for info in default_registry:
+        rule_index[info.rule_id] = len(rules)
+        rules.append({
+            "id": info.rule_id,
+            "shortDescription": {"text": info.title},
+            "fullDescription": {"text": info.rationale},
+            "help": {"text": info.hint},
+            "defaultConfiguration": {
+                "level": "error" if info.severity is Severity.ERROR else "warning",
+            },
+        })
+    results = []
+    for f in sorted(findings, key=lambda f: f.sort_key):
+        message = f.message if not f.hint else f"{f.message} (hint: {f.hint})"
+        result = {
+            "ruleId": f.rule_id,
+            "level": "error" if f.severity is Severity.ERROR else "warning",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": max(f.col, 1),
+                    },
+                },
+            }],
+        }
+        if f.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[f.rule_id]
+        results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri": "docs/linting.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 def parse_json(text: str) -> list[Finding]:

@@ -15,19 +15,30 @@ import ast
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
+from .cache import AnalysisCache, program_key, source_digest
 from .callgraph import CallGraph
 from .concurrency import analyze_concurrency
 from .config import LintConfig
 from .dataflow import RawFinding
 from .findings import Finding
-from .registry import RuleRegistry, default_registry
+from .registry import META_RULE_ID, RuleRegistry, default_registry
 from .resources import analyze_resources
 from .visitor import FileContext, Walker, parse_suppressions
 
 # Rule classes attach to default_registry at import time.
 from . import rules as _rules  # noqa: F401  (import for side effect)
 
-__all__ = ["lint_paths", "lint_source", "iter_python_files"]
+__all__ = ["lint_paths", "lint_source", "iter_python_files", "PROGRAM_RULE_IDS"]
+
+#: Rules whose findings depend on the *whole* analyzed tree (call graph
+#: or thread-reachability), not just one file's source.  The incremental
+#: cache may replay a module's file-scoped findings when its source is
+#: unchanged, but these always recompute.
+PROGRAM_RULE_IDS = frozenset({
+    "DET004", "SIM004", "API002",
+    "CONC001", "CONC002", "CONC003", "CONC004",
+    "RES001", "RES002", "RES003",
+})
 
 _SKIP_DIRS = frozenset({
     "__pycache__", ".git", ".venv", "venv", ".mypy_cache", ".ruff_cache",
@@ -88,8 +99,14 @@ def _lint_tree(
     callgraph: Optional[CallGraph],
     program_findings: Optional[list[RawFinding]] = None,
     suppressions: Optional[dict[int, set[str]]] = None,
+    cached_local: Optional[list[Finding]] = None,
 ) -> list[Finding]:
-    """Walk one pre-parsed module (or report its parse failure)."""
+    """Walk one pre-parsed module (or report its parse failure).
+
+    When ``cached_local`` is given (the incremental cache proved this
+    file's source unchanged), only the whole-program rules walk the
+    tree; the file-scoped findings are replayed from the cache.
+    """
     ctx = FileContext(
         path,
         source,
@@ -103,7 +120,12 @@ def _lint_tree(
         if parse_error is not None:
             ctx.report_meta(parse_error.lineno or 1, f"cannot parse file: {parse_error.msg}")
         return ctx.findings
-    Walker(ctx, registry.create_rules()).run(tree)
+    rules = registry.create_rules()
+    if cached_local is not None:
+        rules = [r for r in rules if r.info.rule_id in PROGRAM_RULE_IDS]
+    Walker(ctx, rules).run(tree)
+    if cached_local is not None:
+        ctx.findings.extend(cached_local)
     ctx.findings.sort(key=lambda f: f.sort_key)
     return ctx.findings
 
@@ -143,15 +165,24 @@ def lint_paths(
     config: Optional[LintConfig] = None,
     registry: Optional[RuleRegistry] = None,
     root: Optional[Path] = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> list[Finding]:
     """Lint files and directory trees; findings sorted by location.
 
     ``root`` (default: the current directory) is stripped from reported
-    paths so findings are stable across checkouts.
+    paths so findings are stable across checkouts.  ``cache`` enables
+    the content-addressed incremental store
+    (:class:`repro.analysis.cache.AnalysisCache`): a warm unchanged
+    tree replays its findings without re-analysis, and a partially
+    changed tree replays the file-scoped findings of unchanged modules.
+    Custom registries bypass the cache (its keys only describe the
+    stock rule set).
     """
     config = config if config is not None else LintConfig()
     registry = registry if registry is not None else default_registry
     config.validate(registry)
+    if registry is not default_registry:
+        cache = None
     if root is None:
         root = Path.cwd()
     findings: list[Finding] = []
@@ -162,7 +193,9 @@ def lint_paths(
     parsed: list[
         tuple[str, str, Optional[ast.Module], Optional[SyntaxError], dict[int, set[str]]]
     ] = []
-    graph = CallGraph(config)
+    digests: dict[str, str] = {}
+    sources: dict[str, str] = {}
+    read_errors = False
     for file_path in iter_python_files(Path(p) for p in paths):
         display = _display_path(file_path, root)
         try:
@@ -171,7 +204,27 @@ def lint_paths(
             ctx = FileContext(display, "", config, registry)
             ctx.report_meta(1, f"cannot read file: {exc}")
             findings.extend(ctx.findings)
+            read_errors = True
             continue
+        sources[display] = source
+        digests[display] = source_digest(source)
+        parsed.append((display, source, None, None, {}))
+    # Unreadable files make the tree state unaddressable; run uncached.
+    if read_errors:
+        cache = None
+    key = ""
+    if cache is not None:
+        key = program_key(config, sorted(digests.items()))
+        hit = cache.lookup_findings(key)
+        if hit is not None:
+            findings.extend(hit)
+            findings.sort(key=lambda f: f.sort_key)
+            return findings
+    graph = CallGraph(config)
+    analyzed: list[
+        tuple[str, str, Optional[ast.Module], Optional[SyntaxError], dict[int, set[str]]]
+    ] = []
+    for display, source, _tree, _err, _supp in parsed:
         suppressions = parse_suppressions(source)
         try:
             tree: Optional[ast.Module] = ast.parse(source, filename=display)
@@ -180,17 +233,33 @@ def lint_paths(
             tree, parse_error = None, exc
         if tree is not None:
             graph.add_module(display, tree, source, suppressions=suppressions)
-        parsed.append((display, source, tree, parse_error, suppressions))
+        analyzed.append((display, source, tree, parse_error, suppressions))
     graph.finalize()
     # Whole-program CONC/RES dataflow over the same finalized graph.
     program = _program_findings(graph, config)
     # Pass 2: per-file walks with the whole-program graph in scope.
-    for display, source, tree, parse_error, suppressions in parsed:
-        findings.extend(
-            _lint_tree(
-                source, display, tree, parse_error, config, registry, graph,
-                program_findings=program.get(display), suppressions=suppressions,
-            )
+    for display, source, tree, parse_error, suppressions in analyzed:
+        cached_local: Optional[list[Finding]] = None
+        if cache is not None and tree is not None:
+            cached_local = cache.lookup_local(display, digests[display])
+        file_findings = _lint_tree(
+            source, display, tree, parse_error, config, registry, graph,
+            program_findings=program.get(display), suppressions=suppressions,
+            cached_local=cached_local,
         )
+        if cache is not None and tree is not None and cached_local is None:
+            cache.store_local(
+                display,
+                digests[display],
+                [
+                    f for f in file_findings
+                    if f.rule_id not in PROGRAM_RULE_IDS
+                    and f.rule_id != META_RULE_ID
+                ],
+            )
+        findings.extend(file_findings)
     findings.sort(key=lambda f: f.sort_key)
+    if cache is not None:
+        cache.store_findings(key, findings)
+        cache.save()
     return findings

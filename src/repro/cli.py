@@ -25,6 +25,8 @@ Subcommands mirror the SimMR workflow (paper Figure 4):
 * ``simmr validate`` — the end-to-end accuracy loop, pass/fail;
 * ``simmr lint`` — simlint: determinism & simulation-invariant static
   analysis over the source tree (see ``docs/linting.md``);
+* ``simmr certify`` — signed effect-safety certificate for a scheduler
+  class (cache-safe / parallel-safe / service-safe; same docs);
 * ``simmr check`` — combined gate: simlint + sanitized dual-run replay
   (see ``docs/sanitizer.md``);
 * ``simmr serve`` / ``simmr submit`` — the simulation service: a
@@ -242,8 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
         "repro package next to this module)",
     )
     lint.add_argument(
-        "--format", choices=["text", "json", "github"], default="text", dest="format_",
-        help="report format (default text; github = Actions annotations)",
+        "--format", choices=["text", "json", "github", "sarif"], default="text",
+        dest="format_",
+        help="report format (default text; github = Actions annotations; "
+        "sarif = SARIF 2.1.0 for code-scanning upload)",
     )
     lint.add_argument(
         "--select", default=None,
@@ -274,6 +278,34 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--write-baseline", action="store_true",
         help="record the current findings into --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental analysis cache",
+    )
+    lint.add_argument(
+        "--analysis-cache", type=Path, default=None,
+        help="incremental analysis cache JSON (default: .analysis_cache.json "
+        "next to --baseline; no caching without a baseline)",
+    )
+
+    cert = sub.add_parser(
+        "certify",
+        help="certify a scheduler class: signed effect-safety verdict "
+        "(cache-safe / parallel-safe / service-safe)",
+    )
+    cert.add_argument(
+        "target",
+        help="scheduler to certify: a registry name (fifo, fair, ...), "
+        "'path/to/module.py:ClassName', or 'pkg.module:ClassName'",
+    )
+    cert.add_argument(
+        "--format", choices=["json", "text"], default="json", dest="format_",
+        help="verdict format (default json — the signed certificate itself)",
+    )
+    cert.add_argument(
+        "--analysis-cache", type=Path, default=None,
+        help="incremental analysis cache JSON (shared with 'simmr lint')",
     )
 
     chk = sub.add_parser(
@@ -718,7 +750,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from .analysis import default_registry, lint_paths, render_github, render_json, render_text
+    from .analysis import (
+        AnalysisCache,
+        default_cache_path,
+        default_registry,
+        lint_paths,
+        render_github,
+        render_json,
+        render_sarif,
+        render_text,
+    )
     from .analysis.config import LintConfig, find_pyproject
 
     if args.list_rules:
@@ -756,9 +797,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         }
     if overrides:
         config = dataclasses.replace(config, **overrides)
+    cache = None
+    if not args.no_cache:
+        cache_path = args.analysis_cache
+        if cache_path is None:
+            cache_path = default_cache_path(args.baseline)
+        if cache_path is not None:
+            cache = AnalysisCache.load(cache_path)
     try:
         config.validate(default_registry)
-        findings = lint_paths(paths, config=config)
+        findings = lint_paths(paths, config=config, cache=cache)
     except ValueError as exc:
         print(f"simmr lint: {exc}", file=sys.stderr)
         return 2
@@ -791,11 +839,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                   f"remove it): {entry.format()}", file=sys.stderr)
         fail = bool(new) or bool(stale)
 
-    render = {"json": render_json, "github": render_github}.get(
-        args.format_, render_text
-    )
+    render = {
+        "json": render_json, "github": render_github, "sarif": render_sarif,
+    }.get(args.format_, render_text)
     print(render(findings))
     return 1 if fail else 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import AnalysisCache
+    from .analysis.certify import CertificationError, certify_target, failure_message
+
+    cache = None
+    if args.analysis_cache is not None:
+        cache = AnalysisCache.load(args.analysis_cache)
+    try:
+        doc = certify_target(args.target, cache=cache)
+    except CertificationError as exc:
+        print(f"simmr certify: {exc}", file=sys.stderr)
+        return 2
+    if args.format_ == "json":
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        verdict = "CERTIFIED" if doc["certified"] else "REJECTED"
+        print(f"{doc['target']}: {verdict}")
+        print(f"  effects:       {', '.join(doc['summary']) or '(pure)'}")
+        print(f"  cache-safe:    {doc['cache_safe']}")
+        print(f"  parallel-safe: {doc['parallel_safe']}")
+        print(f"  service-safe:  {doc['service_safe']}")
+        if not doc["certified"]:
+            print(f"  witness:       {failure_message(doc)}")
+    return 0 if doc["certified"] else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -1161,6 +1237,7 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         "fit": _cmd_fit,
         "validate": _cmd_validate,
         "lint": _cmd_lint,
+        "certify": _cmd_certify,
         "check": _cmd_check,
         "trace": _cmd_trace,
         "cache": _cmd_cache,

@@ -95,9 +95,42 @@ class CheckReport:
     def ok(self) -> bool:
         return not self.findings and not self.stale and all(r.ok for r in self.runs)
 
+    def merged_findings(self) -> list[dict]:
+        """Lint findings and sanitizer violations as ONE tagged list.
+
+        Consumers of ``simmr check --format json`` previously had to
+        stitch the static and dynamic halves together themselves (and
+        most forgot the dynamic one).  Each entry carries a ``source``
+        discriminator — ``"lint"`` for static findings, ``"sanitizer"``
+        for runtime violations and replay divergences — over an
+        otherwise source-shaped payload.
+        """
+        merged: list[dict] = [
+            {"source": "lint", **f.to_dict()} for f in self.findings
+        ]
+        for run in self.runs:
+            for v in run.violations:
+                merged.append({
+                    "source": "sanitizer",
+                    "scheduler": run.scheduler,
+                    "check_id": v.check_id,
+                    "message": v.message,
+                    "time": v.time,
+                    "event_index": v.event_index,
+                })
+            if run.divergence.diverged:
+                merged.append({
+                    "source": "sanitizer",
+                    "scheduler": run.scheduler,
+                    "check_id": "DIVERGENCE",
+                    "message": run.divergence.describe(),
+                })
+        return merged
+
     def to_dict(self) -> dict:
         return {
             "ok": self.ok,
+            "findings": self.merged_findings(),
             "static": {
                 "summary": summarize(self.findings),
                 "findings": [f.to_dict() for f in self.findings],

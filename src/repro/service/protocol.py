@@ -107,6 +107,33 @@ def _parse_scheduler(raw: Any) -> SchedulerSpec:
     _require(isinstance(kwargs, dict) and all(isinstance(k, str) for k in kwargs),
              "'scheduler.kwargs' must be an object with string keys")
     _require(isinstance(seeded, bool), "'scheduler.seeded' must be a boolean")
+    if kind == "inline-certified":
+        # Inline scheduler source is accepted over the wire ONLY with a
+        # passing effect-safety certificate; a rejected submission gets
+        # 422 (well-formed request, unacceptable content) carrying the
+        # witness chain so the submitter can see *which* call reaches
+        # *which* effectful sink.
+        source = kwargs.get("source")
+        _require(isinstance(source, str) and bool(source.strip()),
+                 "'scheduler.kwargs.source' must be the scheduler module "
+                 "source text for kind 'inline-certified'")
+        from ..analysis.certify import (
+            CertificationError,
+            certify_inline,
+            failure_message,
+        )
+
+        try:
+            certificate = certify_inline(source, name)
+        except CertificationError as exc:
+            raise ProtocolError(
+                f"scheduler certification failed: {exc}", status=422
+            ) from None
+        if not certificate["service_safe"]:
+            raise ProtocolError(
+                f"scheduler rejected: {failure_message(certificate)}",
+                status=422,
+            )
     spec = SchedulerSpec(
         kind=kind, name=name, kwargs=tuple(sorted(kwargs.items())), seeded=seeded
     )
@@ -197,8 +224,11 @@ def parse_request(
 
     Raises :class:`ProtocolError` carrying the HTTP status: 400 for
     malformed documents, 403 for trace paths outside the configured
-    root, 404 for a missing server-side trace file.  ``trace_cache``
-    (optional) serves repeated ``trace_path`` requests from memory.
+    root, 404 for a missing server-side trace file, 422 for an
+    ``inline-certified`` scheduler whose source fails effect-safety
+    certification (the message carries the witness chain).
+    ``trace_cache`` (optional) serves repeated ``trace_path`` requests
+    from memory.
     """
     _require(isinstance(doc, dict), "request body must be a JSON object")
     unknown = set(doc) - _TOP_LEVEL_KEYS

@@ -98,9 +98,11 @@ class TraceDatabase:
             raise ValueError(
                 f"profile for application {profile.name!r} execution {execution} already stored"
             ) from None
+        row_id = cur.lastrowid
+        cur.close()
         self._conn.commit()
-        assert cur.lastrowid is not None
-        return cur.lastrowid
+        assert row_id is not None
+        return row_id
 
     def get_profile(self, application: str, execution: int = 0) -> JobProfile:
         """Load one stored execution of an application."""
@@ -164,6 +166,7 @@ class TraceDatabase:
                     ),
                 )
                 pid = cur.lastrowid
+                cur.close()
             rows.append((name, pos, job.submit_time, job.deadline, pid))
         self._conn.executemany(
             "INSERT INTO traces (name, position, submit_time, deadline, profile_id)"
@@ -213,6 +216,8 @@ class TraceDatabase:
     def delete_trace(self, name: str) -> None:
         """Remove a stored trace (its profiles stay available)."""
         cur = self._conn.execute("DELETE FROM traces WHERE name = ?", (name,))
-        if cur.rowcount == 0:
+        deleted = cur.rowcount
+        cur.close()
+        if deleted == 0:
             raise KeyError(f"no trace named {name!r}")
         self._conn.commit()

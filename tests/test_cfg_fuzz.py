@@ -1,0 +1,229 @@
+"""Property-based fuzzing of the CFG lowering.
+
+``tests/test_cfg_dataflow.py`` pins the CFG shape for hand-written
+exemplars; this file attacks the lowering with *generated* programs —
+random nests of ``if``/``for``/``while``/``try``/``finally``/``with``/
+``match`` — and asserts the structural invariants every lowering must
+hold regardless of input shape:
+
+* the builder never crashes on a syntactically valid function;
+* every node is reachable from ENTRY (the generator emits no dead
+  code: terminators only ever sit in else-less branches, so a live
+  fall-through path always exists);
+* every reachable node other than the two exits has at least one
+  successor — all paths are *covered*, terminating in EXIT or
+  RAISE_EXIT, never dangling;
+* EXIT itself is reachable (the function can complete);
+* lowering is deterministic: two builds of the same source produce
+  identical node/edge structure.
+
+No third-party property-testing framework is used — a seeded
+``random.Random`` grammar walk gives reproducible cases (the failing
+seed is in the assertion message) with zero dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+import textwrap
+
+from repro.analysis.cfg import CFG, build_cfg
+
+N_SEEDS = 60
+MAX_DEPTH = 3
+
+_TERMINATORS = ("return 1", "raise ValueError('boom')")
+
+
+class _ProgramGen:
+    """Seeded random generator of one fuzzed function body.
+
+    Structural guarantees (they are what make the reachability property
+    assertable, not just likely):
+
+    * terminators (``return``/``raise``/``break``/``continue``) appear
+      only as the last statement of an *else-less* ``if`` branch — the
+      false edge keeps the subsequent statements live;
+    * every ``try`` body starts with a call (calls can raise), so its
+      handlers are reachable via the exceptional edge;
+    * loop conditions are calls/iterables, never ``True``, so the
+      loop-exit edge always exists.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.counter = 0
+
+    def _fresh(self) -> str:
+        self.counter += 1
+        return f"v{self.counter}"
+
+    def _simple(self) -> list[str]:
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            return [f"{self._fresh()} = 1"]
+        if choice == 1:
+            return [f"{self._fresh()} = helper()"]
+        return ["helper()"]
+
+    def block(self, depth: int, in_loop: bool) -> list[str]:
+        lines: list[str] = []
+        for _ in range(self.rng.randint(1, 3)):
+            lines.extend(self.stmt(depth, in_loop))
+        return lines
+
+    def stmt(self, depth: int, in_loop: bool) -> list[str]:
+        options = ["simple", "simple", "if"]
+        if depth > 0:
+            options += ["for", "while", "try", "tryfin", "with", "match"]
+        kind = self.rng.choice(options)
+        pad = "    "
+        if kind == "simple":
+            return self._simple()
+        if kind == "if":
+            body = self.block(depth - 1, in_loop) if depth > 0 else self._simple()
+            roll = self.rng.randrange(5)
+            if roll == 0:
+                body = body + [self.rng.choice(_TERMINATORS)]
+            elif roll == 1 and in_loop:
+                body = body + [self.rng.choice(["break", "continue"])]
+            head = f"if flag{self.rng.randrange(3)}:"
+            return [head] + [pad + line for line in body]
+        if kind == "for":
+            body = self.block(depth - 1, True)
+            return [f"for item{self._fresh()} in items:"] + [
+                pad + line for line in body
+            ]
+        if kind == "while":
+            body = self.block(depth - 1, True)
+            return ["while helper():"] + [pad + line for line in body]
+        if kind == "tryfin":
+            body = ["helper()"] + self.block(depth - 1, in_loop)
+            final = self.block(depth - 1, in_loop)
+            return (
+                ["try:"] + [pad + line for line in body]
+                + ["finally:"] + [pad + line for line in final]
+            )
+        if kind == "try":
+            body = ["helper()"] + self.block(depth - 1, in_loop)
+            out = ["try:"] + [pad + line for line in body]
+            out += ["except ValueError:"] + [
+                pad + line for line in self.block(depth - 1, in_loop)
+            ]
+            if self.rng.random() < 0.5:
+                out += ["except Exception:"] + [pad + line for line in self._simple()]
+            if self.rng.random() < 0.4:
+                out += ["else:"] + [
+                    pad + line for line in self.block(depth - 1, in_loop)
+                ]
+            if self.rng.random() < 0.5:
+                out += ["finally:"] + [pad + line for line in self._simple()]
+            return out
+        if kind == "with":
+            body = self.block(depth - 1, in_loop)
+            return [f"with ctx() as handle{self._fresh()}:"] + [
+                pad + line for line in body
+            ]
+        assert kind == "match"
+        out = ["match subject:"]
+        for pattern in ("1", "2"):
+            if self.rng.random() < 0.6:
+                out += [pad + f"case {pattern}:"] + [
+                    pad * 2 + line for line in self.block(depth - 1, in_loop)
+                ]
+        if self.rng.random() < 0.5 or len(out) == 1:
+            out += [pad + "case _:"] + [
+                pad * 2 + line for line in self.block(depth - 1, in_loop)
+            ]
+        return out
+
+
+def fuzzed_source(seed: int) -> str:
+    gen = _ProgramGen(seed)
+    body = gen.block(MAX_DEPTH, False) + ["return 0"]
+    lines = ["def fuzzed(flag0, flag1, flag2, items, subject):"]
+    lines += ["    " + line for line in body]
+    return "\n".join(lines) + "\n"
+
+
+def build(source: str) -> CFG:
+    mod = ast.parse(source)
+    func = mod.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+def reachable_from_entry(cfg: CFG) -> set[int]:
+    seen: set[int] = set()
+    stack = [CFG.ENTRY]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        node = cfg.nodes[index]
+        stack.extend(node.succs)
+        stack.extend(node.exc_succs)
+    return seen
+
+
+def structure(cfg: CFG) -> list[tuple[str, int, tuple[int, ...], tuple[int, ...]]]:
+    return [
+        (node.kind, node.lineno, tuple(node.succs), tuple(node.exc_succs))
+        for node in cfg.nodes
+    ]
+
+
+class TestCfgFuzz:
+    def test_invariants_over_random_nests(self):
+        kinds_seen: set[str] = set()
+        for seed in range(N_SEEDS):
+            source = fuzzed_source(seed)
+            context = f"seed {seed}:\n{textwrap.indent(source, '    ')}"
+            cfg = build(source)
+            kinds_seen.update(node.kind for node in cfg.nodes)
+
+            reach = reachable_from_entry(cfg)
+            unreachable = set(range(len(cfg.nodes))) - reach
+            # Two nodes may be legitimately dead: RAISE_EXIT when nothing
+            # can raise, and the eagerly allocated *exceptional* with-exit
+            # when a with-body happens to contain only non-raising
+            # statements.  Everything else must be live.
+            stranded = [
+                index for index in sorted(unreachable)
+                if index != CFG.RAISE_EXIT
+                and cfg.nodes[index].kind != "with_exit"
+            ]
+            assert not stranded, (
+                f"unreachable nodes {stranded} in {context}"
+            )
+            assert CFG.EXIT in reach, f"EXIT unreachable in {context}"
+
+            for index in reach:
+                if index in (CFG.EXIT, CFG.RAISE_EXIT):
+                    continue
+                node = cfg.nodes[index]
+                assert node.succs or node.exc_succs, (
+                    f"dangling node {index} ({node.kind}, line {node.lineno}) "
+                    f"in {context}"
+                )
+
+            assert structure(build(source)) == structure(cfg), (
+                f"non-deterministic lowering in {context}"
+            )
+        # The generator must actually exercise the interesting lowerings
+        # (a regression here would silently gut the whole test).
+        assert "test" in kinds_seen  # if/while/for/match dispatch
+        assert "with_enter" in kinds_seen
+
+    def test_generator_is_deterministic(self):
+        assert fuzzed_source(17) == fuzzed_source(17)
+        assert fuzzed_source(17) != fuzzed_source(18)
+
+    def test_exits_have_no_successors(self):
+        for seed in range(10):
+            cfg = build(fuzzed_source(seed))
+            for index in (CFG.EXIT, CFG.RAISE_EXIT):
+                node = cfg.nodes[index]
+                assert not node.succs and not node.exc_succs

@@ -381,3 +381,89 @@ class TestCacheMaintenance:
             "prune", "--older-than", "1d",
         ]) == 2
         assert "no cache file" in capsys.readouterr().err
+
+
+class TestCertifyCommand:
+    DIVERGING = "tests/fixtures/diverging_scheduler.py:DivergingScheduler"
+
+    def test_registry_scheduler_certifies(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert main(["certify", "fifo", "--analysis-cache", str(cache)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["certified"] is True
+        assert doc["class"] == "FIFOScheduler"
+        assert doc["cache_safe"] and doc["parallel_safe"] and doc["service_safe"]
+        assert isinstance(doc["signature"], str) and len(doc["signature"]) == 64
+        # Second invocation is served from the analysis cache, verbatim.
+        assert main(["certify", "fifo", "--analysis-cache", str(cache)]) == 0
+        assert json.loads(capsys.readouterr().out) == doc
+
+    def test_diverging_fixture_rejected_with_witness(self, capsys):
+        assert main(["certify", self.DIVERGING, "--format", "text"]) == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert "witness:" in out
+        assert "_instances" in out
+        assert "nondeterministic-source" in out
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        assert main(["certify", "no-such-policy"]) == 2
+        assert "unknown certify target" in capsys.readouterr().err
+
+
+class TestLintSarif:
+    FIXTURE = "tests/fixtures/bad_scheduler.py"
+
+    def test_sarif_document_shape(self, capsys):
+        assert main(["lint", self.FIXTURE, "--format", "sarif", "--no-cache"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        results = run["results"]
+        assert results, "the broken fixture must produce SARIF results"
+        for result in results:
+            assert result["ruleId"] in rule_ids
+            assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == self.FIXTURE
+            assert location["region"]["startLine"] > 0
+
+    def test_clean_file_yields_empty_results(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x + 1\n")
+        assert main(["lint", str(clean), "--format", "sarif", "--no-cache"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestCheckJsonMerged:
+    def test_single_document_with_top_level_ok(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x + 1\n")
+        assert main([
+            "check", str(clean), "--format", "json",
+            "--schedulers", "fifo", "--jobs", "3",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # ONE merged document: a top-level verdict plus one tagged
+        # findings list spanning both halves (previously consumers had
+        # to stitch doc["static"] and doc["dynamic"] themselves).
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+        assert set(doc) >= {"ok", "findings", "static", "dynamic"}
+        assert [r["scheduler"] for r in doc["dynamic"]] == ["fifo"]
+
+    def test_lint_findings_are_tagged_with_source(self, capsys):
+        assert main([
+            "check", "tests/fixtures/bad_scheduler.py",
+            "--format", "json", "--static-only",
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["findings"]
+        assert {entry["source"] for entry in doc["findings"]} == {"lint"}
+        assert all(entry["rule_id"] for entry in doc["findings"])
