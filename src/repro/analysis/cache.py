@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
 from typing import Any, Optional, Sequence
@@ -52,7 +53,7 @@ __all__ = [
 
 #: Bump whenever rule or engine behaviour changes in a way that can
 #: alter findings or certificates for unchanged sources.
-ANALYSIS_SALT = "1"
+ANALYSIS_SALT = "2"
 
 #: Keep at most this many program-level entries (insertion-ordered
 #: eviction); one per (tree state, config) actually in use.
@@ -69,11 +70,18 @@ def _package_version() -> str:
 
 
 def engine_version() -> str:
-    """Version salt invalidating every entry on analyzer changes."""
+    """Version salt invalidating every entry on analyzer changes.
+
+    The interpreter version participates too: a checkout shared across
+    Python versions (worktrees, containers, version bumps) must not
+    replay findings or certificates produced by an interpreter whose
+    ``ast`` grammar or analysis behaviour differs.
+    """
     from .registry import default_registry
 
     rules = ",".join(default_registry.known_ids())
-    raw = f"{_package_version()}|{ANALYSIS_SALT}|{rules}"
+    py = "py{}.{}".format(*sys.version_info[:2])
+    raw = f"{_package_version()}|{ANALYSIS_SALT}|{py}|{rules}"
     return hashlib.blake2b(raw.encode(), digest_size=8).hexdigest()
 
 

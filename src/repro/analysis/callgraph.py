@@ -369,8 +369,13 @@ class CallGraph:
     rules query :meth:`callees_at` and :meth:`witness` afterwards.
     """
 
-    def __init__(self, config: LintConfig) -> None:
+    def __init__(self, config: LintConfig, *, strict: bool = False) -> None:
         self.config = config
+        #: Fail-closed effect inference (see :mod:`repro.analysis.effects`):
+        #: unresolvable calls and dynamic-execution builtins contribute
+        #: the ``unresolved-call`` atom instead of nothing.  Used by the
+        #: inline-certification path, never by lint.
+        self.strict = strict
         self._modules: dict[str, _ModuleIdx] = {}
         self._suppressions: dict[str, dict[int, set[str]]] = {}
         self._whitelisted: dict[str, bool] = {}
@@ -604,13 +609,17 @@ class CallGraph:
         chain = [fn.display]
         node = fn
         guard = 0
-        while step[0] == "call" and guard < 32:
+        while step[0] == "call":
+            if guard >= 10_000:  # cycle guard; BFS chains are finite
+                return None
             node = step[1]
             chain.append(node.display)
             step = node.taint.get(kind)
             if step is None:  # pragma: no cover - closure guarantees a path
                 return None
             guard += 1
+        if not isinstance(step[1], Sink):  # pragma: no cover - invariant
+            return None
         return chain, step[1]
 
     def function(self, module: str, qname: str) -> Optional[FuncNode]:

@@ -45,11 +45,19 @@ from typing import Any, Optional
 from .cache import AnalysisCache, engine_version, program_key, source_digest
 from .callgraph import CallGraph, module_name_for_path
 from .config import LintConfig
-from .effects import IO, MUTATES_GLOBAL, NONDET, effect_witness
+from .effects import (
+    IO,
+    MUTATES_GLOBAL,
+    NONDET,
+    UNRESOLVED,
+    effect_witness,
+    import_time_kinds,
+)
 from .visitor import CHOOSE_METHODS
 
 __all__ = [
     "CERTIFICATE_VERSION",
+    "MAX_INLINE_SOURCE",
     "CertificationError",
     "certificate_for_class",
     "certify_inline",
@@ -62,17 +70,42 @@ __all__ = [
 
 CERTIFICATE_VERSION = 1
 
+#: Hard cap on inline scheduler source accepted for certification.
+#: Whole-program analysis is linear-ish but not free; without a cap,
+#: repeated large unique submissions make request parsing a CPU DoS
+#: vector (each unique digest misses the memo).
+MAX_INLINE_SOURCE = 64 * 1024
+
 #: Keyed-hash key for tamper-evident signatures.  Deliberately public:
 #: the signature binds a verdict to this analyzer version's canonical
 #: form, it does not authenticate a signer.
 _SIGNING_KEY = b"simmr-certify-v1"
 
-#: Effect atoms that break each predicate.
-_CACHE_UNSAFE = frozenset({NONDET, IO, MUTATES_GLOBAL})
-_PARALLEL_UNSAFE = frozenset({MUTATES_GLOBAL, IO})
+#: Effect atoms that break each predicate.  ``unresolved-call`` only
+#: appears in strict (inline) graphs, where a call the analyzer cannot
+#: resolve must be presumed capable of anything.
+_CACHE_UNSAFE = frozenset({NONDET, IO, MUTATES_GLOBAL, UNRESOLVED})
+_PARALLEL_UNSAFE = frozenset({MUTATES_GLOBAL, IO, UNRESOLVED})
 
 #: Witness-priority order for blocking atoms in reports.
-_BLOCKING_ORDER = (NONDET, MUTATES_GLOBAL, IO)
+_BLOCKING_ORDER = (NONDET, MUTATES_GLOBAL, IO, UNRESOLVED)
+
+#: Top-level modules an inline scheduler may import.  Everything here
+#: is either pure computation, covered by a dedicated effect sink when
+#: used (``time``, ``random``), or the engine's own trusted code
+#: (``repro`` — usable as base classes; *calls* into it still resolve
+#: to nothing and are flagged by strict mode).  Imports execute code,
+#: so this is a whitelist, not a scan.
+_INLINE_IMPORTABLE = frozenset({
+    "__future__", "repro", "time", "random", "types",
+    "math", "cmath", "heapq", "bisect", "itertools", "functools",
+    "collections", "operator", "statistics", "string", "copy", "enum",
+    "abc", "dataclasses", "typing", "decimal", "fractions", "numbers",
+})
+
+#: Import-time effect kinds that reject an inline module outright:
+#: the module body runs at ``exec`` before any predicate can gate it.
+_IMPORT_TIME_UNSAFE = (IO, NONDET, UNRESOLVED)
 
 #: Memoized inline verdicts: (source digest, class name) -> certificate.
 _INLINE_MEMO: dict[tuple[str, str], dict[str, Any]] = {}
@@ -342,16 +375,94 @@ def _display(path: Path, root: Path) -> str:
 # --------------------------------------------------------------------------- #
 
 
+def _check_inline_imports(tree: ast.Module) -> None:
+    """Reject imports (anywhere, incl. function bodies) off the whitelist.
+
+    Importing a module *executes* it, so the usage-level effect scan
+    cannot gate it — only a whitelist can.  Relative imports have no
+    package to resolve against and are rejected outright.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                raise CertificationError(
+                    f"inline scheduler source may not use relative "
+                    f"imports (line {node.lineno})"
+                )
+            names = [node.module or ""]
+        else:
+            continue
+        for name in names:
+            top = name.split(".", 1)[0]
+            if top not in _INLINE_IMPORTABLE:
+                raise CertificationError(
+                    f"inline scheduler source imports {name!r} "
+                    f"(line {node.lineno}), which is outside the "
+                    f"certifiable-import whitelist "
+                    f"({', '.join(sorted(_INLINE_IMPORTABLE))})"
+                )
+
+
+def _check_import_time(
+    graph: CallGraph, module_name: str, tree: ast.Module
+) -> None:
+    """Reject inline modules whose *top-level* code is effectful.
+
+    Certification gates what the class's methods may do, but the
+    module body itself runs the moment the source is exec'd — before
+    any predicate applies.  Everything executed at import time (module
+    statements, class bodies, decorators, default arguments) must
+    therefore be effect-free, and any blob-local function it calls
+    must be too.
+    """
+    mod = graph.module_index(module_name)
+    aliases = dict(mod.aliases) if mod is not None else {}
+    state = dict(mod.state) if mod is not None else {}
+    callables: set[str] = set()
+    if mod is not None:
+        callables = set(mod.functions) | set(mod.classes)
+    kinds, called = import_time_kinds(
+        tree, aliases=aliases, state=state, callables=callables
+    )
+    for kind in _IMPORT_TIME_UNSAFE:
+        sink = kinds.get(kind)
+        if sink is not None:
+            raise CertificationError(
+                f"inline scheduler source runs effectful code at import "
+                f"time: {sink.detail} ({kind}) at line {sink.lineno}"
+            )
+    for name in sorted(called):
+        fn = graph.resolve_ref(module_name, ("name", name))
+        if fn is None or fn.effects is None:
+            continue
+        bad = sorted(set(fn.effects.atoms) & set(_IMPORT_TIME_UNSAFE))
+        if bad:
+            raise CertificationError(
+                f"inline scheduler source calls {name!r} at import "
+                f"time, which reaches {', '.join(bad)}"
+            )
+
+
 def certify_inline(source: str, cls_name: str) -> dict[str, Any]:
     """Certify one self-contained scheduler module shipped as text.
 
     Single-module analysis: every helper the class uses must travel in
     the same source blob (there is no other code the server could
-    soundly attribute to the submitter).  Calls into unresolvable
-    externals contribute no effects — the same never-guess stance the
-    call graph takes — so the verdict covers exactly what was sent.
-    Verdicts are memoized by content digest.
+    soundly attribute to the submitter).  Because the verdict gates
+    ``exec`` of untrusted input, analysis here is **fail-closed**
+    (``CallGraph(strict=True)``): a call the analyzer cannot resolve
+    to a known-pure target carries the ``unresolved-call`` atom and
+    fails certification, imports are whitelisted, and the module's
+    import-time code must itself be effect-free.  Verdicts are
+    memoized by content digest.
     """
+    if len(source) > MAX_INLINE_SOURCE:
+        raise CertificationError(
+            f"inline scheduler source is {len(source)} bytes; the "
+            f"certification limit is {MAX_INLINE_SOURCE}"
+        )
     digest = source_digest(source)
     memo_key = (digest, cls_name)
     hit = _INLINE_MEMO.get(memo_key)
@@ -365,11 +476,13 @@ def certify_inline(source: str, cls_name: str) -> dict[str, Any]:
             f"cannot parse inline scheduler source: {exc.msg} "
             f"(line {exc.lineno})"
         ) from None
+    _check_inline_imports(tree)
     config = LintConfig()
-    graph = CallGraph(config)
+    graph = CallGraph(config, strict=True)
     graph.add_module(path, tree, source)
     graph.finalize()
     module_name = module_name_for_path(path)
+    _check_import_time(graph, module_name, tree)
     doc = certificate_for_class(
         graph,
         module_name,

@@ -118,10 +118,18 @@ def _parse_scheduler(raw: Any) -> SchedulerSpec:
                  "'scheduler.kwargs.source' must be the scheduler module "
                  "source text for kind 'inline-certified'")
         from ..analysis.certify import (
+            MAX_INLINE_SOURCE,
             CertificationError,
             certify_inline,
             failure_message,
         )
+
+        # Certification runs whole-program analysis at request-parse
+        # time on unauthenticated input; cap the source size so unique
+        # oversized submissions cannot be used as a CPU DoS vector.
+        _require(len(source) <= MAX_INLINE_SOURCE,
+                 f"inline scheduler source exceeds {MAX_INLINE_SOURCE} "
+                 f"bytes", status=413)
 
         try:
             certificate = certify_inline(source, name)

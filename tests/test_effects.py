@@ -180,6 +180,22 @@ class TestLocalSources:
         assert IO in atoms(graph, "wipe")
         assert IO not in atoms(graph, "join")
 
+    def test_bare_name_call_to_imported_io_function_is_io(self):
+        # ``from subprocess import run; run(...)`` must not slip past
+        # the scanner just because the call is not dotted.
+        graph = analyze(
+            """
+            from subprocess import run
+            from shutil import rmtree
+            def launch(cmd):
+                run(cmd)
+            def wipe(path):
+                rmtree(path)
+            """
+        )
+        assert IO in atoms(graph, "launch")
+        assert IO in atoms(graph, "wipe")
+
     def test_wallclock_read_is_nondet(self):
         graph = analyze(
             """
@@ -259,6 +275,33 @@ class TestPropagation:
     def test_witness_absent_for_missing_atom(self):
         graph = analyze("def f():\n    return 1\n")
         fn = graph.module_index(_MOD_NAME).functions["f"]
+        assert effect_witness(fn, IO) is None
+
+    def test_witness_survives_chains_deeper_than_64(self):
+        # A BFS-shortest chain longer than the old 64-step guard used
+        # to fall off the walk and hit an assert; it must now resolve.
+        deep = "import time\ndef f0():\n    return time.time()\n" + "".join(
+            f"def f{i}():\n    return f{i - 1}()\n" for i in range(1, 101)
+        )
+        graph = analyze(deep)
+        fn = graph.module_index(_MOD_NAME).functions["f100"]
+        found = effect_witness(fn, NONDET)
+        assert found is not None
+        chain, sink = found
+        assert len(chain) == 101
+        assert "time.time" in sink.detail
+        assert graph.witness(fn, "wallclock") is not None
+
+    def test_witness_degrades_to_none_on_cyclic_steps(self):
+        # A corrupted steps table (call step pointing back at itself)
+        # must exhaust the guard and return None, never raise.
+        from repro.analysis.callgraph import FuncNode
+        from repro.analysis.effects import EffectSummary
+
+        fn = FuncNode(module="m", path="m.py", qname="f", lineno=1)
+        fn.effects = EffectSummary(
+            atoms=frozenset({IO}), steps={IO: ("call", fn)}
+        )
         assert effect_witness(fn, IO) is None
 
 
@@ -447,6 +490,187 @@ class TestInlineCertification:
             certify_inline("def lonely():\n    return 1\n", "Ghost")
 
 
+class TestStrictInlineCertification:
+    """The fail-closed rules that make the inline verdict exec-safe.
+
+    Inline certification gates ``exec`` of untrusted network input, so
+    (unlike lint) anything the analyzer cannot resolve to a known-pure
+    target must fail, and the module's import-time code — which runs
+    before any predicate applies — must be effect-free.
+    """
+
+    def _rejected(self, source: str, cls: str = "C") -> str:
+        doc = certify_inline(textwrap.dedent(source), cls)
+        assert not doc["service_safe"]
+        assert doc["witness"] is not None
+        return doc["witness"]["atom"]
+
+    def test_top_level_effectful_statement_is_refused(self):
+        with pytest.raises(CertificationError, match="effectful code at import"):
+            certify_inline(
+                'import math\nprint("boo")\n\n'
+                "class C:\n    def choose_next_map_task(self, q):\n"
+                "        return None\n",
+                "C",
+            )
+
+    def test_non_whitelisted_import_is_refused(self):
+        for stmt in ("import os", "from subprocess import run",
+                     "import socket"):
+            with pytest.raises(CertificationError, match="whitelist"):
+                certify_inline(
+                    f"{stmt}\n\nclass C:\n"
+                    "    def choose_next_map_task(self, q):\n"
+                    "        return None\n",
+                    "C",
+                )
+
+    def test_function_local_import_is_refused(self):
+        # Imports hidden inside method bodies execute too.
+        with pytest.raises(CertificationError, match="whitelist"):
+            certify_inline(
+                "class C:\n    def choose_next_map_task(self, q):\n"
+                "        import os\n        return None\n",
+                "C",
+            )
+
+    def test_relative_import_is_refused(self):
+        with pytest.raises(CertificationError, match="relative"):
+            certify_inline(
+                "from . import helpers\n\nclass C:\n"
+                "    def choose_next_map_task(self, q):\n"
+                "        return None\n",
+                "C",
+            )
+
+    def test_dunder_import_laundering_is_unresolved(self):
+        atom = self._rejected(
+            """
+            class C:
+                def choose_next_map_task(self, q):
+                    __import__('os').system('id')
+                    return None
+            """
+        )
+        assert atom == "unresolved-call"
+
+    def test_dynamic_builtins_are_unresolved(self):
+        for snippet in ("eval('1')", "f = getattr", "exec('pass')"):
+            atom = self._rejected(
+                f"""
+                class C:
+                    def choose_next_map_task(self, q):
+                        {snippet}
+                        return None
+                """
+            )
+            assert atom == "unresolved-call"
+
+    def test_dunder_introspection_is_unresolved(self):
+        atom = self._rejected(
+            """
+            class C:
+                def choose_next_map_task(self, q):
+                    leak = ().__class__.__bases__[0].__subclasses__()
+                    return None
+            """
+        )
+        assert atom == "unresolved-call"
+
+    def test_call_outside_pure_module_whitelist_is_unresolved(self):
+        atom = self._rejected(
+            """
+            import time
+
+            class C:
+                def choose_next_map_task(self, q):
+                    time.sleep(1)
+                    return None
+            """
+        )
+        assert atom == "unresolved-call"
+
+    def test_effectful_decorator_application_is_refused(self):
+        with pytest.raises(CertificationError, match="effectful code at import"):
+            certify_inline(
+                "@print\ndef noisy():\n    return 1\n\n"
+                "class C:\n    def choose_next_map_task(self, q):\n"
+                "        return None\n",
+                "C",
+            )
+
+    def test_import_time_call_into_effectful_blob_function_is_refused(self):
+        with pytest.raises(CertificationError, match="reaches io"):
+            certify_inline(
+                "def boot():\n    print('x')\nboot()\n\n"
+                "class C:\n    def choose_next_map_task(self, q):\n"
+                "        return None\n",
+                "C",
+            )
+
+    def test_effectful_signature_annotation_is_refused(self):
+        # Annotations evaluate at def time (no __future__ import in
+        # the exec'd namespace unless the source supplies one).
+        with pytest.raises(CertificationError, match="effectful code at import"):
+            certify_inline(
+                "class C:\n"
+                "    def choose_next_map_task(self, q: print('x')):\n"
+                "        return None\n",
+                "C",
+            )
+
+    def test_future_annotations_import_is_allowed(self):
+        doc = certify_inline(
+            "from __future__ import annotations\n\nclass C:\n"
+            "    def choose_next_map_task(self, q) -> 'Job':\n"
+            "        return None\n",
+            "C",
+        )
+        assert doc["service_safe"]
+
+    def test_oversized_source_is_refused(self):
+        from repro.analysis.certify import MAX_INLINE_SOURCE
+
+        bloated = "x = 1\n" * (MAX_INLINE_SOURCE // 6 + 1)
+        with pytest.raises(CertificationError, match="certification limit"):
+            certify_inline(bloated, "C")
+
+    def test_rich_but_clean_scheduler_still_certifies(self):
+        source = textwrap.dedent(
+            """
+            import heapq
+            from dataclasses import dataclass, field
+            from repro.schedulers.base import Scheduler
+
+
+            @dataclass
+            class _Entry:
+                key: tuple = field(default=())
+
+
+            class HeapFifo(Scheduler):
+                name = "HeapFifo"
+
+                def __init__(self):
+                    super().__init__()
+                    self._heap = []
+
+                def _key(self, job):
+                    return (job.submit_time, job.job_id)
+
+                def choose_next_map_task(self, job_queue):
+                    ordered = sorted(job_queue, key=lambda j: self._key(j))
+                    return ordered[0] if ordered else None
+
+                def choose_next_reduce_task(self, job_queue):
+                    return min(job_queue, key=self._key, default=None)
+            """
+        )
+        doc = certify_inline(source, "HeapFifo")
+        assert doc["service_safe"], failure_message(doc)
+        assert "unresolved-call" not in doc["summary"]
+
+
 # --------------------------------------------------------------------- #
 # the incremental analysis cache
 # --------------------------------------------------------------------- #
@@ -547,3 +771,13 @@ class TestAnalysisCache:
 
     def test_engine_version_is_stable_within_process(self):
         assert engine_version() == engine_version()
+
+    def test_engine_version_depends_on_interpreter(self, monkeypatch):
+        # A checkout shared across Python versions must not replay
+        # cached findings produced by a different interpreter.
+        import sys
+
+        baseline = engine_version()
+        fake = (sys.version_info[0] + 1, 0, 0, "final", 0)
+        monkeypatch.setattr(sys, "version_info", fake)
+        assert engine_version() != baseline

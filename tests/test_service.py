@@ -559,6 +559,32 @@ class TestInlineCertifiedScheduler:
         with pytest.raises(ProtocolError, match="kwargs.source"):
             parse_request(doc)
 
+    def test_protocol_caps_inline_source_size_with_413(self, trace):
+        # Certification is CPU-bound work on unauthenticated input;
+        # oversized submissions must be refused before analysis runs.
+        from repro.analysis.certify import MAX_INLINE_SOURCE
+
+        bloated = _INLINE_FIFO + "\n# pad\n" * (MAX_INLINE_SOURCE // 7)
+        doc = request_document(
+            trace=trace, scheduler=_inline_spec(bloated, "TinyFifo")
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(doc)
+        assert excinfo.value.status == 413
+        assert "exceeds" in str(excinfo.value)
+
+    def test_protocol_rejects_module_level_effects_with_422(self, trace):
+        # Top-level statements run at exec time, before any predicate
+        # can gate them — certification must refuse the module.
+        source = "import os\nos.system('id')\n\n" + _INLINE_FIFO
+        doc = request_document(
+            trace=trace, scheduler=_inline_spec(source, "TinyFifo")
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(doc)
+        assert excinfo.value.status == 422
+        assert "certification failed" in str(excinfo.value)
+
     def test_e2e_certified_source_replays_digest_identically(self, client, trace):
         spec = _inline_spec(_INLINE_FIFO, "TinyFifo")
         reply = client.replay(trace, scheduler=spec)
