@@ -57,6 +57,30 @@ print(f"pack/unpack round trip OK (digest {digest})")
 PY
 
 echo
+echo "== kernel-vs-object digest smoke (engine=columnar vs engine=object) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY' || fail=1
+import sys
+
+sys.path.insert(0, "src")
+from repro.core import ClusterConfig, simulate
+from repro.experiments.performance import make_performance_trace
+from repro.sanitize.digest import DigestRecorder
+from repro.schedulers import FIFOScheduler
+
+trace = make_performance_trace(20, mean_interarrival=50.0, seed=7)
+digests = {}
+for engine in ("object", "columnar"):
+    recorder = DigestRecorder()
+    simulate(trace, FIFOScheduler(), ClusterConfig(16, 16),
+             engine=engine, record_tasks=False, sanitizer=recorder)
+    digests[engine] = (recorder.hexdigest(), recorder.digest.count)
+assert digests["object"] == digests["columnar"], (
+    f"engine paths diverged: {digests}")
+print(f"object and columnar engines bit-identical "
+      f"({digests['object'][1]} events, digest {digests['object'][0]})")
+PY
+
+echo
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check src tests =="
     ruff check src tests || fail=1

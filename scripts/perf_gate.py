@@ -14,8 +14,17 @@ The tolerance is deliberately generous (default: fresh may be as low
 as 50% of baseline) because CI runners and dev containers differ
 wildly in single-core speed; the gate exists to catch order-of-
 magnitude regressions — an accidentally quadratic event loop, a debug
-hook left enabled — not 10% jitter.  It runs as a **non-blocking** CI
-job for the same reason.
+hook left enabled — not 10% jitter.  Since the columnar kernel landed,
+the baseline reflects the vectorized path (~7x the object loop) and
+the gate runs as a **blocking** CI job: a kernel silently falling back
+to the object engine shows up as a >2x regression, well past any
+machine jitter the tolerance absorbs.
+
+Throughput ratios are only meaningful when both runs simulated the
+same workload, so the gate first cross-checks ``trace_jobs`` and
+``events_processed`` against the baseline and **fails** on any drift —
+a changed bench trace needs an explicit ``--update``, not a silent
+events/s comparison between different workloads.
 
 Usage:
     python scripts/perf_gate.py            # run bench, compare, report
@@ -130,13 +139,28 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     base_eps = float(baseline["events_per_second"])
 
+    failed = False
+    # Workload identity: events/s from different workloads are not
+    # comparable, so drift in what was simulated fails the gate outright.
+    for key in ("trace_jobs", "events_processed"):
+        fresh_val = fresh.get(key)
+        base_val = baseline.get(key)
+        if fresh_val != base_val:
+            print(
+                f"perf gate: FAIL — workload drift: fresh {key}={fresh_val}"
+                f" vs baseline {key}={base_val}; the bench simulated a"
+                " different workload than the baseline (rerun with --update"
+                " if the bench trace changed intentionally)",
+                file=sys.stderr,
+            )
+            failed = True
+
     ratio = fresh_eps / base_eps if base_eps else float("inf")
     print(
         f"perf gate: fresh {fresh_eps:,.0f} events/s"
         f" vs baseline {base_eps:,.0f} events/s"
         f" (ratio {ratio:.2f}, floor {args.tolerance:.2f})"
     )
-    failed = False
     if ratio < args.tolerance:
         print(
             "perf gate: FAIL — throughput regressed past the tolerance;"

@@ -36,6 +36,7 @@ from .core import (
     PhaseStats,
     SimulationResult,
     SimulatorEngine,
+    ColumnarEngine,
     TaskRecord,
     TraceJob,
     simulate,
@@ -83,6 +84,7 @@ __all__ = [
     "PhaseStats",
     "SimulationResult",
     "SimulatorEngine",
+    "ColumnarEngine",
     "TaskRecord",
     "TraceJob",
     "simulate",

@@ -118,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--sanitize", action="store_true",
                      help="run under the simsan runtime sanitizer "
                      "(fails fast on any simulation-invariant violation)")
+    rep.add_argument("--engine", choices=("columnar", "object"), default="columnar",
+                     help="execution path: vectorized columnar kernel "
+                     "(default; falls back to the object engine where it "
+                     "does not apply) or the object-per-event loop")
 
     cmp_ = sub.add_parser("compare", help="replay a trace under several schedulers")
     cmp_.add_argument("trace", type=Path)
@@ -482,6 +486,7 @@ def _replay(
     slowstart: float = 0.05,
     record_tasks: bool = False,
     sanitize: Optional[bool] = None,
+    engine: str = "columnar",
 ):
     from .trace.binfmt import load_trace_auto
 
@@ -494,6 +499,7 @@ def _replay(
         min_map_percent_completed=slowstart,
         record_tasks=record_tasks,
         sanitize=sanitize,
+        engine=engine,
     )
 
 
@@ -501,7 +507,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     result = _replay(
         args.trace, args.scheduler, args.map_slots, args.reduce_slots,
         args.slowstart, record_tasks=args.output is not None,
-        sanitize=True if args.sanitize else None,
+        sanitize=True if args.sanitize else None, engine=args.engine,
     )
     print(f"scheduler={result.scheduler_name} makespan={result.makespan:.1f}s "
           f"events={result.events_processed} "

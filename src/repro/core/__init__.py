@@ -3,6 +3,7 @@
 from .cluster import ClusterConfig
 from .columns import TraceColumns, columns_from_trace, trace_from_columns
 from .engine import SimulatorEngine, simulate
+from .kernel import ColumnarEngine
 from .events import Event, EventQueue, EventType
 from .job import Job, JobProfile, JobState, PhaseStats, TaskRecord, TraceJob
 from .metrics import (
@@ -20,6 +21,7 @@ from .results_io import jobs_to_csv, load_result, result_from_dict, result_to_di
 __all__ = [
     "ClusterConfig",
     "SimulatorEngine",
+    "ColumnarEngine",
     "TraceColumns",
     "columns_from_trace",
     "simulate",

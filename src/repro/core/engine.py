@@ -672,8 +672,24 @@ def simulate(
     trace: Sequence[TraceJob],
     scheduler: Scheduler,
     cluster: Optional[ClusterConfig] = None,
+    *,
+    engine: str = "columnar",
     **engine_kwargs: Any,
 ) -> SimulationResult:
-    """One-shot convenience wrapper: build an engine and run ``trace``."""
-    engine = SimulatorEngine(cluster or ClusterConfig(), scheduler, **engine_kwargs)
-    return engine.run(trace)
+    """One-shot convenience wrapper: build an engine and run ``trace``.
+
+    ``engine`` selects the execution path: ``"columnar"`` (default)
+    runs the vectorized kernel where it applies and transparently falls
+    back to the object engine elsewhere; ``"object"`` forces the
+    classic object-per-event loop (see ``docs/engine-internals.md``).
+    Both paths produce bit-identical event digests.
+    """
+    if engine == "columnar":
+        from .kernel import ColumnarEngine
+
+        eng: Any = ColumnarEngine(cluster or ClusterConfig(), scheduler, **engine_kwargs)
+    elif engine == "object":
+        eng = SimulatorEngine(cluster or ClusterConfig(), scheduler, **engine_kwargs)
+    else:
+        raise ValueError(f"engine must be 'object' or 'columnar', got {engine!r}")
+    return eng.run(trace)

@@ -1,0 +1,916 @@
+"""Columnar simulation kernel: wave-batched replay over contiguous buffers.
+
+:class:`ColumnarEngine` is the high-throughput counterpart of
+:class:`~repro.core.engine.SimulatorEngine`.  The object engine walks a
+binary heap one event at a time — seven event types, one handler call,
+one allocation scan per pop.  The kernel exploits the structure of the
+static-priority schedule to avoid materialising most of those events:
+
+* **decision points only.**  With a static-priority policy and no
+  preemption, the schedule is fully determined by job arrivals, reduce
+  slow-start gate crossings, and slot releases.  The kernel keeps a heap
+  for exactly those, and resolves each map/reduce *dispatch* with a
+  constant-time chain step (``start = max(slot_release, availability)``)
+  instead of a ``MAP_TASK_ARRIVAL``/``MAP_TASK_DEPARTURE`` event pair.
+* **columnar wave math.**  Per-job completion data is derived with
+  vectorized numpy reductions over the contiguous duration buffers that
+  :class:`~repro.core.columns.TraceColumns` hands out as zero-copy
+  views: map-wave finish times are ``starts + durations`` on the whole
+  vector, the map-stage end is a single ``max`` reduction, the reduce
+  slow-start gate is an ``np.lexsort`` order statistic, and first-wave
+  reduce completion times are one fused ``(mse + first_shuffle) +
+  reduce`` vector expression.
+* **bit-identical event digests.**  When an event-digest consumer is
+  attached (or ``record_events=True``), the kernel reconstructs the full
+  event stream — including the heap's ``(time, type, seq)`` tie-breaking
+  — sorts it with one ``np.lexsort``, and streams it through the digest
+  in a single packed-buffer update.  The digest is byte-for-byte the one
+  the object engine produces, which is what lets the simsan divergence
+  toolchain gate this refactor (see ``docs/engine-internals.md``).
+
+Anything outside the kernel's envelope — dynamic schedulers, preemption,
+a pluggable shuffle model, workflow dependencies, or a state-inspecting
+sanitizer — transparently falls back to the object engine, so
+``ColumnarEngine`` is always safe to use; :attr:`ColumnarEngine.last_path`
+reports which path a run took.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from heapq import heapify, heappop, heappush, heapreplace
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+import numpy as np
+
+from .cluster import ClusterConfig
+from .columns import TraceColumns
+from .engine import SimulatorEngine
+from .job import Job, JobState, TaskRecord, TraceJob
+from .results import JobResult, SimulationResult
+from .walltime import elapsed_since, perf_seconds
+from ..schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shuffle import ShuffleModel
+
+__all__ = ["ColumnarEngine"]
+
+_INF = math.inf
+
+# Event-type priorities (values of repro.core.events.EventType).
+_MAP_DEP = 0
+_ALL_MAPS = 1
+_RED_DEP = 2
+_JOB_DEP = 3
+_JOB_ARR = 4
+_MAP_ARR = 5
+_RED_ARR = 6
+
+
+def _cycled(arr: np.ndarray, n: int) -> np.ndarray:
+    """``arr`` extended cyclically to length ``n`` (bit-exact copies).
+
+    Mirrors :meth:`~repro.core.job.JobProfile.map_duration`'s
+    deterministic ``index % size`` indexing as one vectorized operation.
+    """
+    if arr.size == n:
+        return arr
+    return np.resize(arr, n)
+
+
+class _KJob:
+    """Per-job kernel state: columnar dispatch logs + derived wave data."""
+
+    __slots__ = (
+        "job", "idx", "submit", "M", "R", "key", "cap_m", "cap_r",
+        # map side
+        "mdl", "md_np", "mstarts", "mseqs", "mseq_runs", "mdispatched",
+        "mcompleted", "finishes", "mseq_arr", "mse", "fm",
+        # reduce slow-start gate
+        "gate_count", "gate_time", "gate_etype", "gate_tie",
+        # reduce side
+        "fsl", "tsl", "rdl", "fel", "fs_np", "ts_np", "rd_np", "fe_np",
+        "rstarts", "rseqs", "rseq_runs", "rdispatched", "rcompleted",
+        "nfillers", "maxend", "maxend_i",
+        # event-loop flags (capped modes)
+        "arrived", "gated", "in_mheap", "in_rheap",
+        "completed", "completion_time",
+    )
+
+    def __init__(self, job: Job, idx: int, gate_count: int) -> None:
+        self.job = job
+        self.idx = idx
+        self.submit = job.submit_time
+        self.M = job.num_maps
+        self.R = job.num_reduces
+        self.key = (job.sched_key, idx)
+        self.cap_m = job.wanted_map_slots
+        self.cap_r = job.wanted_reduce_slots
+        profile = job.profile
+        if self.M:
+            self.md_np = _cycled(profile.map_durations, self.M)
+            self.mdl = self.md_np.tolist()
+        else:
+            self.md_np = None
+            self.mdl = None
+        self.mstarts: list[float] = []
+        self.mseqs: Optional[list[int]] = None       # capped-mode per-task seqs
+        self.mseq_runs: list[tuple[int, int]] = []   # uncapped (first_seq, count)
+        self.mdispatched = 0
+        self.mcompleted = 0
+        self.finishes: Optional[np.ndarray] = None
+        self.mseq_arr: Optional[np.ndarray] = None
+        # Map-less jobs complete their map stage at submission.
+        self.mse = self.submit if self.M == 0 else _INF
+        self.fm = -1
+        self.gate_count = gate_count
+        self.gate_time: Optional[float] = None
+        self.gate_etype = _JOB_ARR
+        self.gate_tie = idx
+        self.fsl = self.tsl = self.rdl = self.fel = None
+        self.fs_np = self.ts_np = self.rd_np = self.fe_np = None
+        self.rstarts: list[float] = []
+        self.rseqs: Optional[list[int]] = None
+        self.rseq_runs: list[tuple[int, int]] = []
+        self.rdispatched = 0
+        self.rcompleted = 0
+        self.nfillers = 0
+        self.maxend = -_INF
+        self.maxend_i = -1
+        self.arrived = False
+        self.gated = False
+        self.in_mheap = False
+        self.in_rheap = False
+        self.completed = False
+        self.completion_time: Optional[float] = None
+
+    def mseq_array(self) -> np.ndarray:
+        """Global dispatch sequence numbers of this job's maps, in order."""
+        if self.mseq_arr is None:
+            if self.mseqs is not None:
+                self.mseq_arr = np.asarray(self.mseqs, dtype=np.int64)
+            elif self.mseq_runs:
+                self.mseq_arr = np.concatenate(
+                    [np.arange(s, s + c, dtype=np.int64) for s, c in self.mseq_runs]
+                )
+            else:
+                self.mseq_arr = np.empty(0, dtype=np.int64)
+        return self.mseq_arr
+
+    def rseq_array(self) -> np.ndarray:
+        """Global dispatch sequence numbers of this job's reduces."""
+        if self.rseqs is not None:
+            return np.asarray(self.rseqs, dtype=np.int64)
+        if self.rseq_runs:
+            return np.concatenate(
+                [np.arange(s, s + c, dtype=np.int64) for s, c in self.rseq_runs]
+            )
+        return np.empty(0, dtype=np.int64)
+
+
+class ColumnarEngine:
+    """Drop-in engine running the columnar kernel where it applies.
+
+    Constructor signature matches :class:`~repro.core.engine.
+    SimulatorEngine`; :meth:`run` additionally accepts a
+    :class:`~repro.core.columns.TraceColumns` directly (the kernel
+    consumes the zero-copy duration views it hands out).
+
+    After :meth:`run`, :attr:`last_path` is ``"kernel"`` or ``"object"``
+    and :attr:`fallback_reason` names why the object engine was used
+    (``None`` on the kernel path).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        scheduler: Scheduler,
+        *,
+        min_map_percent_completed: float = 0.05,
+        record_tasks: bool = True,
+        record_events: bool = False,
+        preemption: bool = False,
+        shuffle_model: "ShuffleModel | None" = None,
+        sanitize: Optional[bool] = None,
+        sanitizer: Any = None,
+    ) -> None:
+        if not 0.0 <= min_map_percent_completed <= 1.0:
+            raise ValueError(
+                "min_map_percent_completed must be in [0, 1], got "
+                f"{min_map_percent_completed}"
+            )
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.min_map_percent_completed = min_map_percent_completed
+        self.record_tasks = record_tasks
+        self.record_events = record_events
+        self.preemption = preemption
+        self.shuffle_model = shuffle_model
+        # Same sanitize-resolution rules as the object engine.
+        if sanitizer is None:
+            if sanitize is None:
+                sanitize = os.environ.get("SIMMR_SANITIZE", "") not in (
+                    "", "0", "false", "False",
+                )
+            if sanitize:
+                from ..sanitize.sanitizer import Sanitizer as _Sanitizer
+
+                sanitizer = _Sanitizer()
+        elif sanitize is False:
+            sanitizer = None
+        self.sanitizer = sanitizer
+        self.last_path: Optional[str] = None
+        self.fallback_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # envelope
+    # ------------------------------------------------------------------ #
+
+    def _fallback_reason(self, trace: Sequence[TraceJob]) -> Optional[str]:
+        """Why this run needs the object engine, or None for the kernel.
+
+        The kernel covers static-priority schedules without preemption:
+        exactly the cases where dispatch order is provably a function of
+        arrivals, gate crossings and slot releases.  A state-inspecting
+        sanitizer needs the object engine's per-event state to check
+        invariants against, so it forces the fallback too (the
+        observe-only :class:`~repro.sanitize.digest.DigestRecorder`
+        declares ``inspects_state = False`` and stays on the kernel).
+        """
+        if self.preemption:
+            return "preemption enabled"
+        if self.shuffle_model is not None:
+            return "pluggable shuffle model"
+        if not self.scheduler.static_priority:
+            return f"dynamic scheduler {self.scheduler.name!r}"
+        san = self.sanitizer
+        if san is not None and getattr(san, "inspects_state", True):
+            return "state-inspecting sanitizer"
+        if any(tj.depends_on is not None for tj in trace):
+            return "workflow dependencies (depends_on)"
+        return None
+
+    def run(self, trace: Sequence[TraceJob] | TraceColumns) -> SimulationResult:
+        """Simulate the trace; kernel when possible, object engine otherwise."""
+        if isinstance(trace, TraceColumns):
+            trace = trace.jobs()
+        reason = self._fallback_reason(trace)
+        if reason is not None:
+            self.last_path = "object"
+            self.fallback_reason = reason
+            engine = SimulatorEngine(
+                self.cluster,
+                self.scheduler,
+                min_map_percent_completed=self.min_map_percent_completed,
+                record_tasks=self.record_tasks,
+                record_events=self.record_events,
+                preemption=self.preemption,
+                shuffle_model=self.shuffle_model,
+                sanitize=False if self.sanitizer is None else None,
+                sanitizer=self.sanitizer,
+            )
+            return engine.run(trace)
+        self.last_path = "kernel"
+        self.fallback_reason = None
+        return self._run_kernel(trace)
+
+    # ------------------------------------------------------------------ #
+    # kernel
+    # ------------------------------------------------------------------ #
+
+    def _run_kernel(self, trace: Sequence[TraceJob]) -> SimulationResult:
+        wall_start = perf_seconds()
+        SimulatorEngine._validate_dependencies(trace)
+        scheduler = self.scheduler
+        cluster = self.cluster
+        mmpc = self.min_map_percent_completed
+        jobs = [Job(i, tj) for i, tj in enumerate(trace)]
+
+        # Arrival processing order: (submit_time, trace index) — the pop
+        # order of the object engine's JOB_ARRIVAL events.
+        order = sorted(range(len(jobs)), key=lambda i: (jobs[i].submit_time, i))
+        states: list[_KJob] = [None] * len(jobs)  # type: ignore[list-item]
+        for i in order:
+            job = jobs[i]
+            job.state = JobState.RUNNING
+            job.reduce_gate = mmpc * job.num_maps
+            if job.num_maps == 0:
+                job.map_stage_end = job.submit_time
+            scheduler.on_job_arrival(job, job.submit_time, cluster)
+            job.sched_key = scheduler.priority_key(job)
+            gate_val = job.reduce_gate
+            gate_count = 0 if gate_val <= 0 else math.ceil(gate_val)
+            states[i] = _KJob(job, i, gate_count)
+
+        arr_states = [states[i] for i in order]
+        uncapped_m = all(st.cap_m is None for st in states)
+        uncapped_r = all(st.cap_r is None for st in states)
+
+        if uncapped_m:
+            self._map_pass_chain(arr_states)
+        else:
+            self._map_pass_capped(arr_states)
+        self._derive_map_results(states)
+
+        gated = self._build_gates(states)
+        if uncapped_r:
+            self._reduce_pass_chain(gated)
+        else:
+            self._reduce_pass_capped(gated)
+
+        # Completion, departures, stall detection ----------------------------
+        completion_order: list[tuple[float, int, int]] = []
+        for st in states:
+            maps_done = st.M == 0 or (
+                st.mdispatched == st.M  # every dispatched map completes
+            )
+            if not maps_done:
+                continue
+            if st.R == 0:
+                st.completed = True
+                st.completion_time = st.mse
+            elif st.rdispatched == st.R and st.maxend < _INF:
+                st.completed = True
+                st.completion_time = st.maxend
+            if st.completed:
+                job = st.job
+                job.state = JobState.COMPLETED
+                job.completion_time = st.completion_time
+                job.map_stage_end = st.mse
+                completion_order.append((st.completion_time, st.idx, st.idx))
+        for st in states:
+            if st.mstarts or st.rstarts:
+                first_m = st.mstarts[0] if st.mstarts else _INF
+                first_r = st.rstarts[0] if st.rstarts else _INF
+                st.job.start_time = min(first_m, first_r)
+            if st.M and st.mse < _INF and not st.completed:
+                st.job.map_stage_end = st.mse
+
+        # Departure hooks in completion order.  The static-priority
+        # contract (constant priority_key) means the hook cannot feed
+        # back into scheduling, so batching it here is observationally
+        # identical for any conforming policy.
+        completion_order.sort()
+        for when, _tie, idx in completion_order:
+            scheduler.on_job_departure(states[idx].job, when)
+
+        stuck = [j for j in jobs if j.state is not JobState.COMPLETED]
+        if stuck:
+            names = ", ".join(f"{j.job_id}:{j.name}" for j in stuck[:5])
+            more = "..." if len(stuck) > 5 else ""
+            raise RuntimeError(
+                f"simulation stalled with {len(stuck)} unfinished job(s) "
+                f"({names}{more}): the cluster cannot run their tasks (e.g. "
+                "reduce tasks with zero reduce slots) or the policy never "
+                "schedules them"
+            )
+
+        processed = sum(
+            2 + 2 * st.M + 2 * st.R + (1 if st.M else 0) for st in states
+        )
+
+        records: list[TaskRecord] = []
+        if self.record_tasks:
+            records = self._build_records(states)
+
+        event_log: list = []
+        san = self.sanitizer
+        if san is not None or self.record_events:
+            event_log = self._emit_events(trace, states, processed)
+
+        wall = elapsed_since(wall_start)
+        makespan = max(
+            (j.completion_time for j in jobs if j.completion_time is not None),
+            default=0.0,
+        )
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            jobs=[JobResult.from_job(j) for j in jobs],
+            task_records=records,
+            makespan=makespan,
+            events_processed=processed,
+            wall_clock_seconds=wall,
+            event_log=event_log,
+        )
+
+    # ------------------------------------------------------------------ #
+    # map pass
+    # ------------------------------------------------------------------ #
+
+    def _map_pass_chain(self, arr_states: list[_KJob]) -> None:
+        """Uncapped map dispatch: slot-release chain loop.
+
+        With no slot caps, every free slot goes to the eligible job with
+        the smallest priority key, so each dispatch is one chain step:
+        ``start = max(earliest slot release, job availability)``.  The
+        next-arrival boundary preserves the event heap's tie-breaking
+        (a ``MAP_TASK_DEPARTURE`` at time *t* is handled before a
+        ``JOB_ARRIVAL`` at *t*).
+        """
+        slots = self.cluster.map_slots
+        if slots <= 0:
+            return
+        pool = [0.0] * slots  # already a valid heap
+        arrivals = [st for st in arr_states if st.M > 0]
+        n_arr = len(arrivals)
+        ai = 0
+        pending: list[tuple[tuple, int]] = []  # (key, order position)
+        by_pos: dict[int, _KJob] = {}
+        mseq = 0
+        while True:
+            while pending and by_pos[pending[0][1]].mdispatched >= by_pos[pending[0][1]].M:
+                heappop(pending)
+            if not pending:
+                if ai >= n_arr:
+                    break
+                st = arrivals[ai]
+                by_pos[ai] = st
+                heappush(pending, (st.key, ai))
+                ai += 1
+                continue
+            st = by_pos[pending[0][1]]
+            a_j = st.submit
+            boundary = arrivals[ai].submit if ai < n_arr else _INF
+            mdl = st.mdl
+            starts_append = st.mstarts.append
+            k = st.mdispatched
+            limit = st.M
+            seq0 = mseq
+            while k < limit:
+                t0 = pool[0]
+                start = t0 if t0 > a_j else a_j
+                if start > boundary:
+                    break
+                heapreplace(pool, start + mdl[k])
+                starts_append(start)
+                k += 1
+            if k > st.mdispatched:
+                st.mseq_runs.append((seq0, k - st.mdispatched))
+                mseq += k - st.mdispatched
+                st.mdispatched = k
+            if k < limit:
+                # Blocked by the arrival boundary: admit the next job.
+                st2 = arrivals[ai]
+                by_pos[ai] = st2
+                heappush(pending, (st2.key, ai))
+                ai += 1
+
+    def _map_pass_capped(self, arr_states: list[_KJob]) -> None:
+        """Slot-capped map dispatch: exact event-replay of the map side.
+
+        Runs the object engine's arrival/departure/allocate cycle for
+        map events only (reduce events provably never change map-side
+        eligibility), with the same lazy priority heap.
+        """
+        states_by_idx = {st.idx: st for st in arr_states}
+        trig: list[tuple] = [
+            (st.submit, _JOB_ARR, st.idx, st.idx) for st in arr_states if st.M > 0
+        ]
+        heapify(trig)
+        free = self.cluster.map_slots
+        mheap: list[tuple[tuple, int]] = []
+        mseq = 0
+        release_k: dict[int, _KJob] = {}
+        while trig:
+            now, etype, _tie, idx = heappop(trig)
+            st = states_by_idx[idx] if idx in states_by_idx else release_k[idx]
+            if etype == _JOB_ARR:
+                st.arrived = True
+            else:
+                st.mcompleted += 1
+                free += 1
+            if not st.in_mheap and self._map_eligible(st):
+                st.in_mheap = True
+                heappush(mheap, (st.key, st.idx))
+            while free > 0 and mheap:
+                s2 = states_by_idx[mheap[0][1]]
+                if not self._map_eligible(s2):
+                    heappop(mheap)
+                    s2.in_mheap = False
+                    continue
+                free -= 1
+                k = s2.mdispatched
+                s2.mdispatched = k + 1
+                s2.mstarts.append(now)
+                if s2.mseqs is None:
+                    s2.mseqs = []
+                s2.mseqs.append(mseq)
+                heappush(trig, (now + s2.mdl[k], _MAP_DEP, mseq, s2.idx))
+                mseq += 1
+
+    @staticmethod
+    def _map_eligible(st: _KJob) -> bool:
+        if not st.arrived or st.mdispatched >= st.M:
+            return False
+        cap = st.cap_m
+        return cap is None or st.mdispatched - st.mcompleted < cap
+
+    def _derive_map_results(self, states: list[_KJob]) -> None:
+        """Vectorized wave reductions: finishes, map-stage end, gate event."""
+        for st in states:
+            if st.M == 0 or not st.mdispatched:
+                continue
+            starts = np.asarray(st.mstarts)
+            fin = starts + st.md_np[: st.mdispatched]
+            st.finishes = fin
+            seqs = st.mseq_array()
+            if st.mdispatched == st.M:
+                st.mse = float(fin.max())
+                # Last occurrence of the max: the final departure's
+                # dispatch sequence breaks (time, seq) ties.
+                last = int(len(fin) - 1 - fin[::-1].argmax())
+                st.fm = int(seqs[last])
+            k = st.gate_count
+            if 0 < k <= st.mdispatched:
+                # The k-th map departure in (finish, dispatch-seq) pop
+                # order crosses the reduce slow-start gate.
+                gorder = np.lexsort((seqs, fin))
+                gi = int(gorder[k - 1])
+                st.gate_time = float(fin[gi])
+                st.gate_etype = _MAP_DEP
+                st.gate_tie = int(seqs[gi])
+            elif k == 0:
+                st.gate_time = st.submit
+        # Map-less / zero-gate jobs become reduce-eligible at arrival.
+        for st in states:
+            if st.M == 0 or st.gate_count == 0:
+                st.gate_time = st.submit
+
+    # ------------------------------------------------------------------ #
+    # reduce pass
+    # ------------------------------------------------------------------ #
+
+    def _build_gates(self, states: list[_KJob]) -> list[_KJob]:
+        """Jobs entering the reduce pass, sorted by gate event key.
+
+        Precomputes each job's reduce-phase duration vectors and the
+        fused first-wave completion expression ``(mse + first_shuffle) +
+        reduce`` — one vectorized pass over the columnar views.
+        """
+        gated: list[_KJob] = []
+        for st in states:
+            if st.R == 0 or st.gate_time is None:
+                continue
+            profile = st.job.profile
+            fs_arr = (
+                profile.first_shuffle_durations
+                if profile.first_shuffle_durations.size
+                else profile.typical_shuffle_durations
+            )
+            ts_arr = (
+                profile.typical_shuffle_durations
+                if profile.typical_shuffle_durations.size
+                else profile.first_shuffle_durations
+            )
+            st.fs_np = _cycled(fs_arr, st.R)
+            st.ts_np = _cycled(ts_arr, st.R)
+            st.rd_np = _cycled(profile.reduce_durations, st.R)
+            st.fe_np = (st.mse + st.fs_np) + st.rd_np
+            st.fsl = st.fs_np.tolist()
+            st.tsl = st.ts_np.tolist()
+            st.rdl = st.rd_np.tolist()
+            st.fel = st.fe_np.tolist()
+            gated.append(st)
+        gated.sort(key=lambda s: (s.gate_time, s.gate_etype, s.gate_tie))
+        return gated
+
+    def _reduce_pass_chain(self, gated: list[_KJob]) -> None:
+        """Uncapped reduce dispatch: chain loop over gate availability.
+
+        Same structure as the map chain loop, with two twists: the
+        availability event is the slow-start gate crossing (a
+        ``MAP_TASK_DEPARTURE`` or the job's own arrival), and each
+        dispatch classifies itself as filler / first-wave / typical by
+        comparing its start against the map-stage end.
+        """
+        slots = self.cluster.reduce_slots
+        if slots <= 0 or not gated:
+            return
+        pool = [0.0] * slots
+        n_arr = len(gated)
+        ai = 0
+        pending: list[tuple[tuple, int]] = []
+        by_pos: dict[int, _KJob] = {}
+        rseq = 0
+        while True:
+            while pending and by_pos[pending[0][1]].rdispatched >= by_pos[pending[0][1]].R:
+                heappop(pending)
+            if not pending:
+                if ai >= n_arr:
+                    break
+                st = gated[ai]
+                st.gated = True
+                by_pos[ai] = st
+                heappush(pending, (st.key, ai))
+                ai += 1
+                continue
+            st = by_pos[pending[0][1]]
+            g_j = st.gate_time
+            if ai < n_arr:
+                nxt = gated[ai]
+                boundary, b_etype = nxt.gate_time, nxt.gate_etype
+            else:
+                boundary, b_etype = _INF, -1
+            mse = st.mse
+            fel = st.fel
+            tsl = st.tsl
+            rdl = st.rdl
+            starts_append = st.rstarts.append
+            k = st.rdispatched
+            limit = st.R
+            seq0 = rseq
+            maxend = st.maxend
+            maxend_i = st.maxend_i
+            while k < limit:
+                t0 = pool[0]
+                if t0 > g_j:
+                    start = t0
+                    # A RED_DEP release at the boundary time is handled
+                    # before a JOB_ARRIVAL gate but after a MAP_DEP gate.
+                    if start > boundary or (start == boundary and b_etype != _JOB_ARR):
+                        break
+                else:
+                    start = g_j
+                if start == _INF:
+                    break  # only permanently-occupied (filler) slots left
+                end = fel[k] if start <= mse else (start + tsl[k]) + rdl[k]
+                heapreplace(pool, end)
+                starts_append(start)
+                if end >= maxend:
+                    maxend = end
+                    maxend_i = k
+                k += 1
+            st.maxend = maxend
+            st.maxend_i = maxend_i
+            if k > st.rdispatched:
+                st.rseq_runs.append((seq0, k - st.rdispatched))
+                rseq += k - st.rdispatched
+                st.rdispatched = k
+            if k < limit:
+                if ai >= n_arr:
+                    break  # stalled: dead slots or zero capacity left
+                st2 = gated[ai]
+                st2.gated = True
+                by_pos[ai] = st2
+                heappush(pending, (st2.key, ai))
+                ai += 1
+
+    def _reduce_pass_capped(self, gated: list[_KJob]) -> None:
+        """Slot-capped reduce dispatch: exact event-replay of the reduce side.
+
+        Trigger heap carries gate crossings and reduce departures with
+        the object engine's full ``(time, type, push-order)`` keys, so
+        cap headroom unlocks in the identical order.
+        """
+        free = self.cluster.reduce_slots
+        by_idx = {st.idx: st for st in gated}
+        trig: list[tuple] = [
+            (st.gate_time, st.gate_etype, st.gate_tie, st.idx, -1) for st in gated
+        ]
+        heapify(trig)
+        rheap: list[tuple[tuple, int]] = []
+        rseq = 0
+        while trig:
+            now, etype, _tie, idx, _i = heappop(trig)
+            st = by_idx[idx]
+            if etype == _RED_DEP:
+                st.rcompleted += 1
+                free += 1
+            else:
+                st.gated = True
+            if not st.in_rheap and self._reduce_eligible(st):
+                st.in_rheap = True
+                heappush(rheap, (st.key, st.idx))
+            while free > 0 and rheap:
+                s2 = by_idx[rheap[0][1]]
+                if not self._reduce_eligible(s2):
+                    heappop(rheap)
+                    s2.in_rheap = False
+                    continue
+                free -= 1
+                i = s2.rdispatched
+                s2.rdispatched = i + 1
+                s2.rstarts.append(now)
+                if s2.rseqs is None:
+                    s2.rseqs = []
+                s2.rseqs.append(rseq)
+                mse = s2.mse
+                if now < mse:
+                    # Filler: departure is pushed by ALL_MAPS_FINISHED,
+                    # whose heap position is (mse, 1, final-map-seq).
+                    pos = s2.nfillers
+                    s2.nfillers = pos + 1
+                    end = s2.fel[i]
+                    tie = (mse, _ALL_MAPS, s2.fm, pos)
+                else:
+                    # now >= mse here, so <= means the first-wave boundary.
+                    end = s2.fel[i] if now <= mse else (now + s2.tsl[i]) + s2.rdl[i]
+                    tie = (now, _RED_ARR, rseq, 0)
+                rseq += 1
+                if end >= s2.maxend:
+                    s2.maxend = end
+                    s2.maxend_i = i
+                if end < _INF:
+                    heappush(trig, (end, _RED_DEP, tie, s2.idx, i))
+
+    @staticmethod
+    def _reduce_eligible(st: _KJob) -> bool:
+        if not st.gated or st.rdispatched >= st.R:
+            return False
+        cap = st.cap_r
+        return cap is None or st.rdispatched - st.rcompleted < cap
+
+    # ------------------------------------------------------------------ #
+    # derived outputs
+    # ------------------------------------------------------------------ #
+
+    def _reduce_columns(self, st: _KJob) -> tuple:
+        """Vectorized reduce-task columns: (starts, ends, shuffle_ends,
+        first_wave mask, filler mask) for the dispatched reduces."""
+        n = st.rdispatched
+        starts = np.asarray(st.rstarts)
+        fs = st.fs_np[:n]
+        ts = st.ts_np[:n]
+        rd = st.rd_np[:n]
+        fw = starts <= st.mse            # fillers + first wave
+        filler = starts < st.mse
+        shuffle_end = np.where(fw, st.mse + fs, starts + ts)
+        ends = np.where(fw, st.fe_np[:n], shuffle_end + rd)
+        return starts, ends, shuffle_end, fw, filler
+
+    def _build_records(self, states: list[_KJob]) -> list[TaskRecord]:
+        """Task records in the object engine's global append order.
+
+        The engine appends one record per ``*_TASK_ARRIVAL`` pop, so the
+        global order is ``(start, arrival-event type, dispatch seq)``.
+        """
+        keyed: list[tuple[float, int, int, TaskRecord]] = []
+        for st in states:
+            job = st.job
+            jid = st.idx
+            if st.mdispatched:
+                fins = st.finishes.tolist()
+                seqs = st.mseq_array().tolist()
+                for k, (start, end, seq) in enumerate(
+                    zip(st.mstarts, fins, seqs)
+                ):
+                    rec = TaskRecord(
+                        kind="map", job_id=jid, index=k, start=start, end=end
+                    )
+                    job.map_records.append(rec)
+                    keyed.append((start, _MAP_ARR, seq, rec))
+            if st.rdispatched:
+                starts, ends, shuffle_end, fw, _filler = self._reduce_columns(st)
+                seqs = st.rseq_array().tolist()
+                for i, (start, end, se, first, seq) in enumerate(
+                    zip(
+                        starts.tolist(),
+                        ends.tolist(),
+                        shuffle_end.tolist(),
+                        fw.tolist(),
+                        seqs,
+                    )
+                ):
+                    rec = TaskRecord(
+                        kind="reduce",
+                        job_id=jid,
+                        index=i,
+                        start=start,
+                        end=end,
+                        shuffle_end=se,
+                        first_wave=first,
+                    )
+                    job.reduce_records.append(rec)
+                    keyed.append((start, _RED_ARR, seq, rec))
+        keyed.sort(key=lambda t: (t[0], t[1], t[2]))
+        return [rec for _t, _e, _s, rec in keyed]
+
+    def _emit_events(
+        self, trace: Sequence[TraceJob], states: list[_KJob], processed: int
+    ) -> list:
+        """Reconstruct the full event stream in heap pop order.
+
+        Events are materialized as numeric columns — time, type, and up
+        to five tie-breaking components encoding each event's heap
+        sequence provenance — sorted with one ``np.lexsort``, and fed to
+        the digest as a single packed-buffer update.  The resulting
+        stream is bit-identical to the object engine's pop sequence
+        (asserted against the arithmetic event count).
+        """
+        t_parts: list[np.ndarray] = []
+        e_parts: list[np.ndarray] = []
+        c_parts: list[np.ndarray] = []  # (n, 5) tie columns
+        j_parts: list[np.ndarray] = []
+        k_parts: list[np.ndarray] = []
+
+        def block(times, etype, ties, jid, tasks):
+            n = len(times)
+            t_parts.append(np.asarray(times, dtype=np.float64))
+            e_parts.append(np.full(n, etype, dtype=np.int64))
+            tie_block = np.zeros((n, 5), dtype=np.float64)
+            for col, vals in enumerate(ties):
+                tie_block[:, col] = vals
+            c_parts.append(tie_block)
+            j_parts.append(
+                np.full(n, jid, dtype=np.int64)
+                if np.isscalar(jid)
+                else np.asarray(jid, dtype=np.int64)
+            )
+            k_parts.append(
+                np.full(n, tasks, dtype=np.int64)
+                if np.isscalar(tasks)
+                else np.asarray(tasks, dtype=np.int64)
+            )
+
+        n_jobs = len(states)
+        submits = np.asarray([st.submit for st in states])
+        block(submits, _JOB_ARR, [np.arange(n_jobs)], np.arange(n_jobs), -1)
+
+        for st in states:
+            jid = st.idx
+            if st.mdispatched:
+                starts = np.asarray(st.mstarts)
+                seqs = st.mseq_array()
+                idxs = np.arange(st.mdispatched)
+                block(starts, _MAP_ARR, [seqs], jid, idxs)
+                block(st.finishes, _MAP_DEP, [seqs], jid, idxs)
+                if st.mdispatched == st.M:
+                    block([st.mse], _ALL_MAPS, [[st.fm]], jid, -1)
+            if st.rdispatched:
+                starts, ends, _se, _fw, filler = self._reduce_columns(st)
+                seqs = st.rseq_array()
+                idxs = np.arange(st.rdispatched)
+                block(starts, _RED_ARR, [seqs], jid, idxs)
+                # Departure tie = the departure event's push site: the
+                # ALL_MAPS rewrite for fillers, the RED_ARR pop otherwise.
+                pos = np.cumsum(filler) - 1
+                c1 = np.where(filler, st.mse, starts)
+                c2 = np.where(filler, _ALL_MAPS, _RED_ARR)
+                c3 = np.where(filler, st.fm, seqs)
+                c4 = np.where(filler, pos, 0)
+                block(ends, _RED_DEP, [c1, c2, c3, c4], jid, idxs)
+            if st.completed:
+                if st.R == 0:
+                    dep_tie = [[_MAP_DEP], [st.fm], [0], [0], [0]]
+                else:
+                    i = st.maxend_i
+                    if st.rstarts[i] < st.mse:
+                        n_fillers_before = sum(
+                            1 for s in st.rstarts[: i + 1] if s < st.mse
+                        )
+                        dep_tie = [
+                            [_RED_DEP], [st.mse], [_ALL_MAPS], [st.fm],
+                            [n_fillers_before - 1],
+                        ]
+                    else:
+                        seqs = st.rseq_array()
+                        dep_tie = [
+                            [_RED_DEP], [st.rstarts[i]], [_RED_ARR],
+                            [int(seqs[i])], [0],
+                        ]
+                block([st.completion_time], _JOB_DEP, dep_tie, jid, -1)
+
+        t = np.concatenate(t_parts)
+        e = np.concatenate(e_parts)
+        c = np.concatenate(c_parts)
+        jcol = np.concatenate(j_parts)
+        kcol = np.concatenate(k_parts)
+        if len(t) != processed:
+            raise RuntimeError(
+                f"columnar kernel event-count mismatch: emitted {len(t)}, "
+                f"expected {processed}"
+            )
+        order = np.lexsort((c[:, 4], c[:, 3], c[:, 2], c[:, 1], c[:, 0], e, t))
+        t = t[order]
+        e = e[order]
+        jcol = jcol[order]
+        kcol = kcol[order]
+
+        san = self.sanitizer
+        if san is not None:
+            from ..sanitize.digest import EventDigest
+
+            san.begin_run(self, trace)
+            digest = getattr(san, "digest", None)
+            if isinstance(digest, EventDigest):
+                digest.update_many(t, e, jcol, kcol)
+            else:  # pragma: no cover - custom observe-only sanitizers
+                for i in range(len(t)):
+                    san.observe_pop(
+                        float(t[i]), int(e[i]), i, int(jcol[i]), int(kcol[i])
+                    )
+            san.end_run(self)
+
+        event_log: list = []
+        if self.record_events:
+            from .events import Event, EventType
+
+            event_log = [
+                Event(time, EventType(et), jid, ti if ti >= 0 else None)
+                for time, et, jid, ti in zip(
+                    t.tolist(), e.tolist(), jcol.tolist(), kcol.tolist()
+                )
+            ]
+        return event_log

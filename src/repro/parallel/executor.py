@@ -53,6 +53,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..core.cluster import ClusterConfig
 from ..core.engine import SimulatorEngine
+from ..core.kernel import ColumnarEngine
 from ..core.job import TraceJob
 from ..core.results import SimulationResult
 from ..core.results_io import result_from_dict, result_to_dict
@@ -231,6 +232,12 @@ class SimTask:
     slowstart: float = 0.05
     record_tasks: bool = False
     preemption: bool = False
+    #: Execution path: ``"columnar"`` (vectorized kernel with automatic
+    #: object-engine fallback) or ``"object"``.  Part of the cache key —
+    #: the paths are digest-identical, but keeping them separately
+    #: addressed means a cache entry always names the code path that
+    #: produced it.
+    engine: str = "columnar"
     tag: Any = None
 
     def engine_config(self) -> dict[str, Any]:
@@ -241,6 +248,7 @@ class SimTask:
             "slowstart": self.slowstart,
             "record_tasks": self.record_tasks,
             "preemption": self.preemption,
+            "engine": self.engine,
         }
 
 
@@ -272,7 +280,8 @@ def _execute(
 ) -> SimulationResult:
     """Run one task in the current process."""
     recorder = DigestRecorder() if digest else None
-    engine = SimulatorEngine(
+    engine_cls = ColumnarEngine if task.engine == "columnar" else SimulatorEngine
+    engine = engine_cls(
         task.cluster,
         task.scheduler.build(seed),
         min_map_percent_completed=task.slowstart,

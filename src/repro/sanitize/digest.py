@@ -44,6 +44,16 @@ __all__ = [
 # One packed record per event: float64 time + three int32 fields.
 _PACK = struct.Struct("<dlll").pack
 
+#: The same 20-byte packed layout as ``_PACK``, as a numpy record dtype
+#: (field dtypes listed explicitly → packed, no alignment padding), so a
+#: whole event stream can be hashed in one buffer update.
+_PACK_DTYPE = [
+    ("time", "<f8"),
+    ("etype", "<i4"),
+    ("job_id", "<i4"),
+    ("task_index", "<i4"),
+]
+
 
 def trace_digest(trace: Sequence["TraceJob"]) -> str:
     """Content digest of a replayable trace (the cache-key input).
@@ -102,6 +112,35 @@ class EventDigest:
         if self.keep_events:
             self.events.append((time, etype, job_id, task_index))
 
+    def update_many(self, times, etypes, job_ids, task_indices) -> None:
+        """Bulk :meth:`update`: whole event stream in one hash call.
+
+        Accepts parallel arrays (any numpy-coercible sequences) and
+        hashes them through the exact ``_PACK`` byte layout — one packed
+        record buffer, one BLAKE2b update — so the digest is
+        byte-for-byte what per-event :meth:`update` calls would produce.
+        This is what lets the columnar kernel fingerprint a
+        400k-event run without paying 400k python-level hash calls.
+        """
+        import numpy as np
+
+        rec = np.empty(len(times), dtype=_PACK_DTYPE)
+        rec["time"] = times
+        rec["etype"] = etypes
+        rec["job_id"] = job_ids
+        rec["task_index"] = task_indices
+        self._hash.update(rec.tobytes())
+        self.count += len(rec)
+        if self.keep_events:
+            self.events.extend(
+                zip(
+                    rec["time"].tolist(),
+                    rec["etype"].tolist(),
+                    rec["job_id"].tolist(),
+                    rec["task_index"].tolist(),
+                )
+            )
+
     def hexdigest(self) -> str:
         return self._hash.hexdigest()
 
@@ -124,6 +163,12 @@ class DigestRecorder:
     """
 
     __slots__ = ("digest", "violations")
+
+    #: Observe-only: never reads engine state, so the columnar kernel
+    #: can serve it from the reconstructed event stream instead of
+    #: falling back to the object engine (the full Sanitizer inspects
+    #: per-event engine state and declares ``inspects_state = True``).
+    inspects_state = False
 
     def __init__(self, digest: Optional[EventDigest] = None) -> None:
         self.digest = digest if digest is not None else EventDigest(keep_events=False)

@@ -44,6 +44,7 @@ _CONFIG_DEFAULTS: dict[str, Any] = {
     "reduce_slots": 64,
     "slowstart": 0.05,
     "preemption": False,
+    "engine": "columnar",
 }
 
 _TOP_LEVEL_KEYS = frozenset({"trace", "trace_path", "scheduler", "config", "timeout"})
@@ -70,6 +71,8 @@ class ReplayRequest:
     cluster: ClusterConfig
     slowstart: float
     preemption: bool
+    #: Execution path: "columnar" (default) or "object".
+    engine: str = "columnar"
     #: Client-requested wall-clock budget (seconds); None = server default.
     timeout: Optional[float] = None
 
@@ -81,6 +84,7 @@ class ReplayRequest:
             cluster=self.cluster,
             slowstart=self.slowstart,
             preemption=self.preemption,
+            engine=self.engine,
         )
 
 
@@ -174,6 +178,8 @@ def _parse_config(raw: Any) -> dict[str, Any]:
     config["slowstart"] = float(slowstart)
     _require(isinstance(config["preemption"], bool),
              "'config.preemption' must be a boolean")
+    _require(config["engine"] in ("object", "columnar"),
+             "'config.engine' must be 'object' or 'columnar'")
     return config
 
 
@@ -262,6 +268,7 @@ def parse_request(
         cluster=ClusterConfig(config["map_slots"], config["reduce_slots"]),
         slowstart=config["slowstart"],
         preemption=config["preemption"],
+        engine=config["engine"],
         timeout=timeout,
     )
 
@@ -274,6 +281,7 @@ def request_document(
     cluster: Optional[ClusterConfig] = None,
     slowstart: float = 0.05,
     preemption: bool = False,
+    engine: str = "columnar",
     timeout: Optional[float] = None,
 ) -> dict[str, Any]:
     """The JSON document for one replay request (the client's half)."""
@@ -298,6 +306,7 @@ def request_document(
             "reduce_slots": cluster.reduce_slots,
             "slowstart": slowstart,
             "preemption": preemption,
+            "engine": engine,
         },
     }
     if trace is not None:

@@ -18,6 +18,17 @@ def _isolated_result_cache(tmp_path_factory, monkeypatch) -> None:
     monkeypatch.setenv("SIMMR_CACHE_DIR", str(tmp_path_factory.mktemp("simmr-cache")))
 
 
+@pytest.fixture(params=["object", "columnar"])
+def engine_kind(request) -> str:
+    """Both execution paths of the engine split (see docs/engine-internals.md).
+
+    Suites that request this fixture run every test twice — once on the
+    object-per-event loop, once on the columnar kernel — so behavioural
+    pins hold on both paths.  Pass it as ``simulate(..., engine=engine_kind)``.
+    """
+    return request.param
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

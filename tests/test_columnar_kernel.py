@@ -1,0 +1,388 @@
+"""Digest-identity and envelope tests for the columnar kernel.
+
+The columnar kernel (``repro.core.kernel``) is gated by one contract:
+for every workload it claims, it must produce the **bit-identical**
+event stream the object engine produces — same BLAKE2b digest, same
+event count, same task records, same results.  These tests assert that
+contract across the full scheduler zoo, the slow-start range, slot
+caps, degenerate job shapes, and the simsan dual-run divergence check,
+and pin the fallback envelope for everything the kernel does not claim.
+See ``docs/engine-internals.md`` for the design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, JobProfile, JobState, TraceJob, simulate
+from repro.core.kernel import ColumnarEngine
+from repro.experiments.scheduler_zoo import ZOO_POLICIES
+from repro.sanitize.digest import DigestRecorder, EventDigest, dual_run
+from repro.sanitize.sanitizer import Sanitizer
+from repro.schedulers import CappedFIFOScheduler, FIFOScheduler
+
+from conftest import make_constant_profile, make_random_profile
+
+#: Zoo policies the kernel runs natively (static priority, no caps set
+#: by the engine itself — MinEDF sets per-job caps, still static).
+STATIC_POLICIES = ("FIFO", "MaxEDF", "MinEDF")
+DYNAMIC_POLICIES = tuple(p for p in ZOO_POLICIES if p not in STATIC_POLICIES)
+
+
+def make_zoo_trace(seed: int = 7, n: int = 24) -> list[TraceJob]:
+    """A mixed trace: varied shapes, deadlines, map-only and reduce-only."""
+    rng = np.random.default_rng(seed)
+    trace = []
+    for i in range(n):
+        num_maps = int(rng.integers(0, 20))
+        num_reduces = int(rng.integers(0, 8))
+        if num_maps == 0 and num_reduces == 0:
+            num_maps = 1
+        profile = JobProfile(
+            name=rng.choice(["WikiTrends", "Bayes", "Sort", "Grep"]),
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            map_durations=rng.uniform(1, 25, max(num_maps, 1)),
+            first_shuffle_durations=rng.uniform(1, 6, max(num_reduces, 1)),
+            typical_shuffle_durations=rng.uniform(1, 5, max(num_reduces, 1)),
+            reduce_durations=rng.uniform(0.5, 8, max(num_reduces, 1)),
+        )
+        submit = float(rng.uniform(0, 100))
+        deadline = submit + float(rng.uniform(40, 500)) if rng.random() < 0.6 else None
+        trace.append(TraceJob(profile, submit, deadline=deadline))
+    return trace
+
+
+def run_both(trace, scheduler_factory, cluster, **kw):
+    """(object result+digest, columnar result+digest) for one workload."""
+    out = []
+    for engine in ("object", "columnar"):
+        recorder = DigestRecorder(EventDigest(keep_events=True))
+        result = simulate(
+            trace, scheduler_factory(), cluster, engine=engine,
+            sanitizer=recorder, **kw,
+        )
+        out.append((result, recorder))
+    return out
+
+
+def assert_identical(trace, scheduler_factory, cluster, **kw):
+    (res_o, dig_o), (res_c, dig_c) = run_both(trace, scheduler_factory, cluster, **kw)
+    assert dig_o.hexdigest() == dig_c.hexdigest(), (
+        "event digests diverged between engines"
+    )
+    assert dig_o.digest.count == dig_c.digest.count
+    assert dig_o.digest.events == dig_c.digest.events
+    assert res_o.makespan == res_c.makespan
+    assert res_o.events_processed == res_c.events_processed
+    for a, b in zip(res_o.jobs, res_c.jobs):
+        assert (a.job_id, a.start_time, a.map_stage_end, a.completion_time) == (
+            b.job_id, b.start_time, b.map_stage_end, b.completion_time
+        )
+    assert len(res_o.task_records) == len(res_c.task_records)
+    for a, b in zip(res_o.task_records, res_c.task_records):
+        assert (a.kind, a.job_id, a.index, a.start, a.end, a.shuffle_end,
+                a.first_wave) == (b.kind, b.job_id, b.index, b.start, b.end,
+                                  b.shuffle_end, b.first_wave)
+
+
+class TestDigestIdentityMatrix:
+    @pytest.mark.parametrize("policy", sorted(ZOO_POLICIES))
+    def test_full_zoo_bit_identical(self, policy):
+        """Every zoo policy: object and columnar digests are bit-for-bit
+        equal (dynamic policies exercise the transparent fallback)."""
+        trace = make_zoo_trace()
+        assert_identical(trace, ZOO_POLICIES[policy], ClusterConfig(16, 8))
+
+    @pytest.mark.parametrize("policy", STATIC_POLICIES)
+    def test_static_policies_take_kernel_path(self, policy):
+        engine = ColumnarEngine(
+            ClusterConfig(16, 8), ZOO_POLICIES[policy](), sanitizer=DigestRecorder()
+        )
+        engine.run(make_zoo_trace())
+        assert engine.last_path == "kernel"
+        assert engine.fallback_reason is None
+
+    @pytest.mark.parametrize("policy", DYNAMIC_POLICIES)
+    def test_dynamic_policies_fall_back(self, policy):
+        engine = ColumnarEngine(ClusterConfig(16, 8), ZOO_POLICIES[policy]())
+        engine.run(make_zoo_trace())
+        assert engine.last_path == "object"
+        assert "dynamic scheduler" in engine.fallback_reason
+
+    @pytest.mark.parametrize("slowstart", [0.0, 0.05, 0.5, 1.0])
+    def test_slowstart_range(self, slowstart):
+        trace = make_zoo_trace(seed=11)
+        assert_identical(
+            trace, FIFOScheduler, ClusterConfig(8, 4),
+            min_map_percent_completed=slowstart,
+        )
+
+    @pytest.mark.parametrize(
+        "caps", [(3, 2), (1, 1), (2, None), (None, 2)],
+        ids=["3x2", "1x1", "2xNone", "Nonex2"],
+    )
+    def test_slot_caps(self, caps):
+        trace = make_zoo_trace(seed=13)
+        assert_identical(
+            trace, lambda: CappedFIFOScheduler(*caps), ClusterConfig(8, 4)
+        )
+
+    @pytest.mark.parametrize("cluster", [(1, 1), (4, 2), (64, 64), (128, 128)])
+    def test_cluster_shapes(self, cluster):
+        trace = make_zoo_trace(seed=17)
+        assert_identical(trace, FIFOScheduler, ClusterConfig(*cluster))
+
+    def test_map_only_and_reduce_only_jobs(self):
+        trace = [
+            TraceJob(make_constant_profile("m", num_maps=6, num_reduces=0), 0.0),
+            TraceJob(make_constant_profile("r", num_maps=0, num_reduces=3), 0.0),
+            TraceJob(make_constant_profile("mr", num_maps=4, num_reduces=2), 5.0),
+        ]
+        assert_identical(trace, FIFOScheduler, ClusterConfig(4, 2))
+
+    def test_simultaneous_arrivals(self):
+        trace = [
+            TraceJob(make_constant_profile(f"j{i}", num_maps=3, num_reduces=2), 10.0)
+            for i in range(6)
+        ]
+        assert_identical(trace, FIFOScheduler, ClusterConfig(4, 2))
+
+    def test_empty_trace(self):
+        assert_identical([], FIFOScheduler, ClusterConfig(4, 4))
+
+    def test_record_events_parity(self):
+        trace = make_zoo_trace(seed=19, n=10)
+        logs = []
+        for engine in ("object", "columnar"):
+            result = simulate(
+                trace, FIFOScheduler(), ClusterConfig(8, 4), engine=engine,
+                record_events=True, sanitize=False,
+            )
+            logs.append(result.event_log)
+        assert len(logs[0]) == len(logs[1])
+        for a, b in zip(*logs):
+            assert (a.time, a.event_type, a.job_id, a.task_index) == (
+                b.time, b.event_type, b.job_id, b.task_index
+            )
+
+
+class TestFallbackEnvelope:
+    def test_preemption_falls_back(self):
+        engine = ColumnarEngine(
+            ClusterConfig(8, 4), FIFOScheduler(), preemption=True
+        )
+        engine.run(make_zoo_trace(n=6))
+        assert engine.last_path == "object"
+        assert engine.fallback_reason == "preemption enabled"
+
+    def test_preemption_digest_identical(self):
+        """Preemption-on runs go through the fallback; digests still match
+        a directly built object engine by construction."""
+        trace = make_zoo_trace(seed=23, n=12)
+        assert_identical(
+            trace, FIFOScheduler, ClusterConfig(8, 4), preemption=True
+        )
+
+    def test_state_inspecting_sanitizer_falls_back(self):
+        engine = ColumnarEngine(
+            ClusterConfig(8, 4), FIFOScheduler(),
+            sanitizer=Sanitizer(fail_fast=True),
+        )
+        engine.run(make_zoo_trace(n=6))
+        assert engine.last_path == "object"
+        assert engine.fallback_reason == "state-inspecting sanitizer"
+
+    def test_digest_recorder_stays_on_kernel(self):
+        engine = ColumnarEngine(
+            ClusterConfig(8, 4), FIFOScheduler(), sanitizer=DigestRecorder()
+        )
+        engine.run(make_zoo_trace(n=6))
+        assert engine.last_path == "kernel"
+
+    def test_dependencies_fall_back(self):
+        profile = make_constant_profile()
+        trace = [
+            TraceJob(profile, 0.0),
+            TraceJob(profile, 0.0, depends_on=0),
+        ]
+        engine = ColumnarEngine(ClusterConfig(8, 4), FIFOScheduler())
+        result = engine.run(trace)
+        assert engine.last_path == "object"
+        assert all(j.completion_time is not None for j in result.jobs)
+
+    def test_sanitized_run_under_full_sanitizer_is_clean(self):
+        """sanitize=True builds the full Sanitizer: the run falls back and
+        must report zero invariant violations."""
+        engine = ColumnarEngine(
+            ClusterConfig(8, 4), FIFOScheduler(), sanitize=True
+        )
+        engine.run(make_zoo_trace(n=8))
+        assert engine.last_path == "object"
+        assert engine.sanitizer.violations == []
+
+    def test_simulate_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine must be"):
+            simulate([], FIFOScheduler(), ClusterConfig(4, 4), engine="gpu")
+
+    def test_validates_slowstart_like_object_engine(self):
+        with pytest.raises(ValueError, match="min_map_percent_completed"):
+            ColumnarEngine(
+                ClusterConfig(4, 4), FIFOScheduler(),
+                min_map_percent_completed=1.5,
+            )
+
+
+class TestStallParity:
+    def test_zero_reduce_slots_stall_message_identical(self):
+        trace = [TraceJob(make_constant_profile(), 0.0)]
+        messages = []
+        for engine in ("object", "columnar"):
+            with pytest.raises(RuntimeError, match="simulation stalled") as exc:
+                simulate(
+                    trace, FIFOScheduler(), ClusterConfig(4, 0),
+                    engine=engine, sanitize=False,
+                )
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+
+    def test_zero_reduce_cap_stalls_both_engines(self):
+        trace = [TraceJob(make_constant_profile(), 0.0)]
+        for engine in ("object", "columnar"):
+            with pytest.raises(RuntimeError, match="simulation stalled"):
+                simulate(
+                    trace, CappedFIFOScheduler(2, 0), ClusterConfig(4, 4),
+                    engine=engine, sanitize=False,
+                )
+
+
+class TestDualRunDivergence:
+    def test_dual_run_on_columnar_engine_is_clean(self):
+        """The simsan DIV001 check accepts a ColumnarEngine factory: it
+        installs the full Sanitizer (fallback path) and both replays must
+        agree with zero violations."""
+        trace = make_zoo_trace(seed=29, n=10)
+        outcome = dual_run(
+            lambda: ColumnarEngine(ClusterConfig(8, 4), FIFOScheduler()), trace
+        )
+        assert outcome.ok, outcome.report.describe()
+
+    def test_cross_engine_digests_comparable(self):
+        """An object run and a kernel run hash to the same fingerprint, so
+        digests from either path are interchangeable cache/verify keys."""
+        trace = make_zoo_trace(seed=31, n=10)
+        digests = []
+        for engine in ("object", "columnar"):
+            recorder = DigestRecorder(EventDigest(keep_events=True))
+            simulate(
+                trace, FIFOScheduler(), ClusterConfig(8, 4),
+                engine=engine, sanitizer=recorder,
+            )
+            digests.append(recorder.digest)
+        from repro.sanitize.digest import compare_digests
+
+        report = compare_digests(*digests)
+        assert not report.diverged, report.describe()
+
+
+class TestUpdateMany:
+    def test_bulk_update_matches_per_event_update(self, rng):
+        n = 500
+        times = np.sort(rng.uniform(0, 1000, n))
+        etypes = rng.integers(0, 7, n)
+        job_ids = rng.integers(0, 40, n)
+        tasks = rng.integers(-1, 30, n)
+        one = EventDigest(keep_events=True)
+        for row in zip(times, etypes, job_ids, tasks):
+            one.update(float(row[0]), int(row[1]), int(row[2]), int(row[3]))
+        bulk = EventDigest(keep_events=True)
+        bulk.update_many(times, etypes, job_ids, tasks)
+        assert one.hexdigest() == bulk.hexdigest()
+        assert one.count == bulk.count == n
+        assert one.events == bulk.events
+
+    def test_bulk_update_empty(self):
+        digest = EventDigest()
+        digest.update_many(
+            np.empty(0), np.empty(0, int), np.empty(0, int), np.empty(0, int)
+        )
+        assert digest.count == 0
+
+
+class TestColumnsInput:
+    def test_kernel_accepts_trace_columns(self):
+        from repro.core.columns import TraceColumns
+
+        trace = make_zoo_trace(seed=37, n=8)
+        columns = TraceColumns.from_trace(trace)
+        engine = ColumnarEngine(
+            ClusterConfig(8, 4), FIFOScheduler(), sanitizer=DigestRecorder()
+        )
+        from_columns = engine.run(columns)
+        assert engine.last_path == "kernel"
+        direct = simulate(
+            trace, FIFOScheduler(), ClusterConfig(8, 4), engine="object",
+            sanitize=False,
+        )
+        assert from_columns.makespan == direct.makespan
+        assert from_columns.events_processed == direct.events_processed
+
+    def test_all_jobs_complete(self):
+        trace = make_zoo_trace(seed=41, n=12)
+        result = simulate(
+            trace, FIFOScheduler(), ClusterConfig(16, 8), engine="columnar",
+            sanitize=False,
+        )
+        assert all(j.completion_time is not None for j in result.jobs)
+        assert result.makespan == max(j.completion_time for j in result.jobs)
+
+
+class TestExecutorPlumbing:
+    def test_engine_is_part_of_cache_key(self):
+        from repro.parallel.executor import SchedulerSpec, SimTask
+
+        spec = SchedulerSpec(name="fifo")
+        columnar = SimTask(trace_id="t", scheduler=spec, engine="columnar")
+        objectish = SimTask(trace_id="t", scheduler=spec, engine="object")
+        assert columnar.engine_config() != objectish.engine_config()
+        assert columnar.engine_config()["engine"] == "columnar"
+
+    def test_simulate_many_digests_match_across_engines(self, tmp_path):
+        from repro.parallel import simulate_many
+        from repro.parallel.executor import SchedulerSpec, SimTask
+
+        trace = make_zoo_trace(seed=43, n=10)
+        spec = SchedulerSpec(name="fifo")
+        digests = {}
+        for engine in ("object", "columnar"):
+            task = SimTask(
+                trace_id="t", scheduler=spec, cluster=ClusterConfig(8, 4),
+                engine=engine,
+            )
+            outcomes = simulate_many({"t": trace}, [task], workers=0)
+            digests[engine] = outcomes[0].result.event_digest
+        assert digests["object"] == digests["columnar"]
+        assert digests["object"] is not None
+
+
+class TestServiceProtocol:
+    def test_engine_config_validated(self):
+        from repro.service.protocol import ProtocolError, parse_request
+        from repro.trace.schema import trace_to_dict
+
+        trace = [TraceJob(make_constant_profile(), 0.0)]
+        doc = {"trace": trace_to_dict(trace), "config": {"engine": "gpu"}}
+        with pytest.raises(ProtocolError, match="config.engine"):
+            parse_request(doc, trace_root=None)
+
+    def test_engine_config_reaches_task(self):
+        from repro.service.protocol import parse_request
+        from repro.trace.schema import trace_to_dict
+
+        trace = [TraceJob(make_constant_profile(), 0.0)]
+        for engine in ("object", "columnar"):
+            doc = {"trace": trace_to_dict(trace), "config": {"engine": engine}}
+            request = parse_request(doc, trace_root=None)
+            assert request.engine == engine
+            assert request.task().engine == engine

@@ -10,15 +10,35 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ClusterConfig, JobState, SimulatorEngine, TraceJob, simulate
+import functools
+import sys
+
+from repro.core import ClusterConfig, JobState, SimulatorEngine, TraceJob
+from repro.core import simulate as _simulate
 from repro.schedulers import FIFOScheduler
 
 from conftest import make_constant_profile
 
+simulate = _simulate
+
+
+@pytest.fixture(autouse=True)
+def _both_engines(engine_kind, monkeypatch):
+    """Run every test in this module on both execution paths."""
+    monkeypatch.setattr(
+        sys.modules[__name__],
+        "simulate",
+        functools.partial(_simulate, engine=engine_kind),
+    )
+
 
 def run_single(profile, map_slots, reduce_slots, **kw):
-    engine = SimulatorEngine(ClusterConfig(map_slots, reduce_slots), FIFOScheduler(), **kw)
-    return engine.run([TraceJob(profile, 0.0)])
+    return simulate(
+        [TraceJob(profile, 0.0)],
+        FIFOScheduler(),
+        ClusterConfig(map_slots, reduce_slots),
+        **kw,
+    )
 
 
 class TestSingleWaveTiming:

@@ -8,8 +8,28 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import ClusterConfig, JobProfile, TraceJob, simulate
+import functools
+import sys
+
+from repro.core import ClusterConfig, JobProfile, TraceJob
+from repro.core import simulate as _simulate
 from repro.schedulers import FIFOScheduler, MaxEDFScheduler, MinEDFScheduler
+
+simulate = _simulate
+
+
+@pytest.fixture(autouse=True)
+def _both_engines(engine_kind, monkeypatch):
+    """Run every property in this module on both execution paths.
+
+    Function-scoped on purpose: one engine per test invocation, stable
+    across all hypothesis examples of that invocation.
+    """
+    monkeypatch.setattr(
+        sys.modules[__name__],
+        "simulate",
+        functools.partial(_simulate, engine=engine_kind),
+    )
 
 durations = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
 
