@@ -1,0 +1,122 @@
+"""Per-decision cost of compiled policy trees vs hand-written schedulers.
+
+A compiled tree must be *usable*, not just correct: every scheduling
+decision walks closures instead of a hand-inlined ``priority_key``, so
+this benchmark times ``choose_next_map_task`` over a prepared job queue
+and reports the per-decision ratio of each compiled example tree
+against its hand-written twin — FIFO and MaxEDF for the static trees,
+Fair for the dynamic deadline-aware tree (informational: they compute
+different policies, the ratio just situates the cost).
+
+Artifacts: prints the per-decision table and writes
+``BENCH_policy.json`` at the repo root for EXPERIMENTS.md.  The
+acceptance bound is the ISSUE's: a compiled static tree costs at most
+2x its hand-written counterpart per decision.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.job import Job
+from repro.core.walltime import elapsed_since, perf_seconds
+from repro.policy import compile_policy, example_policy
+from repro.schedulers import FIFOScheduler, FairScheduler
+from repro.schedulers.edf import MaxEDFScheduler
+from repro.trace.arrivals import ExponentialArrivals
+from repro.trace.deadlines import DeadlineFactorPolicy
+from repro.trace.synthetic import SyntheticTraceGen
+from repro.workloads.apps import make_app_specs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUEUE_DEPTH = 64
+DECISIONS = 2_000
+ROUNDS = 7
+
+#: The ISSUE's acceptance bound for compiled static trees.
+MAX_STATIC_OVERHEAD = 2.0
+
+
+def make_queue(depth: int = QUEUE_DEPTH) -> list[Job]:
+    from repro.core import ClusterConfig
+
+    gen = SyntheticTraceGen(
+        list(make_app_specs().values()),
+        ExponentialArrivals(10.0),
+        deadline_policy=DeadlineFactorPolicy(2.0, ClusterConfig(64, 64)),
+        seed=11,
+    )
+    return [Job(i, tj) for i, tj in enumerate(gen.generate(depth))]
+
+
+def per_decision_seconds(scheduler, queue, decisions: int = DECISIONS) -> float:
+    """Best-of-N seconds per ``choose_next_map_task`` call.
+
+    Best-of (minimum) rather than mean: scheduling jitter only ever adds
+    time.  The queue is passed as-is — no jobs are admitted or removed,
+    so every call does the same full-queue scan both sides of the ratio.
+    """
+    choose = scheduler.choose_next_map_task
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = perf_seconds()
+        for _ in range(decisions):
+            choose(queue)
+        best = min(best, elapsed_since(start))
+    return best / decisions
+
+
+def test_policy_eval_overhead(benchmark, once):
+    queue = make_queue()
+
+    pairs = {
+        "fifo": (FIFOScheduler(), compile_policy(example_policy("fifo-tree"))),
+        "edf": (MaxEDFScheduler(), compile_policy(example_policy("edf-tree"))),
+    }
+    dynamic_tree = compile_policy(example_policy("deadline-aware"))
+    fair = FairScheduler()
+
+    # Headline number through the shared harness: the compiled FIFO tree.
+    once(benchmark, per_decision_seconds, pairs["fifo"][1], queue)
+
+    report: dict = {
+        "queue_depth": QUEUE_DEPTH,
+        "decisions": DECISIONS,
+        "pairs": {},
+    }
+    lines = []
+    for name, (hand, tree) in pairs.items():
+        # decisions must agree before their cost is comparable
+        assert hand.choose_next_map_task(queue) is tree.choose_next_map_task(queue)
+        hand_s = per_decision_seconds(hand, queue)
+        tree_s = per_decision_seconds(tree, queue)
+        ratio = tree_s / hand_s
+        report["pairs"][name] = {
+            "hand_written_us": hand_s * 1e6,
+            "compiled_tree_us": tree_s * 1e6,
+            "ratio": ratio,
+        }
+        lines.append(
+            f"{name:14} hand {hand_s * 1e6:7.2f} us  "
+            f"tree {tree_s * 1e6:7.2f} us  ratio {ratio:.2f}x"
+        )
+
+    fair_s = per_decision_seconds(fair, queue)
+    dyn_s = per_decision_seconds(dynamic_tree, queue)
+    report["dynamic"] = {
+        "fair_us": fair_s * 1e6,
+        "deadline_aware_tree_us": dyn_s * 1e6,
+        "ratio": dyn_s / fair_s,
+    }
+    lines.append(
+        f"{'dynamic (info)':14} fair {fair_s * 1e6:7.2f} us  "
+        f"tree {dyn_s * 1e6:7.2f} us  ratio {dyn_s / fair_s:.2f}x"
+    )
+
+    (REPO_ROOT / "BENCH_policy.json").write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + "\n".join(lines))
+
+    for name, entry in report["pairs"].items():
+        assert entry["ratio"] <= MAX_STATIC_OVERHEAD, (name, entry)

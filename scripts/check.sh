@@ -81,6 +81,51 @@ print(f"object and columnar engines bit-identical "
 PY
 
 echo
+echo "== policy smoke (POL00x certification + pinned simmr evolve) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY' || fail=1
+import sys
+
+sys.path.insert(0, "src")
+from repro.core import ClusterConfig, simulate
+from repro.experiments.performance import make_performance_trace
+from repro.policy import (
+    EvolveConfig, compile_policy, evolve, example_policy, validate_policy,
+)
+from repro.sanitize.digest import DigestRecorder
+from repro.schedulers import FIFOScheduler
+
+# 1. every example tree certifies and compiles
+for name in ("fifo-tree", "edf-tree", "deadline-aware"):
+    report = validate_policy(example_policy(name), label=name)
+    assert report.ok, (name, report.findings)
+    compile_policy(example_policy(name))
+
+# 2. the compiled fifo-tree replays digest-identical to hand-written FIFO
+trace = make_performance_trace(20, mean_interarrival=50.0, seed=7)
+digests = []
+for sched in (FIFOScheduler(), compile_policy(example_policy("fifo-tree"))):
+    recorder = DigestRecorder()
+    simulate(trace, sched, ClusterConfig(16, 16),
+             record_tasks=False, sanitizer=recorder)
+    digests.append(recorder.hexdigest())
+assert digests[0] == digests[1], f"tree-FIFO diverged from FIFO: {digests}"
+
+# 3. tiny pinned evolve: winner tree + replay digest are constants
+result = evolve(EvolveConfig(
+    seed=7, population=8, generations=2, jobs=10, traces=1,
+    mean_interarrival=20.0, deadline_factor=1.3,
+    map_slots=16, reduce_slots=16,
+))
+assert result.winner_digest == "9dc0fc4e859bb4ade7c619673843c600", result.winner_digest
+assert result.winner_event_digests == ("bd852d1077eef4b4987fe5ecb0429e41",), (
+    result.winner_event_digests)
+assert result.beats_baselines, result.baselines
+print(f"examples certified; tree-FIFO == FIFO ({digests[0]}); "
+      f"evolve winner pinned ({result.winner.name}, "
+      f"digest {result.winner_digest})")
+PY
+
+echo
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check src tests =="
     ruff check src tests || fail=1

@@ -773,6 +773,94 @@ class SqliteLifetimeRule(_ProgramRule):
     pass
 
 
+# --------------------------------------------------------------------- #
+# POL001-POL005 / CERT001 — policy-tree and certification findings.
+# Registered as meta entries (docs, config validation, --list-rules):
+# these ids are produced by repro.policy.validate over *policy JSON
+# documents* and by the service's inline-certification rejections, not
+# by AST rule classes walking Python source.  The finding's path field
+# carries a JSON pointer into the tree (label#/tree/then/...).
+# --------------------------------------------------------------------- #
+
+for _info in (
+    RuleInfo(
+        rule_id="POL001",
+        title="malformed policy document (structure, keys, types, version)",
+        severity=Severity.ERROR,
+        rationale=(
+            "The policy DSL is strict by construction: an unknown key or "
+            "a tolerated type coercion would make two visually different "
+            "documents compile to different schedulers while canonical- "
+            "izing to the same identity, corrupting the result cache."
+        ),
+        hint="see docs/policies.md for the version-1 grammar",
+    ),
+    RuleInfo(
+        rule_id="POL002",
+        title="unknown feature, operator or pick rule in a policy tree",
+        severity=Severity.ERROR,
+        rationale=(
+            "A policy referencing state outside the published vocabulary "
+            "cannot be compiled; silently ignoring the term would replay "
+            "a different policy than the one submitted."
+        ),
+        hint="the vocabulary is repro.policy.FEATURES; operators are "
+        "<, <=, >, >=; picks are fifo, edf, sjf, least_slack",
+    ),
+    RuleInfo(
+        rule_id="POL003",
+        title="policy tree exceeds bounds or uses non-finite constants",
+        severity=Severity.ERROR,
+        rationale=(
+            "Depth/size bounds keep validation and compilation O(small) "
+            "on untrusted service input; non-finite thresholds and zero "
+            "weights make score arithmetic produce nan, whose comparisons "
+            "are order-dependent — a nondeterministic schedule."
+        ),
+        hint="stay within 16 levels / 128 nodes / 8 terms and use finite, "
+        "non-zero constants",
+    ),
+    RuleInfo(
+        rule_id="POL004",
+        title="unreachable branch in a policy tree",
+        severity=Severity.WARNING,
+        rationale=(
+            "A branch whose condition can never hold given the feature "
+            "bounds established on the path above it is dead weight — "
+            "usually a sign the comparison is inverted or the threshold "
+            "is outside the feature's domain."
+        ),
+        hint="delete the dead branch or fix the comparison",
+    ),
+    RuleInfo(
+        rule_id="POL005",
+        title="policy declares 'static': true but reads dynamic state",
+        severity=Severity.ERROR,
+        rationale=(
+            "The static claim routes the compiled policy onto the "
+            "engine's heap fast path, which assumes priorities constant "
+            "per job; a dynamic feature would be sampled once at heap "
+            "insertion and replayed stale — a silently wrong, timing- "
+            "dependent schedule."
+        ),
+        hint="drop the 'static' claim or the dynamic feature",
+    ),
+    RuleInfo(
+        rule_id="CERT001",
+        title="inline scheduler source failed effect-safety certification",
+        severity=Severity.ERROR,
+        rationale=(
+            "The service executes submitted scheduler source only behind "
+            "a passing certificate; a rejection names the witness chain "
+            "from a scheduler method to the effectful sink."
+        ),
+        hint="see docs/service.md for the certification contract",
+    ),
+):
+    default_registry.register_meta(_info)
+del _info
+
+
 @default_registry.register(
     RuleInfo(
         rule_id="RES003",

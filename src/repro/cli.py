@@ -28,7 +28,11 @@ Subcommands mirror the SimMR workflow (paper Figure 4):
 * ``simmr certify`` — signed effect-safety certificate for a scheduler
   class (cache-safe / parallel-safe / service-safe; same docs);
 * ``simmr check`` — combined gate: simlint + sanitized dual-run replay
-  (see ``docs/sanitizer.md``);
+  + POL00x policy-tree certification (see ``docs/sanitizer.md``);
+* ``simmr evolve`` — seeded evolutionary search over policy trees
+  (``repro.policy``, ``docs/policies.md``), scored against a deadline
+  workload and reported with a reproducible winner (tree JSON + replay
+  event digest);
 * ``simmr serve`` / ``simmr submit`` — the simulation service: a
   long-lived HTTP replay server with a bounded job queue, result-cache
   front and ``/metrics``, plus the matching client command
@@ -349,6 +353,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="accepted-findings baseline JSON for the static half "
         "(see 'simmr lint --baseline')",
     )
+    chk.add_argument(
+        "--policy", action="append", type=Path, default=None, metavar="TREE",
+        dest="policies",
+        help="policy tree JSON file to certify with the POL00x rules "
+        "(repeatable; the built-in example trees are always checked)",
+    )
+    chk.add_argument(
+        "--no-policy", action="store_true",
+        help="skip the policy-certification half",
+    )
+
+    evo = sub.add_parser(
+        "evolve",
+        help="evolutionary search over policy trees against a deadline "
+        "workload (seeded, reproducible; see docs/policies.md)",
+    )
+    evo.add_argument("--seed", type=int, default=0,
+                     help="master seed: workload, population, mutation and "
+                     "tournament draws all derive from it (default 0)")
+    evo.add_argument("--population", type=int, default=12)
+    evo.add_argument("--generations", type=int, default=5)
+    evo.add_argument("--jobs", type=int, default=24,
+                     help="jobs per workload trace (default 24)")
+    evo.add_argument("--traces", type=int, default=2,
+                     help="independent workload traces to score against "
+                     "(default 2)")
+    evo.add_argument("--mean-interarrival", type=float, default=30.0,
+                     help="workload arrival rate (s; default 30 — an "
+                     "overloaded cluster, where policy choice matters)")
+    evo.add_argument("--deadline-factor", type=float, default=1.4,
+                     help="deadline = U[T_J, df*T_J] over the solo "
+                     "completion time (default 1.4 — tight)")
+    evo.add_argument("--map-slots", type=int, default=32)
+    evo.add_argument("--reduce-slots", type=int, default=32)
+    evo.add_argument("--workers", type=int, default=0,
+                     help="parallel executor fan-out per scoring batch "
+                     "(<=1 = in-process; results identical)")
+    evo.add_argument("--output", type=Path, default=None,
+                     help="write the winning tree JSON to this file")
+    evo.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_",
+        help="report format (default text)",
+    )
+    evo.add_argument("--quiet", action="store_true",
+                     help="suppress per-generation progress lines")
 
     trc = sub.add_parser(
         "trace",
@@ -921,9 +970,61 @@ def _cmd_check(args: argparse.Namespace) -> int:
         static=static,
         dynamic=dynamic,
         baseline=args.baseline,
+        policy=not args.no_policy,
+        policy_files=tuple(args.policies or ()),
     )
     print(report.render_json() if args.format_ == "json" else report.render_text())
     return 0 if report.ok else 1
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .policy import EvolveConfig, evolve
+
+    config = EvolveConfig(
+        seed=args.seed,
+        population=args.population,
+        generations=args.generations,
+        jobs=args.jobs,
+        traces=args.traces,
+        mean_interarrival=args.mean_interarrival,
+        deadline_factor=args.deadline_factor,
+        map_slots=args.map_slots,
+        reduce_slots=args.reduce_slots,
+        workers=args.workers,
+    )
+
+    def progress(generation: int, row: dict) -> None:
+        fitness = row["best_fitness"]
+        print(
+            f"gen {generation:2d}: best {row['best']:<14} "
+            f"utility {fitness[0]:.4f} makespan {fitness[1]:.1f} "
+            f"({row['simulated']} replays)",
+            file=sys.stderr,
+        )
+
+    quiet = args.quiet or args.format_ == "json"
+    result = evolve(config, progress=None if quiet else progress)
+
+    if args.output is not None:
+        args.output.write_text(result.winner_json + "\n")
+    if args.format_ == "json":
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"winner: {result.winner.name} (digest {result.winner_digest})")
+        print(f"  tree:           {result.winner_json}")
+        print(f"  fitness:        utility {result.winner_fitness[0]:.4f}, "
+              f"makespan {result.winner_fitness[1]:.1f}")
+        print(f"  event digests:  {', '.join(result.winner_event_digests)}")
+        for name, entry in result.baselines.items():
+            fitness = entry["fitness"]
+            print(f"  vs {name:<12} utility {fitness[0]:.4f}, "
+                  f"makespan {fitness[1]:.1f}")
+        print(f"  beats baselines: {'yes' if result.beats_baselines else 'NO'}")
+        print(f"  ({result.evaluations} unique trees, "
+              f"{result.simulated} replays)")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1245,6 +1346,7 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         "lint": _cmd_lint,
         "certify": _cmd_certify,
         "check": _cmd_check,
+        "evolve": _cmd_evolve,
         "trace": _cmd_trace,
         "cache": _cmd_cache,
         "serve": _cmd_serve,

@@ -126,6 +126,32 @@ def _resolve_inline_certified(name: str, kwargs: dict[str, Any]) -> Scheduler:
     return cls(**kwargs)
 
 
+def _resolve_policy(name: str, kwargs: dict[str, Any]) -> Scheduler:
+    """Resolver for ``policy``: a decision-tree document shipped as data.
+
+    ``kwargs["tree"]`` is the policy's *canonical* JSON text
+    (:func:`repro.policy.canonical_policy_json`) — a plain string, so
+    the spec stays picklable and its :meth:`SchedulerSpec.identity` is
+    content-stable for the result cache.  The tree is re-validated here
+    (POL00x rules) before compiling, so a worker process never executes
+    an uncertified policy even if the parent was bypassed.
+    """
+    from ..policy import compile_policy
+
+    kwargs = dict(kwargs)
+    tree = kwargs.pop("tree", None)
+    if not isinstance(tree, str) or not tree.strip():
+        raise ValueError(
+            "policy scheduler spec requires kwargs['tree'] "
+            "(the canonical policy JSON text)"
+        )
+    if kwargs:
+        raise ValueError(
+            f"policy scheduler spec got unexpected kwargs: {sorted(kwargs)}"
+        )
+    return compile_policy(tree, label=f"policy:{name}")
+
+
 #: Spec kind -> resolver(name, kwargs) -> fresh Scheduler.  Extend with
 #: :func:`register_spec_kind` to make custom policy families
 #: addressable (and therefore cacheable and pool-dispatchable) by name.
@@ -133,6 +159,7 @@ _SPEC_KINDS: dict[str, Callable[[str, dict[str, Any]], Scheduler]] = {
     "registry": _resolve_registry,
     "zoo": _resolve_zoo,
     "inline-certified": _resolve_inline_certified,
+    "policy": _resolve_policy,
 }
 
 

@@ -1,0 +1,80 @@
+"""Policy-tree DSL: scheduling policies as validated, compilable data.
+
+ROADMAP item 3.  Four layers, one per module:
+
+* :mod:`repro.policy.dsl` — the versioned JSON decision-tree grammar,
+  the state-feature vocabulary, canonical serialization and content
+  digests;
+* :mod:`repro.policy.validate` — the POL00x static-validation rules
+  (structure, vocabulary, bounds, reachability, the static contract)
+  producing :class:`~repro.analysis.findings.Finding` records, shared
+  with simlint's registry;
+* :mod:`repro.policy.compiler` — compilation to a real
+  :class:`~repro.schedulers.base.Scheduler` (static-priority where the
+  tree is state-free, dynamic otherwise), plus the picklable ``policy``
+  :class:`~repro.parallel.executor.SchedulerSpec` kind;
+* :mod:`repro.policy.evolve` — `simmr evolve`, seeded
+  generate/mutate/tournament search over trees scored against deadline
+  workloads with the parallel executor.
+
+See docs/policies.md for the grammar and the certification contract.
+"""
+
+from .compiler import (
+    CompiledDynamicPolicy,
+    CompiledStaticPolicy,
+    compile_policy,
+    policy_spec,
+)
+from .dsl import (
+    FEATURES,
+    MAX_DEPTH,
+    MAX_NODES,
+    MAX_TERMS,
+    OPS,
+    PICK_RULES,
+    POLICY_VERSION,
+    FeatureInfo,
+    Leaf,
+    PolicyDoc,
+    PolicyError,
+    Predicate,
+    ScoreTerm,
+    canonical_policy_json,
+    policy_digest,
+)
+from .evolve import EvolveConfig, EvolveResult, evolve, random_policy
+from .examples import EXAMPLE_POLICIES, example_policy
+from .validate import MAX_POLICY_TEXT, PolicyReport, parse_policy, validate_policy
+
+__all__ = [
+    "EXAMPLE_POLICIES",
+    "EvolveConfig",
+    "EvolveResult",
+    "FEATURES",
+    "FeatureInfo",
+    "Leaf",
+    "MAX_DEPTH",
+    "MAX_NODES",
+    "MAX_POLICY_TEXT",
+    "MAX_TERMS",
+    "OPS",
+    "PICK_RULES",
+    "POLICY_VERSION",
+    "PolicyDoc",
+    "PolicyError",
+    "PolicyReport",
+    "Predicate",
+    "ScoreTerm",
+    "CompiledDynamicPolicy",
+    "CompiledStaticPolicy",
+    "canonical_policy_json",
+    "compile_policy",
+    "evolve",
+    "example_policy",
+    "parse_policy",
+    "policy_digest",
+    "policy_spec",
+    "random_policy",
+    "validate_policy",
+]

@@ -1,0 +1,287 @@
+"""The policy-tree DSL: scheduling policies as versioned JSON data.
+
+ROADMAP item 3 ("schedulers as data, not code"): a policy is a small
+decision tree over per-job and per-decision simulation state.  Interior
+**predicate** nodes branch on one feature compared against a constant;
+**leaf** nodes produce the job's priority — either a weighted sum of
+features (``score``) or a named built-in ordering (``pick``).  Lower
+priority dispatches first, and every compiled policy appends the
+deterministic tie-break ``(submit_time, job_id)``, so a tree can never
+express an ambiguous order.
+
+This module owns the *representation*: the feature vocabulary, the node
+dataclasses, and the canonical serialization (sorted-keys compact JSON)
+whose BLAKE2b digest is the policy's content identity — the same string
+that keys the result cache and the evolve memo.  Validation (the POL00x
+rules) lives in :mod:`repro.policy.validate`; compilation to a live
+:class:`~repro.schedulers.base.Scheduler` in
+:mod:`repro.policy.compiler`.
+
+Example document::
+
+    {
+      "version": 1,
+      "name": "deadline-aware",
+      "tree": {
+        "if": {"feature": "has_deadline", "op": ">=", "value": 0.5},
+        "then": {"score": [{"feature": "deadline_slack", "weight": 1.0},
+                           {"feature": "total_work", "weight": 0.5}]},
+        "else": {"pick": "fifo"}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Any, Iterator, Optional, Union
+
+__all__ = [
+    "FEATURES",
+    "FeatureInfo",
+    "Leaf",
+    "MAX_DEPTH",
+    "MAX_NODES",
+    "MAX_TERMS",
+    "OPS",
+    "PICK_RULES",
+    "POLICY_VERSION",
+    "PolicyDoc",
+    "PolicyError",
+    "Predicate",
+    "ScoreTerm",
+    "canonical_policy_json",
+    "policy_digest",
+]
+
+#: The one wire-format version this build understands.  Bumped only on
+#: incompatible grammar changes; the parser rejects anything else so a
+#: future document can never be silently misread.
+POLICY_VERSION = 1
+
+#: Comparison operators a predicate may use.  Equality is deliberately
+#: absent: float equality on simulated quantities is a reproducibility
+#: trap (a policy keyed on ``time == 300.0`` flips on representation
+#: noise), and any closed condition is expressible with two inequalities.
+OPS = ("<", "<=", ">", ">=")
+
+#: Structural bounds (enforced as POL003).  Generous for hand-written
+#: policies, tight enough that the service can validate and compile any
+#: accepted tree in microseconds and `simmr evolve` cannot balloon.
+MAX_DEPTH = 16
+MAX_NODES = 128
+MAX_TERMS = 8
+
+
+@dataclass(frozen=True)
+class FeatureInfo:
+    """One name in the state vocabulary.
+
+    ``static`` features are constant over a job's lifetime — a tree
+    reading only those compiles to a
+    :class:`~repro.schedulers.base.StaticPriorityScheduler` and rides
+    the engine's heap fast path and the columnar kernel.  ``lo``/``hi``
+    bound the feature's reachable values; the unreachable-branch
+    analysis (POL004) starts from them.
+    """
+
+    name: str
+    static: bool
+    lo: float
+    hi: float
+    doc: str
+
+
+_INF = math.inf
+
+#: The state vocabulary.  Static features read the job template only;
+#: dynamic features also read the decision context (simulated clock,
+#: queue, slot occupancy) and force the dynamic allocation path.
+FEATURES: dict[str, FeatureInfo] = {
+    info.name: info
+    for info in (
+        # -- static: constant per job -------------------------------------
+        FeatureInfo("submit_time", True, 0.0, _INF,
+                    "job submission time (s)"),
+        FeatureInfo("deadline", True, 0.0, _INF,
+                    "absolute deadline (s); +inf when the job has none"),
+        FeatureInfo("relative_deadline", True, 0.0, _INF,
+                    "deadline - submit_time; +inf when the job has none"),
+        FeatureInfo("has_deadline", True, 0.0, 1.0,
+                    "1.0 when the job carries a deadline, else 0.0"),
+        FeatureInfo("num_maps", True, 0.0, _INF,
+                    "map task count"),
+        FeatureInfo("num_reduces", True, 0.0, _INF,
+                    "reduce task count"),
+        FeatureInfo("total_tasks", True, 0.0, _INF,
+                    "num_maps + num_reduces"),
+        FeatureInfo("total_work", True, 0.0, _INF,
+                    "sum of all task durations in the profile (s)"),
+        FeatureInfo("avg_map_duration", True, 0.0, _INF,
+                    "mean map task duration (s); 0 with no maps"),
+        FeatureInfo("avg_reduce_duration", True, 0.0, _INF,
+                    "mean reduce task duration (s); 0 with no reduces"),
+        # -- dynamic: read per decision -----------------------------------
+        FeatureInfo("queue_depth", False, 0.0, _INF,
+                    "eligible jobs competing in this decision"),
+        FeatureInfo("job_age", False, 0.0, _INF,
+                    "now - submit_time (s)"),
+        FeatureInfo("deadline_slack", False, -_INF, _INF,
+                    "deadline - now (s); +inf when the job has none"),
+        FeatureInfo("map_fraction_completed", False, 0.0, 1.0,
+                    "wave progress: completed maps / num_maps"),
+        FeatureInfo("pending_maps", False, 0.0, _INF,
+                    "map tasks not yet dispatched"),
+        FeatureInfo("pending_reduces", False, 0.0, _INF,
+                    "reduce tasks not yet dispatched"),
+        FeatureInfo("running_maps", False, 0.0, _INF,
+                    "map tasks currently occupying slots"),
+        FeatureInfo("running_reduces", False, 0.0, _INF,
+                    "reduce tasks currently occupying slots"),
+        FeatureInfo("free_map_slots", False, 0.0, _INF,
+                    "cluster map slots not occupied by running tasks"),
+        FeatureInfo("free_reduce_slots", False, 0.0, _INF,
+                    "cluster reduce slots not occupied by running tasks"),
+    )
+}
+
+#: Named built-in orderings a leaf may ``pick`` — sugar for the
+#: equivalent single-term score, kept symbolic in the canonical form.
+PICK_RULES: dict[str, str] = {
+    "fifo": "submit_time",
+    "edf": "deadline",
+    "sjf": "total_work",
+    "least_slack": "deadline_slack",
+}
+
+
+class PolicyError(ValueError):
+    """A policy document that failed validation.
+
+    ``findings`` carries the full :class:`~repro.analysis.findings.Finding`
+    list (POL00x rule ids with JSON paths into the tree) so callers —
+    the service's 4xx body, ``simmr check --format json`` — can report
+    structure, not a flattened string.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+@dataclass(frozen=True)
+class ScoreTerm:
+    """One ``weight * feature`` contribution to a leaf's priority."""
+
+    feature: str
+    weight: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"feature": self.feature, "weight": self.weight}
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A leaf action: priority = bias + sum of terms, or a named pick."""
+
+    terms: tuple[ScoreTerm, ...] = ()
+    bias: float = 0.0
+    pick: Optional[str] = None
+
+    def score_terms(self) -> tuple[ScoreTerm, ...]:
+        """The terms after desugaring ``pick`` (used by the compiler)."""
+        if self.pick is not None:
+            return (ScoreTerm(PICK_RULES[self.pick], 1.0),)
+        return self.terms
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.pick is not None:
+            return {"pick": self.pick}
+        return {"score": [t.to_dict() for t in self.terms], "bias": self.bias}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An interior node: branch on ``feature op value``."""
+
+    feature: str
+    op: str
+    value: float
+    then: "Node"
+    otherwise: "Node"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "if": {"feature": self.feature, "op": self.op, "value": self.value},
+            "then": self.then.to_dict(),
+            "else": self.otherwise.to_dict(),
+        }
+
+
+Node = Union[Leaf, Predicate]
+
+
+@dataclass(frozen=True)
+class PolicyDoc:
+    """A parsed, schema-valid policy document."""
+
+    name: str
+    tree: Node
+    #: The document's declared ``"static"`` claim (None = not declared).
+    #: Declaring ``true`` is a *contract*: POL005 rejects the document if
+    #: the tree reads any dynamic feature.
+    declared_static: Optional[bool] = None
+    version: int = POLICY_VERSION
+
+    def nodes(self) -> Iterator[Node]:
+        """Every node, preorder."""
+        stack: list[Node] = [self.tree]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, Predicate):
+                stack.append(node.otherwise)
+                stack.append(node.then)
+
+    def features(self) -> set[str]:
+        """Every feature name the tree reads (picks desugared)."""
+        used: set[str] = set()
+        for node in self.nodes():
+            if isinstance(node, Predicate):
+                used.add(node.feature)
+            else:
+                used.update(t.feature for t in node.score_terms())
+        return used
+
+    def is_static(self) -> bool:
+        """True when every referenced feature is constant per job."""
+        return all(FEATURES[f].static for f in self.features())
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "version": self.version,
+            "name": self.name,
+            "tree": self.tree.to_dict(),
+        }
+        if self.declared_static is not None:
+            doc["static"] = self.declared_static
+        return doc
+
+
+def canonical_policy_json(doc: PolicyDoc) -> str:
+    """The policy's canonical text: sorted keys, no whitespace.
+
+    Canonicalization is what makes a tree *content-addressable*: the
+    same policy always serializes to the same bytes, so its digest keys
+    the result cache, the evolve memo and the pinned-winner tests, and
+    ``parse → serialize → parse`` is a fixed point (property-tested).
+    """
+    return json.dumps(doc.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def policy_digest(doc: PolicyDoc) -> str:
+    """BLAKE2b content digest of the canonical serialization."""
+    return blake2b(canonical_policy_json(doc).encode(), digest_size=16).hexdigest()

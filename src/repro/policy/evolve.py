@@ -1,0 +1,497 @@
+"""`simmr evolve`: seeded evolutionary search over policy trees.
+
+The killer scenario the DSL unlocks (ROADMAP item 3): instead of
+replaying hand-written policies one at a time, *generate* candidate
+trees, score each against a deadline workload with the parallel
+executor, and breed the winners.  Everything is a pure function of the
+seed: trace generation, the initial population, mutation and
+tournament draws all come from one ``random.Random(seed)``, candidate
+fitness is memoized by canonical policy digest, and ties sort by
+digest — so the winning tree *and its replay event digest* are
+reproducible across runs, machines and worker counts (the CI smoke and
+a tier-1 test pin them).
+
+Fitness is the paper's deadline utility: the sum over late jobs of
+``(T - D) / D`` (:meth:`SimulationResult.relative_deadline_exceeded`),
+with total makespan as the tie-breaker — lower is better on both.  A
+candidate *wins* only if it strictly beats both hand-written baselines
+(FIFO and MaxEDF) on that tuple; `EvolveResult.beats_baselines` records
+whether the search found one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.cluster import ClusterConfig
+from ..core.job import TraceJob
+from ..parallel.executor import SchedulerSpec, SimTask, simulate_many
+from .dsl import (
+    FEATURES,
+    MAX_DEPTH,
+    MAX_NODES,
+    MAX_TERMS,
+    OPS,
+    PICK_RULES,
+    Leaf,
+    Node,
+    PolicyDoc,
+    Predicate,
+    ScoreTerm,
+    canonical_policy_json,
+    policy_digest,
+)
+from .compiler import policy_spec
+from .validate import validate_policy
+
+__all__ = ["EvolveConfig", "EvolveResult", "evolve", "random_policy"]
+
+#: Plausible threshold-sampling range per feature (seconds, counts,
+#: fractions).  Only steers the random generator — validation does not
+#: care — so the ranges just need to overlap the values real workloads
+#: produce, or every predicate degenerates to a constant branch.
+_SAMPLE_RANGES: dict[str, tuple[float, float]] = {
+    "submit_time": (0.0, 2000.0),
+    "deadline": (0.0, 4000.0),
+    "relative_deadline": (0.0, 2500.0),
+    "has_deadline": (0.0, 1.0),
+    "num_maps": (0.0, 64.0),
+    "num_reduces": (0.0, 32.0),
+    "total_tasks": (0.0, 96.0),
+    "total_work": (0.0, 30000.0),
+    "avg_map_duration": (0.0, 120.0),
+    "avg_reduce_duration": (0.0, 250.0),
+    "queue_depth": (0.0, 16.0),
+    "job_age": (0.0, 1500.0),
+    "deadline_slack": (-500.0, 2000.0),
+    "map_fraction_completed": (0.0, 1.0),
+    "pending_maps": (0.0, 64.0),
+    "pending_reduces": (0.0, 32.0),
+    "running_maps": (0.0, 64.0),
+    "running_reduces": (0.0, 32.0),
+    "free_map_slots": (0.0, 64.0),
+    "free_reduce_slots": (0.0, 64.0),
+}
+assert set(_SAMPLE_RANGES) == set(FEATURES)
+
+_FEATURE_NAMES = tuple(sorted(FEATURES))
+_PICK_NAMES = tuple(sorted(PICK_RULES))
+
+#: Fitness: (sum of relative deadline excess, sum of makespans).
+Fitness = tuple[float, float]
+
+
+# ------------------------------------------------------------------ #
+# random generation and mutation (valid by construction)
+# ------------------------------------------------------------------ #
+
+def _random_weight(rng: random.Random) -> float:
+    # Log-uniform magnitude: features span seconds to tens of
+    # thousands of task-seconds, so useful weights span decades.
+    sign = 1.0 if rng.random() < 0.7 else -1.0
+    return round(sign * 10.0 ** rng.uniform(-2.0, 1.0), 6)
+
+
+def _random_threshold(rng: random.Random, feature: str) -> float:
+    lo, hi = _SAMPLE_RANGES[feature]
+    return round(rng.uniform(lo, hi), 6)
+
+
+def _random_leaf(rng: random.Random) -> Leaf:
+    if rng.random() < 0.3:
+        return Leaf(pick=rng.choice(_PICK_NAMES))
+    n_terms = rng.randint(1, 3)
+    terms = tuple(
+        ScoreTerm(rng.choice(_FEATURE_NAMES), _random_weight(rng))
+        for _ in range(n_terms)
+    )
+    bias = round(rng.uniform(-100.0, 100.0), 6) if rng.random() < 0.3 else 0.0
+    return Leaf(terms=terms, bias=bias)
+
+
+def _random_node(rng: random.Random, depth: int, max_depth: int) -> Node:
+    if depth >= max_depth or rng.random() < 0.5:
+        return _random_leaf(rng)
+    feature = rng.choice(_FEATURE_NAMES)
+    return Predicate(
+        feature=feature,
+        op=rng.choice(OPS),
+        value=_random_threshold(rng, feature),
+        then=_random_node(rng, depth + 1, max_depth),
+        otherwise=_random_node(rng, depth + 1, max_depth),
+    )
+
+
+def random_policy(
+    rng: random.Random, name: str, *, max_depth: int = 3
+) -> PolicyDoc:
+    """A random policy document, valid by construction."""
+    return PolicyDoc(name=name, tree=_random_node(rng, 0, max_depth))
+
+
+def _mutate_leaf(rng: random.Random, leaf: Leaf) -> Leaf:
+    if leaf.pick is not None or rng.random() < 0.2:
+        return _random_leaf(rng)
+    choice = rng.random()
+    terms = list(leaf.terms)
+    index = rng.randrange(len(terms))
+    if choice < 0.4:  # perturb one weight
+        term = terms[index]
+        terms[index] = ScoreTerm(
+            term.feature, round(term.weight * rng.uniform(0.25, 4.0), 6) or 1e-6
+        )
+    elif choice < 0.6:  # swap one feature
+        terms[index] = ScoreTerm(rng.choice(_FEATURE_NAMES), terms[index].weight)
+    elif choice < 0.8 and len(terms) < MAX_TERMS:  # grow a term
+        terms.append(ScoreTerm(rng.choice(_FEATURE_NAMES), _random_weight(rng)))
+    elif len(terms) > 1:  # drop a term
+        del terms[index]
+    else:
+        terms[index] = ScoreTerm(terms[index].feature, _random_weight(rng))
+    return Leaf(terms=tuple(terms), bias=leaf.bias)
+
+
+def _mutate_node(rng: random.Random, node: Node, depth: int) -> Node:
+    if isinstance(node, Leaf):
+        if rng.random() < 0.15 and depth + 1 < MAX_DEPTH:
+            # grow: wrap the leaf in a fresh predicate
+            feature = rng.choice(_FEATURE_NAMES)
+            return Predicate(
+                feature=feature,
+                op=rng.choice(OPS),
+                value=_random_threshold(rng, feature),
+                then=node,
+                otherwise=_random_leaf(rng),
+            )
+        return _mutate_leaf(rng, node)
+    assert isinstance(node, Predicate)
+    choice = rng.random()
+    if choice < 0.15:  # prune: collapse onto one branch
+        return node.then if rng.random() < 0.5 else node.otherwise
+    if choice < 0.35:  # retune the threshold
+        return Predicate(node.feature, node.op,
+                         _random_threshold(rng, node.feature),
+                         node.then, node.otherwise)
+    if choice < 0.45:  # flip the operator
+        return Predicate(node.feature, rng.choice(OPS), node.value,
+                         node.then, node.otherwise)
+    if choice < 0.55:  # rebase on another feature
+        feature = rng.choice(_FEATURE_NAMES)
+        return Predicate(feature, node.op, _random_threshold(rng, feature),
+                         node.then, node.otherwise)
+    # recurse into one branch
+    if rng.random() < 0.5:
+        return Predicate(node.feature, node.op, node.value,
+                         _mutate_node(rng, node.then, depth + 1), node.otherwise)
+    return Predicate(node.feature, node.op, node.value,
+                     node.then, _mutate_node(rng, node.otherwise, depth + 1))
+
+
+def _crossover(rng: random.Random, a: Node, b: Node) -> Node:
+    """Replace one random subtree of ``a`` with one random subtree of ``b``."""
+    donor = _random_subtree(rng, b)
+
+    def graft(node: Node, depth: int) -> Node:
+        if isinstance(node, Leaf) or rng.random() < 0.3 or depth + 1 >= MAX_DEPTH:
+            return donor
+        assert isinstance(node, Predicate)
+        if rng.random() < 0.5:
+            return Predicate(node.feature, node.op, node.value,
+                             graft(node.then, depth + 1), node.otherwise)
+        return Predicate(node.feature, node.op, node.value,
+                         node.then, graft(node.otherwise, depth + 1))
+
+    return graft(a, 0)
+
+
+def _random_subtree(rng: random.Random, node: Node) -> Node:
+    while isinstance(node, Predicate) and rng.random() < 0.5:
+        node = node.then if rng.random() < 0.5 else node.otherwise
+    return node
+
+
+def _seed_population() -> list[PolicyDoc]:
+    """Domain-knowledge primitives the search starts from."""
+    docs = [
+        PolicyDoc("fifo-tree", Leaf(pick="fifo")),
+        PolicyDoc("edf-tree", Leaf(pick="edf")),
+        PolicyDoc("sjf-tree", Leaf(pick="sjf")),
+        PolicyDoc("slack-tree", Leaf(pick="least_slack")),
+        PolicyDoc("edf-sjf", Leaf(terms=(
+            ScoreTerm("deadline", 1.0), ScoreTerm("total_work", 1.0),
+        ))),
+        PolicyDoc("gated-edf", Predicate(
+            "has_deadline", ">=", 0.5,
+            Leaf(pick="edf"), Leaf(pick="sjf"),
+        )),
+    ]
+    return docs
+
+
+# ------------------------------------------------------------------ #
+# the search
+# ------------------------------------------------------------------ #
+
+@dataclass(frozen=True)
+class EvolveConfig:
+    """Everything one `simmr evolve` run depends on (all seeded)."""
+
+    seed: int = 0
+    population: int = 12
+    generations: int = 5
+    tournament: int = 3
+    elites: int = 2
+    #: Deadline workload: ``traces`` independent synthetic traces of
+    #: ``jobs`` jobs each, deadline factor over the ARIA solo bound.
+    jobs: int = 24
+    traces: int = 2
+    mean_interarrival: float = 30.0
+    deadline_factor: float = 1.4
+    map_slots: int = 32
+    reduce_slots: int = 32
+    slowstart: float = 0.05
+    #: Parallel executor fan-out for each generation's scoring batch
+    #: (<=1 = in-process; results are identical either way).
+    workers: int = 0
+
+    @property
+    def cluster(self) -> ClusterConfig:
+        return ClusterConfig(self.map_slots, self.reduce_slots)
+
+
+@dataclass
+class EvolveResult:
+    """The reproducible artifact of one search."""
+
+    winner: PolicyDoc
+    winner_json: str
+    winner_digest: str
+    winner_fitness: Fitness
+    #: One replay event digest per workload trace — the proof the
+    #: winner's behaviour (not just its text) is pinned.
+    winner_event_digests: tuple[str, ...]
+    baselines: dict[str, dict[str, Any]]
+    history: list[dict[str, Any]] = field(default_factory=list)
+    evaluations: int = 0
+    simulated: int = 0
+
+    @property
+    def beats_baselines(self) -> bool:
+        return all(
+            self.winner_fitness < tuple(entry["fitness"])
+            for entry in self.baselines.values()
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "winner": self.winner.to_dict(),
+            "winner_json": self.winner_json,
+            "winner_digest": self.winner_digest,
+            "winner_fitness": list(self.winner_fitness),
+            "winner_event_digests": list(self.winner_event_digests),
+            "baselines": self.baselines,
+            "beats_baselines": self.beats_baselines,
+            "history": self.history,
+            "evaluations": self.evaluations,
+            "simulated": self.simulated,
+        }
+
+
+def _make_workload(config: EvolveConfig) -> dict[str, list[TraceJob]]:
+    from ..trace.arrivals import ExponentialArrivals
+    from ..trace.deadlines import DeadlineFactorPolicy
+    from ..trace.synthetic import SyntheticTraceGen
+    from ..workloads.apps import make_app_specs
+
+    traces: dict[str, list[TraceJob]] = {}
+    for index in range(config.traces):
+        gen = SyntheticTraceGen(
+            list(make_app_specs().values()),
+            ExponentialArrivals(config.mean_interarrival),
+            deadline_policy=DeadlineFactorPolicy(
+                config.deadline_factor, config.cluster
+            ),
+            seed=config.seed * 7919 + index,
+        )
+        traces[f"evolve-{index}"] = gen.generate(config.jobs)
+    return traces
+
+
+def _score_specs(
+    traces: dict[str, list[TraceJob]],
+    specs: Sequence[SchedulerSpec],
+    config: EvolveConfig,
+) -> list[tuple[Fitness, tuple[str, ...]]]:
+    """Fitness and per-trace event digests for each spec, in order."""
+    trace_ids = sorted(traces)
+    tasks = [
+        SimTask(
+            trace_id=trace_id,
+            scheduler=spec,
+            cluster=config.cluster,
+            slowstart=config.slowstart,
+        )
+        for spec in specs
+        for trace_id in trace_ids
+    ]
+    outcomes = simulate_many(
+        traces, tasks, workers=config.workers, cache=None, digest=True
+    )
+    scored: list[tuple[Fitness, tuple[str, ...]]] = []
+    per_spec = len(trace_ids)
+    for start in range(0, len(outcomes), per_spec):
+        chunk = outcomes[start:start + per_spec]
+        utility = sum(o.result.relative_deadline_exceeded() for o in chunk)
+        makespan = sum(o.result.makespan for o in chunk)
+        digests = tuple(o.result.event_digest or "" for o in chunk)
+        scored.append(((round(utility, 9), round(makespan, 6)), digests))
+    return scored
+
+
+ProgressFn = Callable[[int, dict[str, Any]], None]
+
+
+def evolve(
+    config: EvolveConfig = EvolveConfig(),
+    *,
+    progress: Optional[ProgressFn] = None,
+) -> EvolveResult:
+    """Run the seeded tournament search; see the module docstring.
+
+    ``progress(generation, stats)`` is called after each generation with
+    the row that also lands in ``result.history``.
+    """
+    rng = random.Random(config.seed)
+    traces = _make_workload(config)
+
+    # Population: domain primitives first, random trees for the rest,
+    # deduplicated by canonical digest.
+    population: list[PolicyDoc] = []
+    seen: set[str] = set()
+
+    def admit(doc: PolicyDoc) -> bool:
+        digest = policy_digest(doc)
+        if digest in seen:
+            return False
+        if not validate_policy(doc.to_dict()).ok:
+            return False
+        seen.add(digest)
+        population.append(doc)
+        return True
+
+    for doc in _seed_population():
+        if len(population) < config.population:
+            admit(doc)
+    attempt = 0
+    while len(population) < config.population and attempt < 1000:
+        attempt += 1
+        admit(random_policy(rng, f"gen0-{attempt}"))
+
+    memo: dict[str, tuple[Fitness, tuple[str, ...]]] = {}
+    simulated = 0
+
+    def score_all(docs: Sequence[PolicyDoc]) -> None:
+        nonlocal simulated
+        fresh = [d for d in docs if policy_digest(d) not in memo]
+        # one batch per generation: this is where the parallel executor
+        # earns its keep
+        unique: dict[str, PolicyDoc] = {}
+        for doc in fresh:
+            unique.setdefault(policy_digest(doc), doc)
+        ordered = list(unique.items())
+        if not ordered:
+            return
+        specs = [policy_spec(doc) for _, doc in ordered]
+        results = _score_specs(traces, specs, config)
+        simulated += len(specs) * len(traces)
+        for (digest, _), outcome in zip(ordered, results):
+            memo[digest] = outcome
+
+    def ranked(docs: Sequence[PolicyDoc]) -> list[PolicyDoc]:
+        return sorted(docs, key=lambda d: (memo[policy_digest(d)][0],
+                                           policy_digest(d)))
+
+    def tournament(docs: Sequence[PolicyDoc]) -> PolicyDoc:
+        entrants = [docs[rng.randrange(len(docs))]
+                    for _ in range(min(config.tournament, len(docs)))]
+        return ranked(entrants)[0]
+
+    history: list[dict[str, Any]] = []
+    score_all(population)
+    for generation in range(config.generations):
+        population = ranked(population)
+        best = population[0]
+        best_fit = memo[policy_digest(best)][0]
+        row = {
+            "generation": generation,
+            "best": best.name,
+            "best_digest": policy_digest(best),
+            "best_fitness": list(best_fit),
+            "population": len(population),
+            "simulated": simulated,
+        }
+        history.append(row)
+        if progress is not None:
+            progress(generation, row)
+        if generation == config.generations - 1:
+            break
+
+        next_gen = population[:config.elites]
+        gen_seen = {policy_digest(d) for d in next_gen}
+        child_index = 0
+        guard = 0
+        while len(next_gen) < config.population and guard < 500:
+            guard += 1
+            parent = tournament(population)
+            if rng.random() < 0.25:
+                other = tournament(population)
+                tree = _crossover(rng, parent.tree, other.tree)
+            else:
+                tree = _mutate_node(rng, parent.tree, 0)
+            child = PolicyDoc(f"g{generation + 1}-{child_index}", tree)
+            report = validate_policy(child.to_dict())
+            if not report.ok or len(list(child.nodes())) > MAX_NODES:
+                continue
+            digest = policy_digest(child)
+            if digest in gen_seen:
+                continue
+            gen_seen.add(digest)
+            next_gen.append(child)
+            child_index += 1
+        population = next_gen
+        score_all(population)
+
+    population = ranked(population)
+    winner = population[0]
+    winner_fitness, winner_digests = memo[policy_digest(winner)]
+
+    baseline_specs = {
+        "fifo": SchedulerSpec(kind="registry", name="fifo"),
+        "maxedf": SchedulerSpec(kind="registry", name="maxedf"),
+    }
+    baseline_scores = _score_specs(
+        traces, list(baseline_specs.values()), config
+    )
+    baselines = {
+        name: {
+            "fitness": list(fitness),
+            "event_digests": list(digests),
+        }
+        for (name, _), (fitness, digests) in zip(
+            baseline_specs.items(), baseline_scores
+        )
+    }
+
+    return EvolveResult(
+        winner=winner,
+        winner_json=canonical_policy_json(winner),
+        winner_digest=policy_digest(winner),
+        winner_fitness=winner_fitness,
+        winner_event_digests=winner_digests,
+        baselines=baselines,
+        history=history,
+        evaluations=len(memo),
+        simulated=simulated,
+    )

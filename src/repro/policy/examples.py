@@ -1,0 +1,72 @@
+"""Built-in example policy trees.
+
+Three canonical documents used across the repo: the docs, the
+``simmr check`` policy half, `examples/policy_search.py`, the service
+tests and the benchmark all reference these instead of inventing
+near-identical trees.  ``fifo-tree`` and ``edf-tree`` are the DSL
+renditions of the hand-written FIFO and MaxEDF orderings — property
+tests pin their replays *digest-identical* to the real schedulers,
+which is the compiler's correctness anchor.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+__all__ = ["EXAMPLE_POLICIES", "example_policy"]
+
+#: name -> policy document (schema version 1).
+EXAMPLE_POLICIES: dict[str, dict[str, Any]] = {
+    # The DSL spelling of FIFOScheduler: order by submission time.
+    "fifo-tree": {
+        "version": 1,
+        "name": "fifo-tree",
+        "static": True,
+        "tree": {"pick": "fifo"},
+    },
+    # The DSL spelling of MaxEDFScheduler: earliest deadline first,
+    # deadline-free jobs last (the 'deadline' feature is +inf for them).
+    "edf-tree": {
+        "version": 1,
+        "name": "edf-tree",
+        "static": True,
+        "tree": {"pick": "edf"},
+    },
+    # A dynamic tree exercising predicates and multi-term scores:
+    # deadline jobs race by slack-per-work, best-effort jobs by age-
+    # discounted size.  This is the document served by
+    # examples/policies/deadline_aware.json.
+    "deadline-aware": {
+        "version": 1,
+        "name": "deadline-aware",
+        "tree": {
+            "if": {"feature": "has_deadline", "op": ">=", "value": 0.5},
+            "then": {
+                "score": [
+                    {"feature": "deadline_slack", "weight": 1.0},
+                    {"feature": "total_work", "weight": 0.5},
+                ],
+                "bias": 0.0,
+            },
+            "else": {
+                "score": [
+                    {"feature": "total_work", "weight": 1.0},
+                    {"feature": "job_age", "weight": -0.25},
+                ],
+                "bias": 100000.0,
+            },
+        },
+    },
+}
+
+
+def example_policy(name: str) -> dict[str, Any]:
+    """A deep copy of one built-in example document (safe to mutate)."""
+    try:
+        doc = EXAMPLE_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown example policy {name!r}; known: {sorted(EXAMPLE_POLICIES)}"
+        ) from None
+    return copy.deepcopy(doc)

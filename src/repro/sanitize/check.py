@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 
 from ..analysis.baseline import BaselineEntry, load_baseline, partition_findings
 from ..analysis.config import LintConfig
-from ..analysis.findings import Finding
+from ..analysis.findings import Finding, Severity
 from ..analysis.reporter import render_text, summarize
 from ..analysis.runner import lint_paths
 from ..core.cluster import ClusterConfig
@@ -35,7 +35,13 @@ from ..core.job import TraceJob
 from .digest import DivergenceReport, dual_run
 from .sanitizer import Violation
 
-__all__ = ["SchedulerCheck", "CheckReport", "default_check_trace", "run_check"]
+__all__ = [
+    "PolicyCheck",
+    "SchedulerCheck",
+    "CheckReport",
+    "default_check_trace",
+    "run_check",
+]
 
 #: One static-path policy, one dynamic-path policy, one deadline/demand
 #: policy — together they cover every engine allocation path.
@@ -76,6 +82,33 @@ class SchedulerCheck:
 
 
 @dataclass(frozen=True, slots=True)
+class PolicyCheck:
+    """Policy-half result: POL00x validation of one policy tree.
+
+    ``digest``/``static`` describe the certified document (empty/None
+    when the document failed schema validation outright).
+    """
+
+    policy: str
+    findings: tuple[Finding, ...]
+    digest: str = ""
+    static: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "ok": self.ok,
+            "digest": self.digest,
+            "static": self.static,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+@dataclass(frozen=True, slots=True)
 class CheckReport:
     """Combined outcome of the static and dynamic halves.
 
@@ -90,24 +123,35 @@ class CheckReport:
     runs: tuple[SchedulerCheck, ...]
     baselined: tuple[Finding, ...] = ()
     stale: tuple[BaselineEntry, ...] = ()
+    policies: tuple[PolicyCheck, ...] = ()
 
     @property
     def ok(self) -> bool:
-        return not self.findings and not self.stale and all(r.ok for r in self.runs)
+        return (not self.findings and not self.stale
+                and all(r.ok for r in self.runs)
+                and all(p.ok for p in self.policies))
 
     def merged_findings(self) -> list[dict]:
-        """Lint findings and sanitizer violations as ONE tagged list.
+        """Lint, sanitizer and policy findings as ONE tagged list.
 
         Consumers of ``simmr check --format json`` previously had to
         stitch the static and dynamic halves together themselves (and
         most forgot the dynamic one).  Each entry carries a ``source``
         discriminator — ``"lint"`` for static findings, ``"sanitizer"``
-        for runtime violations and replay divergences — over an
-        otherwise source-shaped payload.
+        for runtime violations and replay divergences, ``"policy"`` for
+        POL00x policy-tree certification findings — over an otherwise
+        source-shaped payload.
         """
         merged: list[dict] = [
             {"source": "lint", **f.to_dict()} for f in self.findings
         ]
+        for policy in self.policies:
+            for f in policy.findings:
+                merged.append({
+                    "source": "policy",
+                    "policy": policy.policy,
+                    **f.to_dict(),
+                })
         for run in self.runs:
             for v in run.violations:
                 merged.append({
@@ -138,6 +182,7 @@ class CheckReport:
                 "stale_baseline_entries": [e.format() for e in self.stale],
             },
             "dynamic": [r.to_dict() for r in self.runs],
+            "policy": [p.to_dict() for p in self.policies],
         }
 
     def render_json(self) -> str:
@@ -172,6 +217,20 @@ class CheckReport:
                 lines.append(f"  {v}")
             if run.divergence.diverged:
                 lines.append(f"  {run.divergence.describe()}")
+        if self.policies:
+            lines.append("")
+            lines.append("== policy (POL00x certification) ==")
+            for policy in self.policies:
+                status = "ok" if policy.ok else "FAIL"
+                shape = ("static" if policy.static
+                         else "dynamic" if policy.static is not None else "?")
+                lines.append(
+                    f"{policy.policy:18} {status:4} {shape:8} "
+                    f"digest {policy.digest or '-'} "
+                    f"{len(policy.findings)} finding(s)"
+                )
+                for f in policy.findings:
+                    lines.append(f"  {f.format()}")
         lines.append("")
         lines.append(f"simmr check: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)
@@ -212,13 +271,21 @@ def run_check(
     static: bool = True,
     dynamic: bool = True,
     baseline: Optional[Path] = None,
+    policy: bool = True,
+    policy_files: Sequence[Path] = (),
 ) -> CheckReport:
-    """Run the combined static + dynamic correctness gate.
+    """Run the combined static + dynamic + policy correctness gate.
 
     ``baseline`` points at a committed accepted-findings JSON (see
     :mod:`repro.analysis.baseline`); static findings it records do not
     fail the gate, findings it does not record do, and entries that no
     longer fire fail it as stale.
+
+    The policy half (``policy=True``) certifies the built-in example
+    trees (:data:`repro.policy.EXAMPLE_POLICIES`) plus any
+    ``policy_files`` (JSON documents on disk) with the POL00x rules;
+    ERROR-severity policy findings fail the gate, and every finding is
+    merged into the ``--format json`` report under ``source: policy``.
     """
     from ..schedulers import make_scheduler
 
@@ -258,9 +325,39 @@ def run_check(
                     divergence=outcome.report,
                 )
             )
+    policies: list[PolicyCheck] = []
+    if policy:
+        from ..policy import EXAMPLE_POLICIES, policy_digest, validate_policy
+
+        documents: list[tuple[str, object]] = [
+            (name, doc) for name, doc in sorted(EXAMPLE_POLICIES.items())
+        ]
+        for path in policy_files:
+            try:
+                documents.append((str(path), path.read_text()))
+            except OSError as exc:
+                policies.append(PolicyCheck(
+                    policy=str(path),
+                    findings=(Finding(
+                        path=str(path), line=0, col=0, rule_id="POL001",
+                        severity=Severity.ERROR,
+                        message=f"unreadable policy file: {exc}",
+                    ),),
+                ))
+        for label, document in documents:
+            report = validate_policy(document, label=label)
+            doc = report.doc
+            policies.append(PolicyCheck(
+                policy=label,
+                findings=report.findings,
+                digest=policy_digest(doc) if doc is not None else "",
+                static=doc.is_static() if doc is not None else None,
+            ))
+
     return CheckReport(
         findings=tuple(findings),
         runs=tuple(runs),
         baselined=baselined,
         stale=stale,
+        policies=tuple(policies),
     )

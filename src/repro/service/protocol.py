@@ -52,11 +52,27 @@ _SCHEDULER_KEYS = frozenset({"kind", "name", "kwargs", "seeded"})
 
 
 class ProtocolError(Exception):
-    """A request the service must refuse, with the HTTP status to use."""
+    """A request the service must refuse, with the HTTP status to use.
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    ``findings`` (optional) carries structured rejection detail — one
+    dict per finding in the :class:`~repro.analysis.findings.Finding`
+    wire shape (``rule_id``, ``severity``, ``message``, ``path``/
+    ``line`` into the submission) — so a rejected ``policy`` or
+    ``inline-certified`` scheduler gets machine-readable diagnostics in
+    the 4xx body, not just a flattened reason string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        findings: Sequence[Mapping[str, Any]] = (),
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.findings: tuple[dict[str, Any], ...] = tuple(
+            dict(f) for f in findings
+        )
 
 
 @dataclass(frozen=True)
@@ -91,6 +107,24 @@ class ReplayRequest:
 def _require(condition: bool, message: str, status: int = 400) -> None:
     if not condition:
         raise ProtocolError(message, status=status)
+
+
+def _certification_finding(
+    name: str, message: str, line: int = 0, hint: str = ""
+) -> dict[str, Any]:
+    """One CERT001 finding dict for a rejected inline submission.
+
+    Shaped like :meth:`repro.analysis.findings.Finding.to_dict` so
+    policy (POL00x) and certification (CERT001) rejections present one
+    uniform findings schema to clients.
+    """
+    from ..analysis.findings import Finding, Severity
+
+    return Finding(
+        path=f"<inline:{name}>", line=line, col=0,
+        rule_id="CERT001", severity=Severity.ERROR,
+        message=message, hint=hint,
+    ).to_dict()
 
 
 def _parse_scheduler(raw: Any) -> SchedulerSpec:
@@ -139,13 +173,49 @@ def _parse_scheduler(raw: Any) -> SchedulerSpec:
             certificate = certify_inline(source, name)
         except CertificationError as exc:
             raise ProtocolError(
-                f"scheduler certification failed: {exc}", status=422
+                f"scheduler certification failed: {exc}", status=422,
+                findings=[_certification_finding(name, str(exc))],
             ) from None
         if not certificate["service_safe"]:
+            witness = certificate.get("witness") or {}
             raise ProtocolError(
                 f"scheduler rejected: {failure_message(certificate)}",
                 status=422,
+                findings=[_certification_finding(
+                    name,
+                    failure_message(certificate),
+                    line=int(witness.get("line") or 0),
+                    hint=" -> ".join(witness.get("chain") or ()),
+                )],
             )
+    if kind == "policy":
+        # A policy tree is accepted only when the POL00x validation pass
+        # certifies it (no ERROR findings); rejections carry the full
+        # finding list with JSON paths into the tree.  The accepted tree
+        # is re-serialized canonically so equal policies share one
+        # content identity (= one result-cache key) regardless of the
+        # submitted formatting.
+        tree = kwargs.get("tree")
+        _require(isinstance(tree, (str, dict)),
+                 "'scheduler.kwargs.tree' must be the policy document "
+                 "(object, or canonical JSON text) for kind 'policy'")
+        from ..policy import MAX_POLICY_TEXT, canonical_policy_json, validate_policy
+
+        if isinstance(tree, str):
+            _require(len(tree) <= MAX_POLICY_TEXT,
+                     f"policy text exceeds {MAX_POLICY_TEXT} bytes",
+                     status=413)
+        report = validate_policy(tree, label=f"policy:{name}")
+        if not report.ok:
+            first = report.errors[0] if report.errors else report.findings[0]
+            raise ProtocolError(
+                f"policy rejected: {first.rule_id} at {first.path}: "
+                f"{first.message}",
+                status=422,
+                findings=[f.to_dict() for f in report.findings],
+            )
+        assert report.doc is not None
+        kwargs = {**kwargs, "tree": canonical_policy_json(report.doc)}
     spec = SchedulerSpec(
         kind=kind, name=name, kwargs=tuple(sorted(kwargs.items())), seeded=seeded
     )
@@ -240,9 +310,11 @@ def parse_request(
     malformed documents, 403 for trace paths outside the configured
     root, 404 for a missing server-side trace file, 422 for an
     ``inline-certified`` scheduler whose source fails effect-safety
-    certification (the message carries the witness chain).
-    ``trace_cache`` (optional) serves repeated ``trace_path`` requests
-    from memory.
+    certification or a ``policy`` tree failing POL00x validation — both
+    with the structured finding list on ``exc.findings`` (rule id,
+    message, line/path into the submission), which the server forwards
+    in the response body.  ``trace_cache`` (optional) serves repeated
+    ``trace_path`` requests from memory.
     """
     _require(isinstance(doc, dict), "request body must be a JSON object")
     unknown = set(doc) - _TOP_LEVEL_KEYS

@@ -280,12 +280,13 @@ class _Handler(BaseHTTPRequestHandler):
                 None,
             )
         except ProtocolError as exc:
-            return (
-                "invalid",
-                exc.status,
-                {"error": str(exc), "request_id": request_id},
-                None,
-            )
+            body: dict[str, Any] = {"error": str(exc), "request_id": request_id}
+            if exc.findings:
+                # Structured rejection detail for policy / inline-certified
+                # submissions: rule id, message, path into the tree or
+                # line into the source — not just the flattened string.
+                body["findings"] = list(exc.findings)
+            return ("invalid", exc.status, body, None)
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             logger.exception("request %s failed", request_id)
             return (

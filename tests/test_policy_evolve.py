@@ -1,0 +1,174 @@
+"""Tests for `simmr evolve` and the ``policy`` scheduler-spec kind.
+
+The acceptance pins live here:
+
+* a fixed-seed tiny search reproduces the exact winning tree, its
+  canonical JSON, its policy digest AND its replay event digest — and
+  that winner strictly beats both hand-written baselines (FIFO and
+  MaxEDF) on the deadline-utility fitness;
+* results are identical across worker counts (the executor fan-out is
+  not allowed to perturb the search);
+* a compiled policy sweeps through ``simulate_many`` with warm cache
+  hits, keyed by the canonical tree text rather than input formatting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ClusterConfig, TraceJob
+from repro.parallel import ResultCache, SimTask, simulate_many
+from repro.policy import (
+    EvolveConfig,
+    canonical_policy_json,
+    evolve,
+    example_policy,
+    parse_policy,
+    policy_spec,
+)
+
+from conftest import make_random_profile
+
+#: The tiny pinned search: small enough for CI (~0.2 s), large enough
+#: that the seeded primitives get mutated competition.
+PINNED_CONFIG = EvolveConfig(
+    seed=7,
+    population=8,
+    generations=2,
+    jobs=10,
+    traces=1,
+    mean_interarrival=20.0,
+    deadline_factor=1.3,
+    map_slots=16,
+    reduce_slots=16,
+)
+
+PINNED_WINNER_JSON = (
+    '{"name":"edf-sjf","tree":{"bias":0.0,"score":['
+    '{"feature":"deadline","weight":1.0},'
+    '{"feature":"total_work","weight":1.0}]},"version":1}'
+)
+PINNED_WINNER_DIGEST = "9dc0fc4e859bb4ade7c619673843c600"
+PINNED_EVENT_DIGESTS = ("bd852d1077eef4b4987fe5ecb0429e41",)
+
+
+class TestEvolvePinned:
+    def test_pinned_winner_and_event_digest(self):
+        result = evolve(PINNED_CONFIG)
+        assert result.winner_json == PINNED_WINNER_JSON
+        assert result.winner_digest == PINNED_WINNER_DIGEST
+        assert result.winner_event_digests == PINNED_EVENT_DIGESTS
+
+    def test_winner_beats_fifo_and_edf_baselines(self):
+        result = evolve(PINNED_CONFIG)
+        assert set(result.baselines) == {"fifo", "maxedf"}
+        for name, entry in result.baselines.items():
+            assert result.winner_fitness < tuple(entry["fitness"]), name
+        assert result.beats_baselines
+
+    def test_identical_across_worker_counts(self):
+        serial = evolve(PINNED_CONFIG)
+        from dataclasses import replace
+
+        parallel = evolve(replace(PINNED_CONFIG, workers=2))
+        assert parallel.winner_json == serial.winner_json
+        assert parallel.winner_event_digests == serial.winner_event_digests
+        assert parallel.winner_fitness == serial.winner_fitness
+        assert parallel.history == serial.history
+
+    def test_result_serializes(self):
+        result = evolve(PINNED_CONFIG)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["winner_digest"] == PINNED_WINNER_DIGEST
+        assert payload["beats_baselines"] is True
+        assert payload["history"], "per-generation history must be recorded"
+        assert payload["evaluations"] >= PINNED_CONFIG.population
+
+    def test_progress_callback_sees_every_generation(self):
+        rows = []
+        evolve(PINNED_CONFIG, progress=lambda gen, row: rows.append((gen, row)))
+        assert [gen for gen, _ in rows] == list(range(PINNED_CONFIG.generations))
+        assert all(row["best"] for _, row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# the 'policy' SchedulerSpec kind through simulate_many
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture
+def trace(rng):
+    profile = make_random_profile(rng, num_maps=24, num_reduces=8)
+    return [
+        TraceJob(profile, 0.0, deadline=500.0),
+        TraceJob(profile, 15.0),
+        TraceJob(profile, 40.0, deadline=1200.0),
+    ]
+
+
+class TestPolicySpec:
+    def tasks(self, spec):
+        return [
+            SimTask(
+                trace_id="t",
+                scheduler=spec,
+                cluster=ClusterConfig(16, 16),
+            )
+        ]
+
+    def test_sweep_and_warm_cache_hits(self, trace):
+        spec = policy_spec(example_policy("deadline-aware"))
+        with ResultCache(":memory:") as cache:
+            cold = simulate_many({"t": trace}, self.tasks(spec), cache=cache)
+            assert cache.stats.misses == 1 and cache.stats.hits == 0
+            warm = simulate_many({"t": trace}, self.tasks(spec), cache=cache)
+            assert cache.stats.hits == 1
+        assert warm[0].result.event_digest == cold[0].result.event_digest
+        assert warm[0].cached and not cold[0].cached
+
+    def test_cache_key_is_content_stable(self, trace):
+        # Formatting of the submitted tree must not affect the identity.
+        doc = example_policy("deadline-aware")
+        pretty = json.dumps(doc, indent=4)
+        assert policy_spec(pretty).identity() == policy_spec(doc).identity()
+
+    def test_different_trees_are_cache_distinct(self):
+        fifo = policy_spec(example_policy("fifo-tree"))
+        edf = policy_spec(example_policy("edf-tree"))
+        assert fifo.identity() != edf.identity()
+
+    def test_spec_matches_direct_simulation(self, trace):
+        from repro.core.engine import simulate
+        from repro.policy import compile_policy
+        from repro.sanitize.digest import DigestRecorder
+
+        spec = policy_spec(example_policy("edf-tree"))
+        outcome = simulate_many({"t": trace}, self.tasks(spec), workers=2)
+        recorder = DigestRecorder()
+        simulate(
+            trace,
+            compile_policy(example_policy("edf-tree")),
+            ClusterConfig(16, 16),
+            sanitizer=recorder,
+        )
+        assert outcome[0].result.event_digest == recorder.hexdigest()
+
+    def test_worker_rebuild_revalidates(self, trace):
+        from repro.parallel.executor import SchedulerSpec
+
+        bad = SchedulerSpec(
+            kind="policy",
+            name="bogus",
+            kwargs=(("tree", '{"version":1,"name":"bogus","tree":{"pick":"lifo"}}'),),
+        )
+        with pytest.raises(Exception):
+            simulate_many({"t": trace}, self.tasks(bad))
+
+    def test_evolved_winner_round_trips_as_spec(self, trace):
+        result = evolve(PINNED_CONFIG)
+        spec = policy_spec(parse_policy(result.winner_json))
+        assert spec.kind == "policy"
+        assert canonical_policy_json(parse_policy(result.winner_json)) == result.winner_json
+        outcome = simulate_many({"t": trace}, self.tasks(spec))
+        assert outcome[0].result.event_digest
