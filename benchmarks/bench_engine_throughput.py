@@ -9,11 +9,29 @@ object-per-event loop is timed alongside it so the report carries the
 kernel's speedup.  With the kernel, the pure-Python engine clears the
 paper's one-million-events-per-second claim — the asserted floor.
 
+Beyond the static headline, the report carries one row per kernel
+*path* so the widened envelope is covered end to end:
+
+* ``static_fifo`` — the vectorized multi-pass mode (the headline).
+* ``fair`` — Fair via the columnar-scheduler contract in
+  segmented-replay mode.
+* ``preemptive_fair`` — Fair with HFS-style preemption: live kills on
+  the replay path.
+* ``preemptive_edf`` — MaxEDF+P on a deadline-decorated trace.  This
+  row's floor is deliberately below 3x: replay must pop a heap per
+  event, and bare ``heappush``+``heappop`` of the event tuples alone
+  runs at ~1.1M events/s on the reference box — less than 3x the
+  object loop's throughput on this workload — so a 3x ratio is
+  unreachable *by construction* for any per-event replay.  The Fair
+  rows clear 3x because the object loop's dynamic dispatch is far more
+  expensive there.  See docs/performance.md.
+
 The measured numbers are printed for EXPERIMENTS.md and written to
 ``BENCH_engine_throughput.json`` at the repo root, which doubles as the
-input to ``scripts/perf_gate.py`` (fresh run vs committed baseline;
-the gate also cross-checks ``trace_jobs``/``events_processed`` so a
-workload change cannot masquerade as a throughput change).
+input to ``scripts/perf_gate.py`` (fresh run vs committed baseline; the
+gate also cross-checks ``trace_jobs``/``events_processed`` so a
+workload change cannot masquerade as a throughput change, and fails any
+path whose run regressed from the kernel to the object fallback).
 """
 
 from __future__ import annotations
@@ -22,11 +40,14 @@ import json
 import time
 from pathlib import Path
 
-from repro.core import ClusterConfig, ColumnarEngine, SimulatorEngine
+import numpy as np
+
+from repro.core import ClusterConfig, ColumnarEngine, SimulatorEngine, TraceJob
 from repro.experiments.performance import make_performance_trace
-from repro.schedulers import FIFOScheduler
+from repro.schedulers import FairScheduler, FIFOScheduler, MaxEDFScheduler
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_engine_throughput.json"
 
 #: Hard floor asserted here — the paper's headline claim.  The
 #: regression gate compares against the committed baseline instead,
@@ -37,42 +58,145 @@ MIN_EVENTS_PER_SECOND = 1_000_000
 #: headline is only meaningful while the fallback stays comparable.
 MIN_SPEEDUP = 3.0
 
+#: Per-path kernel-vs-object floors enforced here and by the gate.
+#: ``preemptive_edf`` is heap-bound (module docstring): its floor says
+#: "the replay must beat the object loop", not a softened 3x.
+PATH_FLOORS = {
+    "static_fifo": 3.0,
+    "fair": 3.0,
+    "preemptive_fair": 3.0,
+    "preemptive_edf": 1.1,
+}
 
-def _time_object_engine(trace, rounds: int = 3) -> float:
-    """Best-of-N events/s for the object-per-event loop."""
-    best = None
+CLUSTER = ClusterConfig(64, 64)
+#: The dynamic/preemptive rows use a denser, smaller trace than the
+#: headline: 150 jobs at 5s mean inter-arrival keeps the object-loop
+#: timing under ~8s while the heavy contention (long job queues, so the
+#: object loop's per-dispatch pool table is expensive) keeps the
+#: kernel-vs-object ratio well clear of the floor and keeps pools
+#: starved enough for Fair+P to preempt hundreds of tasks.
+DYNAMIC_JOBS = 150
+DYNAMIC_INTERARRIVAL = 5.0
+
+
+def _merge_report(update: dict) -> dict:
+    """Read-modify-write the bench JSON so each test adds its rows."""
+    report: dict = {}
+    if REPORT_PATH.exists():
+        report = json.loads(REPORT_PATH.read_text())
+    paths = {**report.get("paths", {}), **update.pop("paths", {})}
+    report.update(update)
+    if paths:
+        report["paths"] = paths
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _deadline_trace(n: int, mean_interarrival: float, seed: int) -> list[TraceJob]:
+    """Performance trace with a 50/50 tight/loose deadline decoration."""
+    rng = np.random.default_rng(seed)
+    trace = []
+    for tj in make_performance_trace(n, mean_interarrival=mean_interarrival, seed=seed):
+        slack = rng.uniform(30, 120) if rng.random() < 0.5 else rng.uniform(500, 3000)
+        trace.append(TraceJob(tj.profile, tj.submit_time, deadline=tj.submit_time + slack))
+    return trace
+
+
+def _time_engine(engine_factory, trace, rounds: int):
+    """Best-of-N (result, events/s) for a freshly built engine per round."""
+    best = float("inf")
+    result = None
     for _ in range(rounds):
-        engine = SimulatorEngine(
-            ClusterConfig(64, 64), FIFOScheduler(), record_tasks=False
-        )
+        engine = engine_factory()
         start = time.perf_counter()
         result = engine.run(trace)
         elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-    return result.events_processed / best
+        best = min(best, elapsed)
+    return result, engine, result.events_processed / best
+
+
+def _bench_path(
+    name: str,
+    trace,
+    make_scheduler,
+    *,
+    preemption: bool = False,
+    expect_mode: str,
+    kernel_rounds: int = 2,
+    object_rounds: int = 1,
+) -> dict:
+    """Time one kernel path against the object loop on the same workload."""
+    record = preemption  # task records are how kills are counted
+    resk, engine, kernel_eps = _time_engine(
+        lambda: ColumnarEngine(
+            CLUSTER, make_scheduler(), preemption=preemption, record_tasks=record
+        ),
+        trace,
+        kernel_rounds,
+    )
+    assert engine.last_path == "kernel", engine.fallback_reason
+    assert engine.last_kernel_mode == expect_mode
+    reso, _, object_eps = _time_engine(
+        lambda: SimulatorEngine(
+            CLUSTER, make_scheduler(), preemption=preemption, record_tasks=record
+        ),
+        trace,
+        object_rounds,
+    )
+    assert reso.events_processed == resk.events_processed
+    row = {
+        "scheduler": make_scheduler().name,
+        "trace_jobs": len(trace),
+        "events_processed": resk.events_processed,
+        "events_per_second": kernel_eps,
+        "object_events_per_second": object_eps,
+        "speedup": kernel_eps / object_eps,
+        "engine_path": "kernel",
+        "kernel_mode": expect_mode,
+        "floor_speedup": PATH_FLOORS[name],
+    }
+    if preemption:
+        row["tasks_killed"] = sum(1 for r in resk.task_records if r.killed)
+    return row
 
 
 def test_engine_event_throughput(benchmark):
     trace = make_performance_trace(500, mean_interarrival=100.0, seed=0)
-    engine = ColumnarEngine(ClusterConfig(64, 64), FIFOScheduler(), record_tasks=False)
+    engine = ColumnarEngine(CLUSTER, FIFOScheduler(), record_tasks=False)
 
     result = benchmark.pedantic(engine.run, args=(trace,), rounds=3, iterations=1)
     assert engine.last_path == "kernel", engine.fallback_reason
+    assert engine.last_kernel_mode == "passes"
     eps = result.events_per_second
-    object_eps = _time_object_engine(trace)
+    _, _, object_eps = _time_engine(
+        lambda: SimulatorEngine(CLUSTER, FIFOScheduler(), record_tasks=False),
+        trace,
+        rounds=3,
+    )
     speedup = eps / object_eps
-    report = {
-        "trace_jobs": len(trace),
-        "events_processed": result.events_processed,
-        "events_per_second": eps,
-        "engine": "columnar",
-        "object_events_per_second": object_eps,
-        "speedup": speedup,
-        "asserted_floor": MIN_EVENTS_PER_SECOND,
-    }
-    (REPO_ROOT / "BENCH_engine_throughput.json").write_text(
-        json.dumps(report, indent=2) + "\n"
+    _merge_report(
+        {
+            "trace_jobs": len(trace),
+            "events_processed": result.events_processed,
+            "events_per_second": eps,
+            "engine": "columnar",
+            "object_events_per_second": object_eps,
+            "speedup": speedup,
+            "asserted_floor": MIN_EVENTS_PER_SECOND,
+            "paths": {
+                "static_fifo": {
+                    "scheduler": "FIFO",
+                    "trace_jobs": len(trace),
+                    "events_processed": result.events_processed,
+                    "events_per_second": eps,
+                    "object_events_per_second": object_eps,
+                    "speedup": speedup,
+                    "engine_path": "kernel",
+                    "kernel_mode": "passes",
+                    "floor_speedup": PATH_FLOORS["static_fifo"],
+                }
+            },
+        }
     )
     print(
         f"\nengine throughput: {eps:,.0f} events/s over "
@@ -81,3 +205,47 @@ def test_engine_event_throughput(benchmark):
     )
     assert eps > MIN_EVENTS_PER_SECOND
     assert speedup > MIN_SPEEDUP
+
+
+def test_widened_envelope_paths():
+    """Fair / Fair+P / MaxEDF+P rows: replay-mode kernel vs object loop."""
+    dense = make_performance_trace(
+        DYNAMIC_JOBS, mean_interarrival=DYNAMIC_INTERARRIVAL, seed=0
+    )
+    deadlined = _deadline_trace(DYNAMIC_JOBS, DYNAMIC_INTERARRIVAL, seed=0)
+
+    rows = {
+        "fair": _bench_path("fair", dense, FairScheduler, expect_mode="replay"),
+        "preemptive_fair": _bench_path(
+            "preemptive_fair",
+            dense,
+            lambda: FairScheduler(preemptive=True),
+            preemption=True,
+            expect_mode="replay",
+        ),
+        "preemptive_edf": _bench_path(
+            "preemptive_edf",
+            deadlined,
+            lambda: MaxEDFScheduler(preemptive=True),
+            preemption=True,
+            expect_mode="replay",
+            kernel_rounds=3,
+            object_rounds=3,
+        ),
+    }
+    _merge_report({"paths": rows})
+
+    print()
+    for name, row in rows.items():
+        kills = f", {row['tasks_killed']} kills" if "tasks_killed" in row else ""
+        print(
+            f"{name:16s}: {row['events_per_second']:>10,.0f} events/s over "
+            f"{row['events_processed']} events (object "
+            f"{row['object_events_per_second']:,.0f} events/s, "
+            f"{row['speedup']:.1f}x{kills})"
+        )
+    # The preemptive rows must actually preempt, or they measure nothing.
+    assert rows["preemptive_fair"]["tasks_killed"] > 0
+    assert rows["preemptive_edf"]["tasks_killed"] > 0
+    for name, row in rows.items():
+        assert row["speedup"] > PATH_FLOORS[name], (name, row["speedup"])

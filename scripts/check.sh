@@ -81,6 +81,41 @@ print(f"object and columnar engines bit-identical "
 PY
 
 echo
+echo "== preemptive Fair digest smoke (Fair+P replay mode vs object) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY' || fail=1
+import sys
+
+sys.path.insert(0, "src")
+from repro.core import ClusterConfig, ColumnarEngine, simulate
+from repro.experiments.performance import make_performance_trace
+from repro.sanitize.digest import DigestRecorder
+from repro.schedulers import FairScheduler
+
+# Dense arrivals on a small cluster: pools contend, so Fair+P's
+# HFS-style preemption actually kills tasks on both engine paths.
+trace = make_performance_trace(30, mean_interarrival=10.0, seed=7)
+cluster = ClusterConfig(8, 4)
+digests = {}
+kills = {}
+for engine in ("object", "columnar"):
+    recorder = DigestRecorder()
+    result = simulate(trace, FairScheduler(preemptive=True), cluster,
+                      engine=engine, preemption=True, sanitizer=recorder)
+    digests[engine] = (recorder.hexdigest(), recorder.digest.count)
+    kills[engine] = sum(1 for r in result.task_records if r.killed)
+assert digests["object"] == digests["columnar"], (
+    f"preemptive Fair diverged: {digests}")
+assert kills["columnar"] > 0, "smoke ran without any live kills"
+assert kills["object"] == kills["columnar"], kills
+engine = ColumnarEngine(cluster, FairScheduler(preemptive=True), preemption=True)
+engine.run(trace)
+assert (engine.last_path, engine.last_kernel_mode) == ("kernel", "replay"), (
+    engine.last_path, engine.last_kernel_mode, engine.fallback_reason)
+print(f"Fair+P replay mode bit-identical with {kills['columnar']} live kills "
+      f"({digests['object'][1]} events, digest {digests['object'][0]})")
+PY
+
+echo
 echo "== policy smoke (POL00x certification + pinned simmr evolve) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY' || fail=1
 import sys

@@ -26,6 +26,15 @@ same workload, so the gate first cross-checks ``trace_jobs`` and
 a changed bench trace needs an explicit ``--update``, not a silent
 events/s comparison between different workloads.
 
+Beyond the static headline, the report's per-path rows (``paths`` in
+the bench JSON: static multi-pass, Fair replay, preemptive Fair
+replay, preemptive EDF replay) are each held to their own
+machine-independent kernel-vs-object speedup floor (the row's
+``floor_speedup``, set by the bench), and any path whose baseline ran
+on the kernel must still run on the kernel — a cell silently
+regressing to the object-loop fallback fails the gate even when its
+absolute numbers look plausible.
+
 Usage:
     python scripts/perf_gate.py            # run bench, compare, report
     python scripts/perf_gate.py --update   # run bench, rewrite baseline
@@ -63,8 +72,10 @@ def run_bench(bench: str = BENCH) -> int:
     env["PYTHONPATH"] = "src" + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    # No --benchmark-only: the throughput bench's per-path rows come
+    # from a plain test that never touches the benchmark fixture.
     proc = subprocess.run(
-        [sys.executable, "-m", "pytest", bench, "--benchmark-only", "-q"],
+        [sys.executable, "-m", "pytest", bench, "-q"],
         cwd=REPO_ROOT,
         env=env,
     )
@@ -169,6 +180,60 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         failed = True
+
+    # Per-path rows: each kernel path's speedup over the object loop is
+    # a same-box ratio (machine-independent), so the floor is absolute;
+    # the engine_path check catches silent kernel -> fallback rot.
+    base_paths = baseline.get("paths", {})
+    fresh_paths = fresh.get("paths", {})
+    if not base_paths:
+        print(
+            "perf gate: note — baseline has no per-path rows; rerun with"
+            " --update to adopt the multi-path report",
+        )
+    for name in sorted(base_paths):
+        base_row = base_paths[name]
+        row = fresh_paths.get(name)
+        if row is None:
+            print(
+                f"perf gate: FAIL — path {name!r} present in baseline but"
+                " missing from the fresh report",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        if base_row.get("engine_path") == "kernel" and row.get("engine_path") != "kernel":
+            print(
+                f"perf gate: FAIL — path {name!r} regressed from the kernel"
+                f" to {row.get('engine_path')!r}: the columnar envelope"
+                " shrank (see ColumnarEngine.fallback_reason)",
+                file=sys.stderr,
+            )
+            failed = True
+        for key in ("trace_jobs", "events_processed"):
+            if row.get(key) != base_row.get(key):
+                print(
+                    f"perf gate: FAIL — path {name!r} workload drift:"
+                    f" fresh {key}={row.get(key)} vs baseline"
+                    f" {key}={base_row.get(key)} (rerun with --update if"
+                    " the bench workload changed intentionally)",
+                    file=sys.stderr,
+                )
+                failed = True
+        floor = float(base_row.get("floor_speedup", 1.0))
+        speedup = float(row.get("speedup", 0.0))
+        print(
+            f"perf gate: path {name}: {speedup:.2f}x kernel-vs-object"
+            f" (floor {floor:.1f}x, {row.get('events_per_second', 0):,.0f}"
+            " events/s)"
+        )
+        if speedup < floor:
+            print(
+                f"perf gate: FAIL — path {name!r} kernel-vs-object speedup"
+                f" {speedup:.2f}x fell below its floor {floor:.1f}x",
+                file=sys.stderr,
+            )
+            failed = True
 
     # Warm-lint floor: a machine-speed-independent ratio, so no
     # committed baseline — the floor is absolute.

@@ -126,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution path: vectorized columnar kernel "
                      "(default; falls back to the object engine where it "
                      "does not apply) or the object-per-event loop")
+    rep.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_",
+        help="report format (default text); json includes the engine-path "
+        "accounting (engine_path, fallback_reason)",
+    )
 
     cmp_ = sub.add_parser("compare", help="replay a trace under several schedulers")
     cmp_.add_argument("trace", type=Path)
@@ -558,9 +563,45 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         args.slowstart, record_tasks=args.output is not None,
         sanitize=True if args.sanitize else None, engine=args.engine,
     )
+    if args.format_ == "json":
+        import json as _json
+
+        doc = {
+            "scheduler": result.scheduler_name,
+            "makespan_s": result.makespan,
+            "events_processed": result.events_processed,
+            "events_per_second": result.events_per_second,
+            "engine_path": result.engine_path,
+            "fallback_reason": result.fallback_reason,
+            "deadline_utility": result.relative_deadline_exceeded(),
+            "jobs": [
+                {
+                    "job_id": j.job_id,
+                    "name": j.name,
+                    "submit_time": j.submit_time,
+                    "duration": j.duration,
+                    "deadline": j.deadline,
+                    "met_deadline": j.met_deadline,
+                }
+                for j in result.jobs
+            ],
+        }
+        print(_json.dumps(doc, indent=2))
+        if args.output is not None:
+            from .core.results_io import save_result
+
+            save_result(result, args.output)
+        if args.csv is not None:
+            from .core.results_io import jobs_to_csv
+
+            args.csv.write_text(jobs_to_csv(result))
+        return 0
+    path = result.engine_path or "?"
+    why = f" ({result.fallback_reason})" if result.fallback_reason else ""
     print(f"scheduler={result.scheduler_name} makespan={result.makespan:.1f}s "
           f"events={result.events_processed} "
-          f"({result.events_per_second:,.0f} events/s)")
+          f"({result.events_per_second:,.0f} events/s) "
+          f"engine={path}{why}")
     print(f"{'job':>4} {'name':20} {'submit':>10} {'duration':>10} {'deadline':>10} late")
     for job in result.jobs:
         deadline = f"{job.deadline:.1f}" if job.deadline is not None else "-"
@@ -740,7 +781,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.format_ == "json":
         doc = {
             "cells": [
-                {**c.row(), "cached": c.cached, "event_digest": c.event_digest}
+                {
+                    **c.row(),
+                    "cached": c.cached,
+                    "event_digest": c.event_digest,
+                    "fallback_reason": c.fallback_reason,
+                }
                 for c in result.cells
             ],
             "cache_hits": result.cache_hits,

@@ -259,6 +259,7 @@ class SimulatorEngine:
             makespan=makespan,
             events_processed=processed,
             wall_clock_seconds=wall,
+            engine_path="object",
             event_log=event_log,
         )
 

@@ -28,11 +28,27 @@ static-priority schedule to avoid materialising most of those events:
   the object engine produces, which is what lets the simsan divergence
   toolchain gate this refactor (see ``docs/engine-internals.md``).
 
-Anything outside the kernel's envelope — dynamic schedulers, preemption,
-a pluggable shuffle model, workflow dependencies, or a state-inspecting
-sanitizer — transparently falls back to the object engine, so
-``ColumnarEngine`` is always safe to use; :attr:`ColumnarEngine.last_path`
-reports which path a run took.
+The kernel has two modes.  **Pass mode** (the original design above)
+covers static-priority, non-preemptive runs.  **Segmented-replay mode**
+widens the envelope to preemptive runs and to dynamic schedulers that
+opt into the :class:`~repro.schedulers.base.ColumnarSchedulerMixin`
+contract (Fair, dynamic policy trees): a single inlined event loop that
+reproduces the object engine's heap mechanics bit-for-bit — epochs
+between scheduler decision points replayed with precomputed duration
+columns, preemption kills sliced out of the running-attempt tables with
+the object engine's exact decorate-sort victim order, and dynamic
+priorities recomputed vectorially from the
+:class:`~repro.core.columns.SchedulerColumns` state arrays instead of
+per-dispatch candidate scans.  The event digest is fed in one
+packed-buffer update at the end of the run.
+
+What still falls back to the object engine is a short list: a pluggable
+shuffle model, workflow dependencies (``depends_on``), a
+state-inspecting sanitizer, and dynamic schedulers without the columnar
+contract (Capacity, Flex, DynamicPriority).  ``ColumnarEngine`` is
+always safe to use; :attr:`ColumnarEngine.last_path` reports which path
+a run took and :attr:`ColumnarEngine.last_kernel_mode` which kernel
+mode.
 """
 
 from __future__ import annotations
@@ -40,12 +56,13 @@ from __future__ import annotations
 import math
 import os
 from heapq import heapify, heappop, heappush, heapreplace
+from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 import numpy as np
 
 from .cluster import ClusterConfig
-from .columns import TraceColumns
+from .columns import SchedulerColumns, TraceColumns
 from .engine import SimulatorEngine
 from .job import Job, JobState, TaskRecord, TraceJob
 from .results import JobResult, SimulationResult
@@ -222,29 +239,53 @@ class ColumnarEngine:
             sanitizer = None
         self.sanitizer = sanitizer
         self.last_path: Optional[str] = None
+        #: Which kernel mode the last kernel-path run used: ``"passes"``
+        #: (vectorized multi-pass, static non-preemptive) or ``"replay"``
+        #: (segmented replay: preemption and/or columnar dynamic policy).
+        self.last_kernel_mode: Optional[str] = None
         self.fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # envelope
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _preemption_inert(scheduler: Scheduler) -> bool:
+        """True when ``preemption=True`` provably cannot kill anything.
+
+        A scheduler that never overrides
+        :meth:`~repro.schedulers.base.Scheduler.preemption_requests`
+        (or was built with ``preemptive=False``) always answers with no
+        kill requests, so the run's event stream is identical to the
+        non-preemptive one and the fast pass-mode kernel stays valid.
+        """
+        if type(scheduler).preemption_requests is Scheduler.preemption_requests:
+            return True
+        return getattr(scheduler, "preemptive", None) is False
+
     def _fallback_reason(self, trace: Sequence[TraceJob]) -> Optional[str]:
         """Why this run needs the object engine, or None for the kernel.
 
-        The kernel covers static-priority schedules without preemption:
-        exactly the cases where dispatch order is provably a function of
-        arrivals, gate crossings and slot releases.  A state-inspecting
-        sanitizer needs the object engine's per-event state to check
-        invariants against, so it forces the fallback too (the
-        observe-only :class:`~repro.sanitize.digest.DigestRecorder`
-        declares ``inspects_state = False`` and stays on the kernel).
+        Pass mode covers static-priority schedules without preemption;
+        segmented-replay mode adds preemptive runs and dynamic policies
+        carrying the :class:`~repro.schedulers.base.
+        ColumnarSchedulerMixin` contract.  What remains is a short
+        list.  A state-inspecting sanitizer needs the object engine's
+        per-event state to check invariants against, so it forces the
+        fallback (the observe-only :class:`~repro.sanitize.digest.
+        DigestRecorder` declares ``inspects_state = False`` and stays on
+        the kernel).
         """
-        if self.preemption:
-            return "preemption enabled"
         if self.shuffle_model is not None:
             return "pluggable shuffle model"
-        if not self.scheduler.static_priority:
-            return f"dynamic scheduler {self.scheduler.name!r}"
+        scheduler = self.scheduler
+        if not scheduler.static_priority and not getattr(
+            scheduler, "columnar_capable", False
+        ):
+            return (
+                f"dynamic scheduler {scheduler.name!r} without the "
+                "columnar contract"
+            )
         san = self.sanitizer
         if san is not None and getattr(san, "inspects_state", True):
             return "state-inspecting sanitizer"
@@ -259,6 +300,7 @@ class ColumnarEngine:
         reason = self._fallback_reason(trace)
         if reason is not None:
             self.last_path = "object"
+            self.last_kernel_mode = None
             self.fallback_reason = reason
             engine = SimulatorEngine(
                 self.cluster,
@@ -271,10 +313,570 @@ class ColumnarEngine:
                 sanitize=False if self.sanitizer is None else None,
                 sanitizer=self.sanitizer,
             )
-            return engine.run(trace)
+            result = engine.run(trace)
+            result.engine_path = "object"
+            result.fallback_reason = reason
+            return result
         self.last_path = "kernel"
         self.fallback_reason = None
-        return self._run_kernel(trace)
+        scheduler = self.scheduler
+        if not scheduler.static_priority or (
+            self.preemption and not self._preemption_inert(scheduler)
+        ):
+            self.last_kernel_mode = "replay"
+            result = self._run_replay(trace)
+        else:
+            self.last_kernel_mode = "passes"
+            result = self._run_kernel(trace)
+        result.engine_path = "kernel"
+        result.fallback_reason = None
+        return result
+
+    # ------------------------------------------------------------------ #
+    # segmented replay (preemption / columnar dynamic schedulers)
+    # ------------------------------------------------------------------ #
+
+    def _run_replay(self, trace: Sequence[TraceJob]) -> SimulationResult:
+        """Event replay with kernel-resident state: the wide-envelope mode.
+
+        Covers what pass mode cannot: live preemption and dynamic
+        schedulers carrying the columnar contract.  The schedule here is
+        *not* precomputable, so the loop replays the object engine's
+        heap mechanics exactly — same ``(time, type, seq)`` tuples, same
+        handler effects, hence bit-identical event streams — but with
+        its per-event costs stripped:
+
+        * handlers are inlined into one branch chain ordered by event
+          frequency (no dict dispatch, no bound-method calls);
+        * per-task durations come from cyclic duration *lists*
+          precomputed per job (``_cycled(...).tolist()``), replacing the
+          profile accessors' numpy-scalar extraction on every
+          arrival/rewrite;
+        * dynamic-policy decisions are vectorized: the kernel maintains
+          :class:`~repro.core.columns.SchedulerColumns` state arrays and
+          resolves each epoch's dispatch with eligibility masks plus the
+          policy's ``columnar_key_columns`` and one ``np.lexsort``,
+          instead of rebuilding candidate lists and evaluating Python
+          keys per job per dispatch;
+        * the event digest is fed in one packed-buffer update after the
+          run (pop order is collected as four flat columns), not one
+          ``observe_pop`` call per event.
+
+        Preemption kills reuse the object engine's decorate-sort victim
+        order verbatim, including the stale-departure protocol: a killed
+        attempt's orphaned departure event still pops (counted and
+        digested) and is recognized by its stale sequence number.
+        """
+        wall_start = perf_seconds()
+        SimulatorEngine._validate_dependencies(trace)
+        scheduler = self.scheduler
+        cluster = self.cluster
+        mmpc = self.min_map_percent_completed
+        record_tasks = self.record_tasks
+        n = len(trace)
+        jobs = [Job(i, tj) for i, tj in enumerate(trace)]
+
+        # Cyclic per-task duration lists: the profile accessors'
+        # ``index % size`` lookup, amortized to one list index per event.
+        # Shuffle fallbacks mirror JobProfile.first_shuffle_duration /
+        # typical_shuffle_duration (each substitutes the other's array
+        # when its own is empty).
+        mdl: list[list[float]] = [[]] * n
+        fsl: list[list[float]] = [[]] * n
+        tsl: list[list[float]] = [[]] * n
+        rdl: list[list[float]] = [[]] * n
+        for i, job in enumerate(jobs):
+            profile = job.profile
+            if job.num_maps:
+                mdl[i] = _cycled(profile.map_durations, job.num_maps).tolist()
+            if job.num_reduces:
+                fs_arr = (
+                    profile.first_shuffle_durations
+                    if profile.first_shuffle_durations.size
+                    else profile.typical_shuffle_durations
+                )
+                ts_arr = (
+                    profile.typical_shuffle_durations
+                    if profile.typical_shuffle_durations.size
+                    else profile.first_shuffle_durations
+                )
+                fsl[i] = _cycled(fs_arr, job.num_reduces).tolist()
+                tsl[i] = _cycled(ts_arr, job.num_reduces).tolist()
+                rdl[i] = _cycled(profile.reduce_durations, job.num_reduces).tolist()
+
+        # The event heap, seeded exactly like the object engine: one
+        # JOB_ARRIVAL per trace entry with seq = trace index.
+        heap: list[tuple[float, int, int, int, int]] = [
+            (tj.submit_time, _JOB_ARR, i, i, -1) for i, tj in enumerate(trace)
+        ]
+        heapify(heap)
+        seq_c = n
+
+        free_m = cluster.map_slots
+        free_r = cluster.reduce_slots
+        job_q: list[Job] = []
+        fillers: dict[int, list[int]] = {}
+        preempt = self.preemption
+        # (job_id -> {index: (dep_seq | None for fillers, start, record)});
+        # one dict per kind, mirroring the object engine's (jid, kind) keys.
+        _RT = dict[int, tuple[Optional[int], float, Optional[TaskRecord]]]
+        rt_map: dict[int, _RT] = {}
+        rt_red: dict[int, _RT] = {}
+        records: list[TaskRecord] = []
+        fast = scheduler.static_priority
+        track = not fast
+        mheap: list[tuple[tuple, int]] = []
+        rheap: list[tuple[tuple, int]] = []
+        view = SchedulerColumns(jobs, cluster)
+        key_columns: Any = None
+        if track:
+            getattr(scheduler, "columnar_bind")(view)
+            key_columns = getattr(scheduler, "columnar_key_columns")
+        v_gate = view.gate
+        v_active = view.active
+        v_mdisp = view.mdisp
+        v_mcomp = view.mcomp
+        v_rdisp = view.rdisp
+        v_rcomp = view.rcomp
+        v_nmaps = view.nmaps
+        v_nreds = view.nreds
+        v_capm = view.capm
+        v_capr = view.capr
+
+        collect = self.sanitizer is not None or self.record_events
+        ev_t: list[float] = []
+        ev_e: list[int] = []
+        ev_j: list[int] = []
+        ev_k: list[int] = []
+        app_t = ev_t.append
+        app_e = ev_e.append
+        app_j = ev_j.append
+        app_k = ev_k.append
+
+        push = heappush
+        _RUNNING = JobState.RUNNING
+
+        def offer_map(job: Job) -> None:
+            if fast and not job.in_map_heap:
+                if job.state is not _RUNNING or job.maps_dispatched >= job.num_maps:
+                    return
+                cap = job.wanted_map_slots
+                if cap is not None and job.maps_dispatched - job.maps_completed >= cap:
+                    return
+                job.in_map_heap = True
+                push(mheap, (job.sched_key, job.job_id))
+
+        def offer_reduce(job: Job) -> None:
+            if fast and not job.in_reduce_heap:
+                if (
+                    job.state is not _RUNNING
+                    or job.reduces_dispatched >= job.num_reduces
+                    or job.maps_completed < job.reduce_gate
+                ):
+                    return
+                cap = job.wanted_reduce_slots
+                if (
+                    cap is not None
+                    and job.reduces_dispatched - job.reduces_completed >= cap
+                ):
+                    return
+                job.in_reduce_heap = True
+                push(rheap, (job.sched_key, job.job_id))
+
+        def maybe_depart(job: Job, now: float) -> None:
+            nonlocal seq_c
+            if job.is_complete and job.state is not JobState.COMPLETED:
+                job.state = JobState.COMPLETED
+                job.completion_time = now
+                job_q.remove(job)
+                scheduler.on_job_departure(job, now)
+                push(heap, (now, _JOB_DEP, seq_c, job.job_id, -1))
+                seq_c += 1
+                if track:
+                    v_active[job.job_id] = False
+                    if now > view.now:
+                        view.now = now
+
+        def kill_tasks(victim: Job, kind_map: bool, count: int, now: float) -> None:
+            nonlocal free_m, free_r
+            vid = victim.job_id
+            running = rt_map.get(vid) if kind_map else rt_red.get(vid)
+            if not running:
+                return
+            # Decorate-sort identical to SimulatorEngine._kill_tasks:
+            # stable reverse sort on start time keeps equal-start attempts
+            # in dict insertion order — youngest attempts killed first.
+            youngest_first = [
+                (start, index, dep_seq, record)
+                for index, (dep_seq, start, record) in running.items()
+            ]
+            youngest_first.sort(key=itemgetter(0), reverse=True)
+            killed = 0
+            for _start, index, dep_seq, record in youngest_first[:count]:
+                del running[index]
+                if record is not None:
+                    record.end = now
+                    record.killed = True
+                if kind_map:
+                    victim.maps_dispatched -= 1
+                    victim.requeued_maps.append(index)
+                    free_m += 1
+                    if track:
+                        v_mdisp[vid] -= 1.0
+                else:
+                    victim.reduces_dispatched -= 1
+                    victim.requeued_reduces.append(index)
+                    free_r += 1
+                    if track:
+                        v_rdisp[vid] -= 1.0
+                    if dep_seq is None:
+                        # A filler awaiting the map stage: cancel its rewrite.
+                        filler_list = fillers.get(vid)
+                        if filler_list and index in filler_list:
+                            filler_list.remove(index)
+                killed += 1
+            if killed:
+                offer_map(victim)
+                offer_reduce(victim)
+
+        def dispatch(job: Job, now: float, kind_map: bool) -> None:
+            nonlocal free_m, free_r, seq_c
+            jid = job.job_id
+            if kind_map:
+                free_m -= 1
+                if job.requeued_maps:
+                    index = job.requeued_maps.pop()
+                else:
+                    index = job.next_map_index
+                    job.next_map_index = index + 1
+                job.maps_dispatched += 1
+                if job.start_time is None:
+                    job.start_time = now
+                push(heap, (now, _MAP_ARR, seq_c, jid, index))
+            else:
+                free_r -= 1
+                if job.requeued_reduces:
+                    index = job.requeued_reduces.pop()
+                else:
+                    index = job.next_reduce_index
+                    job.next_reduce_index = index + 1
+                job.reduces_dispatched += 1
+                if job.start_time is None:
+                    job.start_time = now
+                push(heap, (now, _RED_ARR, seq_c, jid, index))
+            seq_c += 1
+
+        def allocate_static(now: float) -> None:
+            while free_m > 0 and mheap:
+                job = jobs[mheap[0][1]]
+                cap = job.wanted_map_slots
+                if (
+                    job.state is not _RUNNING
+                    or job.maps_dispatched >= job.num_maps
+                    or (
+                        cap is not None
+                        and job.maps_dispatched - job.maps_completed >= cap
+                    )
+                ):
+                    heappop(mheap)
+                    job.in_map_heap = False
+                    continue
+                dispatch(job, now, True)
+            while free_r > 0 and rheap:
+                job = jobs[rheap[0][1]]
+                cap = job.wanted_reduce_slots
+                if (
+                    job.state is not _RUNNING
+                    or job.reduces_dispatched >= job.num_reduces
+                    or job.maps_completed < job.reduce_gate
+                    or (
+                        cap is not None
+                        and job.reduces_dispatched - job.reduces_completed >= cap
+                    )
+                ):
+                    heappop(rheap)
+                    job.in_reduce_heap = False
+                    continue
+                dispatch(job, now, False)
+
+        def allocate_dynamic(now: float) -> None:
+            # Vectorized epoch decision: one eligibility mask per side,
+            # updated in place for the dispatched job only (nothing else
+            # changes between dispatches of the same epoch), then the
+            # policy's key columns + one lexsort with the kernel-appended
+            # job_id tie-break.  ``min(candidates, key=...)`` with a
+            # total key picks the same job regardless of candidate
+            # order, so increasing-id candidates are sound.
+            if free_m > 0:
+                el = v_active & (v_mdisp < v_nmaps) & (v_mdisp - v_mcomp < v_capm)
+                while free_m > 0:
+                    cand = el.nonzero()[0]
+                    k = cand.size
+                    if k == 0:
+                        break
+                    if k == 1:
+                        pick = int(cand[0])
+                    else:
+                        view.queue_depth = float(k)
+                        view.free_map = float(free_m)
+                        view.free_reduce = float(free_r)
+                        cols = key_columns(view, cand, "map")
+                        order = np.lexsort((cand,) + tuple(reversed(cols)))
+                        pick = int(cand[order[0]])
+                    dispatch(jobs[pick], now, True)
+                    d = v_mdisp[pick] + 1.0
+                    v_mdisp[pick] = d
+                    el[pick] = d < v_nmaps[pick] and d - v_mcomp[pick] < v_capm[pick]
+            if free_r > 0:
+                el = (
+                    v_active
+                    & (v_rdisp < v_nreds)
+                    & (v_mcomp >= v_gate)
+                    & (v_rdisp - v_rcomp < v_capr)
+                )
+                while free_r > 0:
+                    cand = el.nonzero()[0]
+                    k = cand.size
+                    if k == 0:
+                        break
+                    if k == 1:
+                        pick = int(cand[0])
+                    else:
+                        view.queue_depth = float(k)
+                        view.free_map = float(free_m)
+                        view.free_reduce = float(free_r)
+                        cols = key_columns(view, cand, "reduce")
+                        order = np.lexsort((cand,) + tuple(reversed(cols)))
+                        pick = int(cand[order[0]])
+                    dispatch(jobs[pick], now, False)
+                    d = v_rdisp[pick] + 1.0
+                    v_rdisp[pick] = d
+                    el[pick] = d < v_nreds[pick] and d - v_rcomp[pick] < v_capr[pick]
+
+        allocate = allocate_static if fast else allocate_dynamic
+
+        processed = 0
+        record: Optional[TaskRecord]
+        while heap:
+            now, etype, seq, jid, ti = heappop(heap)
+            processed += 1
+            if collect:
+                app_t(now)
+                app_e(etype)
+                app_j(jid)
+                app_k(ti)
+            job = jobs[jid]
+            if etype == _MAP_DEP:
+                if preempt:
+                    running = rt_map.get(jid)
+                    entry = running.get(ti) if running else None
+                    if entry is None or entry[0] != seq:
+                        continue  # stale departure of a killed attempt
+                    del running[ti]  # type: ignore[union-attr]
+                job.maps_completed += 1
+                free_m += 1
+                if track:
+                    v_mcomp[jid] += 1.0
+                if job.maps_completed >= job.num_maps and job.map_stage_end is None:
+                    job.map_stage_end = now
+                    push(heap, (now, _ALL_MAPS, seq_c, jid, -1))
+                    seq_c += 1
+                    if job.num_reduces == 0:
+                        maybe_depart(job, now)
+                else:
+                    offer_map(job)
+                offer_reduce(job)
+                allocate(now)
+            elif etype == _MAP_ARR:
+                end = now + mdl[jid][ti]
+                record = None
+                if record_tasks:
+                    record = TaskRecord(
+                        kind="map", job_id=jid, index=ti, start=now, end=end
+                    )
+                    job.map_records.append(record)
+                    records.append(record)
+                push(heap, (end, _MAP_DEP, seq_c, jid, ti))
+                if preempt:
+                    d_map = rt_map.get(jid)
+                    if d_map is None:
+                        d_map = {}
+                        rt_map[jid] = d_map
+                    d_map[ti] = (seq_c, now, record)
+                seq_c += 1
+            elif etype == _RED_DEP:
+                if preempt:
+                    running = rt_red.get(jid)
+                    entry = running.get(ti) if running else None
+                    if entry is None or entry[0] != seq:
+                        continue  # stale departure of a killed attempt
+                    del running[ti]  # type: ignore[union-attr]
+                job.reduces_completed += 1
+                free_r += 1
+                if track:
+                    v_rcomp[jid] += 1.0
+                maybe_depart(job, now)
+                offer_reduce(job)
+                allocate(now)
+            elif etype == _RED_ARR:
+                if job.maps_completed < job.num_maps:
+                    # First wave overlapping the map stage: an infinite
+                    # filler, rewritten by ALL_MAPS_FINISHED.
+                    record = None
+                    if record_tasks:
+                        record = TaskRecord(
+                            kind="reduce", job_id=jid, index=ti, start=now,
+                            first_wave=True,
+                        )
+                        job.reduce_records.append(record)
+                        records.append(record)
+                    fl = fillers.get(jid)
+                    if fl is None:
+                        fillers[jid] = [ti]
+                    else:
+                        fl.append(ti)
+                    if preempt:
+                        d_red = rt_red.get(jid)
+                        if d_red is None:
+                            d_red = {}
+                            rt_red[jid] = d_red
+                        d_red[ti] = (None, now, record)
+                else:
+                    mse = job.map_stage_end
+                    first_wave = mse is not None and now <= mse
+                    shuffle = fsl[jid][ti] if first_wave else tsl[jid][ti]
+                    shuffle_end = now + shuffle
+                    end = shuffle_end + rdl[jid][ti]
+                    record = None
+                    if record_tasks:
+                        record = TaskRecord(
+                            kind="reduce", job_id=jid, index=ti, start=now,
+                            end=end, shuffle_end=shuffle_end,
+                            first_wave=first_wave,
+                        )
+                        job.reduce_records.append(record)
+                        records.append(record)
+                    push(heap, (end, _RED_DEP, seq_c, jid, ti))
+                    if preempt:
+                        d_red = rt_red.get(jid)
+                        if d_red is None:
+                            d_red = {}
+                            rt_red[jid] = d_red
+                        d_red[ti] = (seq_c, now, record)
+                    seq_c += 1
+            elif etype == _ALL_MAPS:
+                fl2 = fillers.pop(jid, None)
+                if fl2:
+                    fs_j = fsl[jid]
+                    rd_j = rdl[jid]
+                    running = rt_red.get(jid) if preempt else None
+                    for index in fl2:
+                        shuffle_end = now + fs_j[index]
+                        end = shuffle_end + rd_j[index]
+                        if preempt:
+                            entry = running.get(index) if running else None
+                            record = entry[2] if entry else None
+                        else:
+                            entry = None
+                            record = (
+                                job.reduce_records[index] if record_tasks else None
+                            )
+                        if record is not None:
+                            record.shuffle_end = shuffle_end
+                            record.end = end
+                        push(heap, (end, _RED_DEP, seq_c, jid, index))
+                        if preempt and entry is not None:
+                            running[index] = (  # type: ignore[index]
+                                seq_c, entry[1], entry[2],
+                            )
+                        seq_c += 1
+            elif etype == _JOB_ARR:
+                job.state = _RUNNING
+                job.reduce_gate = mmpc * job.num_maps
+                if job.num_maps == 0:
+                    job.map_stage_end = now
+                job_q.append(job)
+                scheduler.on_job_arrival(job, now, cluster)
+                if fast:
+                    job.sched_key = scheduler.priority_key(job)
+                    offer_map(job)
+                    offer_reduce(job)
+                else:
+                    v_gate[jid] = job.reduce_gate
+                    cap_m = job.wanted_map_slots
+                    if cap_m is not None:
+                        v_capm[jid] = float(cap_m)
+                    cap_r = job.wanted_reduce_slots
+                    if cap_r is not None:
+                        v_capr[jid] = float(cap_r)
+                    v_active[jid] = True
+                    if now > view.now:
+                        view.now = now
+                if preempt:
+                    others = [j for j in job_q if j is not job]
+                    for victim, vkind, count in scheduler.preemption_requests(
+                        job, others, cluster, free_m, free_r
+                    ):
+                        if victim.state is _RUNNING and count > 0:
+                            kill_tasks(victim, vkind == "map", count, now)
+                allocate(now)
+            # else: _JOB_DEP — bookkeeping already done in maybe_depart.
+
+        stuck = [j for j in jobs if j.state is not JobState.COMPLETED]
+        if stuck:
+            names = ", ".join(f"{j.job_id}:{j.name}" for j in stuck[:5])
+            more = "..." if len(stuck) > 5 else ""
+            raise RuntimeError(
+                f"simulation stalled with {len(stuck)} unfinished job(s) "
+                f"({names}{more}): the cluster cannot run their tasks (e.g. "
+                "reduce tasks with zero reduce slots) or the policy never "
+                "schedules them"
+            )
+
+        san = self.sanitizer
+        if san is not None:
+            from ..sanitize.digest import EventDigest
+
+            san.begin_run(self, trace)
+            digest = getattr(san, "digest", None)
+            t_arr = np.asarray(ev_t, dtype=np.float64)
+            e_arr = np.asarray(ev_e, dtype=np.int64)
+            j_arr = np.asarray(ev_j, dtype=np.int64)
+            k_arr = np.asarray(ev_k, dtype=np.int64)
+            if isinstance(digest, EventDigest):
+                digest.update_many(t_arr, e_arr, j_arr, k_arr)
+            else:  # pragma: no cover - custom observe-only sanitizers
+                for i in range(len(t_arr)):
+                    san.observe_pop(
+                        float(t_arr[i]), int(e_arr[i]), i,
+                        int(j_arr[i]), int(k_arr[i]),
+                    )
+            san.end_run(self)
+
+        event_log: list = []
+        if self.record_events:
+            from .events import Event, EventType
+
+            # Collected in true pop order already — no sort needed.
+            event_log = [
+                Event(t_i, EventType(e_i), j_i, k_i if k_i >= 0 else None)
+                for t_i, e_i, j_i, k_i in zip(ev_t, ev_e, ev_j, ev_k)
+            ]
+
+        wall = elapsed_since(wall_start)
+        makespan = max(
+            (j.completion_time for j in jobs if j.completion_time is not None),
+            default=0.0,
+        )
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            jobs=[JobResult.from_job(j) for j in jobs],
+            task_records=records,
+            makespan=makespan,
+            events_processed=processed,
+            wall_clock_seconds=wall,
+            event_log=event_log,
+        )
 
     # ------------------------------------------------------------------ #
     # kernel

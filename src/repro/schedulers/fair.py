@@ -11,14 +11,39 @@ When a slot frees, the policy grants it to the most *deficient* pool
 fewest running tasks of the requested kind (ties: submission order).
 Data locality / delay scheduling is out of scope — SimMR does not model
 task placement, only slot counts.
+
+HFS also preempts: when a pool is starved below its fair share, the
+scheduler kills tasks from pools running *over* their share so the
+starved pool can reach it (victims rerun from scratch — Hadoop kill
+semantics, the same mechanism the preemptive EDF variants use).
+``FairScheduler(preemptive=True)`` enables a simplified instantaneous
+version of that rule, consulted on every job arrival when the engine
+runs with ``preemption=True``: real HFS waits out a configurable
+timeout before killing, which a discrete-event replay collapses to
+"immediately on arrival".
+
+Fair also carries the :class:`~repro.schedulers.base.
+ColumnarSchedulerMixin` contract: its whole decision is a function of
+running-task counts the columnar kernel maintains as arrays, so the
+kernel recomputes the ``(pool deficiency, job running, submit)`` key
+columns vectorially per epoch — ``np.bincount`` over a per-job pool
+index built once per run — instead of rebuilding the pool table in
+Python per dispatch.  Digest identity with the object path is asserted
+in ``tests/test_columnar_kernel.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from ..core.job import Job
-from .base import Scheduler
+from .base import ColumnarSchedulerMixin, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cluster import ClusterConfig
+    from ..core.columns import SchedulerColumns
 
 __all__ = ["FairScheduler"]
 
@@ -29,7 +54,7 @@ def _default_pool(job: Job) -> str:
     return job.profile.name
 
 
-class FairScheduler(Scheduler):
+class FairScheduler(ColumnarSchedulerMixin, Scheduler):
     """Weighted max-min fair sharing of map and reduce slots.
 
     Parameters
@@ -39,6 +64,10 @@ class FairScheduler(Scheduler):
         name (each application is its own pool).
     weights:
         Pool name -> weight.  Pools absent from the mapping get weight 1.
+    preemptive:
+        Kill tasks from over-share pools when an arrival's pool cannot
+        reach its fair share from free slots alone (requires the engine
+        to run with ``preemption=True``; see the module docstring).
     """
 
     name = "Fair"
@@ -47,15 +76,89 @@ class FairScheduler(Scheduler):
         self,
         pool_of: Optional[PoolFn] = None,
         weights: Optional[Mapping[str, float]] = None,
+        *,
+        preemptive: bool = False,
     ) -> None:
         self.pool_of: PoolFn = pool_of or _default_pool
         self.weights: dict[str, float] = dict(weights or {})
         for pool, w in self.weights.items():
             if w <= 0:
                 raise ValueError(f"pool {pool!r} has non-positive weight {w}")
+        self.preemptive = preemptive
+        if preemptive:
+            self.name = "Fair+P"
+        self._col_pool: Optional[np.ndarray] = None
+        self._col_weight: Optional[np.ndarray] = None
+        self._n_pools = 0
 
     def _weight(self, pool: str) -> float:
         return self.weights.get(pool, 1.0)
+
+    def preemption_requests(
+        self,
+        job: Job,
+        running_jobs: Sequence[Job],
+        cluster: "ClusterConfig",
+        free_map_slots: int,
+        free_reduce_slots: int,
+    ) -> list[tuple[Job, str, int]]:
+        """Kills restoring the arriving job's pool to its fair share.
+
+        The arrival's pool is entitled to ``floor(total * w / sum(w))``
+        slots of each kind (weights summed over the pools currently
+        present).  If pending work plus free slots cannot reach that
+        entitlement, tasks are reclaimed from pools running *over* their
+        own entitlement — greatest surplus first, never driving a victim
+        pool below its share, jobs within a pool yielding most-running
+        first (ties: latest submission).  Mirrors HFS's guarantee that
+        preemption only ever moves pools *toward* their fair shares.
+        """
+        if not self.preemptive:
+            return []
+        active = [job, *running_jobs]
+        pools = sorted({self.pool_of(j) for j in active})
+        total_weight = sum(self._weight(p) for p in pools)
+        my_pool = self.pool_of(job)
+        requests: list[tuple[Job, str, int]] = []
+        for kind, free, total in (
+            ("map", free_map_slots, cluster.map_slots),
+            ("reduce", free_reduce_slots, cluster.reduce_slots),
+        ):
+            pending = job.pending_maps if kind == "map" else job.pending_reduces
+            running = (
+                (lambda j: j.running_maps)
+                if kind == "map"
+                else (lambda j: j.running_reduces)
+            )
+            pool_running: dict[str, int] = {p: 0 for p in pools}
+            for other in active:
+                pool_running[self.pool_of(other)] += running(other)
+            entitled = {
+                p: int(total * self._weight(p) / total_weight) for p in pools
+            }
+            need = min(pending, entitled[my_pool] - pool_running[my_pool]) - free
+            if need <= 0:
+                continue
+            surplus = {p: pool_running[p] - entitled[p] for p in pools}
+            victims = sorted(
+                (j for j in running_jobs if running(j) > 0),
+                key=lambda j: (
+                    -surplus[self.pool_of(j)],
+                    -running(j),
+                    -j.submit_time,
+                    -j.job_id,
+                ),
+            )
+            for victim in victims:
+                if need <= 0:
+                    break
+                pool = self.pool_of(victim)
+                take = min(running(victim), surplus[pool], need)
+                if take > 0:
+                    requests.append((victim, kind, take))
+                    surplus[pool] -= take
+                    need -= take
+        return requests
 
     def _choose(self, job_queue: Sequence[Job], kind: str) -> Optional[Job]:
         if not job_queue:
@@ -81,3 +184,44 @@ class FairScheduler(Scheduler):
 
     def choose_next_reduce_task(self, job_queue: Sequence[Job]) -> Optional[Job]:
         return self._choose(job_queue, "reduce")
+
+    # -- columnar contract (the kernel's vectorized epoch decisions) -------
+
+    def columnar_bind(self, view: "SchedulerColumns") -> None:
+        """Intern each job's pool once; choices then never call pool_of."""
+        jobs = view.jobs
+        pools: dict[str, int] = {}
+        pidx = np.empty(len(jobs), dtype=np.int64)
+        for i, job in enumerate(jobs):
+            name = self.pool_of(job)
+            pid = pools.get(name)
+            if pid is None:
+                pid = len(pools)
+                pools[name] = pid
+            pidx[i] = pid
+        weights = np.empty(len(pools), dtype=np.float64)
+        for name, pid in pools.items():
+            weights[pid] = self._weight(name)
+        self._col_pool = pidx
+        self._col_weight = weights
+        self._n_pools = len(pools)
+
+    def columnar_key_columns(
+        self, view: "SchedulerColumns", ids: np.ndarray, kind: str
+    ) -> tuple[np.ndarray, ...]:
+        """``(pool deficiency, job running, submit)`` over the candidates.
+
+        Matches :meth:`_choose` exactly: the pool table sums running
+        tasks over the *eligible* jobs only, and the per-pool division
+        is the same float64 ``int-sum / weight`` the scalar key computes
+        (``np.bincount`` float64 sums of small integers are exact).
+        """
+        if kind == "map":
+            run = (view.mdisp - view.mcomp)[ids]
+        else:
+            run = (view.rdisp - view.rcomp)[ids]
+        assert self._col_pool is not None and self._col_weight is not None
+        pool = self._col_pool[ids]
+        pool_running = np.bincount(pool, weights=run, minlength=self._n_pools)
+        share = pool_running[pool] / self._col_weight[pool]
+        return (share, run, view.submit[ids])

@@ -138,6 +138,11 @@ class SweepCell:
     #: BLAKE2b fingerprint of the replay's event stream (None when the
     #: sweep ran with ``digest=False``).
     event_digest: Optional[str] = None
+    #: Which execution path produced this cell: ``"kernel"`` or
+    #: ``"object"`` (None on results predating the accounting).
+    engine_path: Optional[str] = None
+    #: Why the columnar engine fell back to the object loop, if it did.
+    fallback_reason: Optional[str] = None
 
     def row(self) -> dict:
         return {
@@ -149,6 +154,7 @@ class SweepCell:
             "mean_T_J_s": self.mean_duration,
             "p95_T_J_s": self.p95_duration,
             "deadline_utility": self.deadline_utility,
+            "engine_path": self.engine_path or "",
         }
 
 
@@ -257,6 +263,8 @@ def run_sweep(
                 deadline_utility=result.relative_deadline_exceeded(),
                 cached=outcome.cached,
                 event_digest=result.event_digest,
+                engine_path=result.engine_path,
+                fallback_reason=result.fallback_reason,
             )
         )
     return SweepResult(cells=cells, cache_hits=hits)

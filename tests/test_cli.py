@@ -77,6 +77,36 @@ class TestProfileAndReplay:
         text = capsys.readouterr().out
         assert "makespan" in text
         assert "app" in text
+        assert "engine=kernel" in text
+
+    def test_replay_json_format_reports_engine_path(
+        self, history_file, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "trace.json"
+        main(["profile", str(history_file), str(out)])
+        capsys.readouterr()
+        assert main(["replay", str(out), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["engine_path"] == "kernel"
+        assert doc["fallback_reason"] is None
+        assert doc["jobs"] and doc["makespan_s"] > 0
+
+    def test_replay_json_format_names_fallback(
+        self, history_file, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "trace.json"
+        main(["profile", str(history_file), str(out)])
+        capsys.readouterr()
+        assert main(
+            ["replay", str(out), "--scheduler", "dp", "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["engine_path"] == "object"
+        assert "without the columnar contract" in doc["fallback_reason"]
 
     def test_compare_subcommand(self, history_file, tmp_path, capsys):
         out = tmp_path / "trace.json"

@@ -5,9 +5,11 @@ for every workload it claims, it must produce the **bit-identical**
 event stream the object engine produces — same BLAKE2b digest, same
 event count, same task records, same results.  These tests assert that
 contract across the full scheduler zoo, the slow-start range, slot
-caps, degenerate job shapes, and the simsan dual-run divergence check,
-and pin the fallback envelope for everything the kernel does not claim.
-See ``docs/engine-internals.md`` for the design.
+caps, degenerate job shapes, live preemption (segmented replay mode),
+columnar dynamic schedulers (Fair and compiled policy trees), and the
+simsan dual-run divergence check, and pin the fallback envelope for
+everything the kernel does not claim.  See ``docs/engine-internals.md``
+for the design.
 """
 
 from __future__ import annotations
@@ -20,13 +22,27 @@ from repro.core.kernel import ColumnarEngine
 from repro.experiments.scheduler_zoo import ZOO_POLICIES
 from repro.sanitize.digest import DigestRecorder, EventDigest, dual_run
 from repro.sanitize.sanitizer import Sanitizer
-from repro.schedulers import CappedFIFOScheduler, FIFOScheduler
+from repro.schedulers import (
+    CappedFIFOScheduler,
+    FIFOScheduler,
+    MaxEDFScheduler,
+    MinEDFScheduler,
+)
 
 from conftest import make_constant_profile, make_random_profile
 
-#: Zoo policies the kernel runs natively (static priority, no caps set
-#: by the engine itself — MinEDF sets per-job caps, still static).
+#: Zoo policies the kernel runs natively in pass mode (static priority,
+#: no caps set by the engine itself — MinEDF sets per-job caps, still
+#: static).
 STATIC_POLICIES = ("FIFO", "MaxEDF", "MinEDF")
+#: Dynamic zoo policies that carry the ColumnarSchedulerMixin contract —
+#: the kernel runs them in segmented-replay mode.
+COLUMNAR_DYNAMIC_POLICIES = ("Fair",)
+#: Dynamic zoo policies without the contract: still fall back.
+FALLBACK_POLICIES = tuple(
+    p for p in ZOO_POLICIES
+    if p not in STATIC_POLICIES and p not in COLUMNAR_DYNAMIC_POLICIES
+)
 DYNAMIC_POLICIES = tuple(p for p in ZOO_POLICIES if p not in STATIC_POLICIES)
 
 
@@ -102,14 +118,23 @@ class TestDigestIdentityMatrix:
         )
         engine.run(make_zoo_trace())
         assert engine.last_path == "kernel"
+        assert engine.last_kernel_mode == "passes"
         assert engine.fallback_reason is None
 
-    @pytest.mark.parametrize("policy", DYNAMIC_POLICIES)
-    def test_dynamic_policies_fall_back(self, policy):
+    @pytest.mark.parametrize("policy", COLUMNAR_DYNAMIC_POLICIES)
+    def test_columnar_dynamic_policies_take_replay_mode(self, policy):
+        engine = ColumnarEngine(ClusterConfig(16, 8), ZOO_POLICIES[policy]())
+        engine.run(make_zoo_trace())
+        assert engine.last_path == "kernel"
+        assert engine.last_kernel_mode == "replay"
+        assert engine.fallback_reason is None
+
+    @pytest.mark.parametrize("policy", FALLBACK_POLICIES)
+    def test_uncontracted_dynamic_policies_fall_back(self, policy):
         engine = ColumnarEngine(ClusterConfig(16, 8), ZOO_POLICIES[policy]())
         engine.run(make_zoo_trace())
         assert engine.last_path == "object"
-        assert "dynamic scheduler" in engine.fallback_reason
+        assert "without the columnar contract" in engine.fallback_reason
 
     @pytest.mark.parametrize("slowstart", [0.0, 0.05, 0.5, 1.0])
     def test_slowstart_range(self, slowstart):
@@ -168,22 +193,284 @@ class TestDigestIdentityMatrix:
             )
 
 
-class TestFallbackEnvelope:
-    def test_preemption_falls_back(self):
+def make_deadline_trace(seed: int = 7, n: int = 24) -> list[TraceJob]:
+    """Like the zoo trace but every job has a deadline — tight ones mixed
+    in so preemptive EDF variants actually kill tasks."""
+    rng = np.random.default_rng(seed)
+    trace = []
+    for i in range(n):
+        num_maps = int(rng.integers(1, 20))
+        num_reduces = int(rng.integers(0, 8))
+        profile = JobProfile(
+            name=rng.choice(["WikiTrends", "Bayes", "Sort", "Grep"]),
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            map_durations=rng.uniform(1, 40, num_maps),
+            first_shuffle_durations=rng.uniform(1, 6, max(num_reduces, 1)),
+            typical_shuffle_durations=rng.uniform(1, 5, max(num_reduces, 1)),
+            reduce_durations=rng.uniform(0.5, 8, max(num_reduces, 1)),
+        )
+        submit = float(rng.uniform(0, 80))
+        slack = float(rng.uniform(10, 60)) if rng.random() < 0.5 else float(
+            rng.uniform(100, 600)
+        )
+        trace.append(TraceJob(profile, submit, deadline=submit + slack))
+    return trace
+
+
+class TestPreemptiveReplayIdentity:
+    """Live preemption on the kernel's segmented-replay mode: every kill,
+    requeue, and stale departure must hash identically to the object
+    engine's preemptive run."""
+
+    FACTORIES = {
+        "MaxEDF+P": lambda: MaxEDFScheduler(preemptive=True),
+        "MinEDF+P": lambda: MinEDFScheduler(preemptive=True),
+    }
+
+    @pytest.mark.parametrize("cluster", [(4, 2), (16, 8), (64, 64)])
+    @pytest.mark.parametrize("policy", sorted(FACTORIES))
+    def test_preemptive_edf_bit_identical(self, policy, cluster):
+        trace = make_deadline_trace(seed=23)
+        assert_identical(
+            trace, self.FACTORIES[policy], ClusterConfig(*cluster),
+            preemption=True,
+        )
+
+    @pytest.mark.parametrize("seed", [7, 11, 99])
+    def test_preemptive_seeds_bit_identical(self, seed):
+        trace = make_deadline_trace(seed=seed)
+        assert_identical(
+            trace, self.FACTORIES["MaxEDF+P"], ClusterConfig(8, 4),
+            preemption=True,
+        )
+
+    @pytest.mark.parametrize("slowstart", [0.0, 0.5, 1.0])
+    def test_preemption_x_slowstart(self, slowstart):
+        trace = make_deadline_trace(seed=11)
+        assert_identical(
+            trace, self.FACTORIES["MinEDF+P"], ClusterConfig(8, 4),
+            preemption=True, min_map_percent_completed=slowstart,
+        )
+
+    def test_preemptive_runs_actually_kill(self):
+        """The matrix above is vacuous unless kills happen — prove they do."""
+        trace = make_deadline_trace(seed=23)
+        result = simulate(
+            trace, MaxEDFScheduler(preemptive=True), ClusterConfig(16, 8),
+            engine="columnar", preemption=True, sanitize=False,
+        )
+        assert any(r.killed for r in result.task_records)
+
+    def test_live_preemption_takes_replay_mode(self):
+        engine = ColumnarEngine(
+            ClusterConfig(8, 4), MaxEDFScheduler(preemptive=True),
+            preemption=True,
+        )
+        engine.run(make_deadline_trace(n=8))
+        assert engine.last_path == "kernel"
+        assert engine.last_kernel_mode == "replay"
+        assert engine.fallback_reason is None
+
+    def test_inert_preemption_stays_in_pass_mode(self):
+        """FIFO never requests kills, so preemption=True is provably a
+        no-op and the fast pass-mode kernel remains valid."""
         engine = ColumnarEngine(
             ClusterConfig(8, 4), FIFOScheduler(), preemption=True
         )
         engine.run(make_zoo_trace(n=6))
-        assert engine.last_path == "object"
-        assert engine.fallback_reason == "preemption enabled"
+        assert engine.last_path == "kernel"
+        assert engine.last_kernel_mode == "passes"
 
+
+class TestColumnarDynamicIdentity:
+    """Fair and compiled dynamic policy trees on the replay mode."""
+
+    @pytest.mark.parametrize("cluster", [(4, 2), (16, 8), (64, 64)])
+    def test_fair_bit_identical(self, cluster):
+        from repro.schedulers import FairScheduler
+
+        trace = make_zoo_trace(seed=7)
+        assert_identical(trace, FairScheduler, ClusterConfig(*cluster))
+
+    def test_fair_with_weights_bit_identical(self):
+        from repro.schedulers import FairScheduler
+
+        trace = make_zoo_trace(seed=11)
+        factory = lambda: FairScheduler(
+            weights={"Sort": 3.0, "Grep": 0.5, "Bayes": 2.0}
+        )
+        assert_identical(trace, factory, ClusterConfig(8, 4))
+
+    def test_fair_with_inert_preemption_flag(self):
+        """Default Fair is built with preemptive=False: preemption=True
+        routes through replay's preemption bookkeeping without kills."""
+        from repro.schedulers import FairScheduler
+
+        trace = make_zoo_trace(seed=23)
+        assert_identical(
+            trace, FairScheduler, ClusterConfig(8, 4), preemption=True
+        )
+
+    @pytest.mark.parametrize("cluster", [(8, 4), (16, 8)])
+    def test_fair_preemptive_live_kills_bit_identical(self, cluster):
+        """Fair+P (HFS-style preemption) on the replay mode: hundreds of
+        live kills, object and kernel event streams bit-for-bit equal."""
+        from repro.schedulers import FairScheduler
+
+        trace = make_zoo_trace(seed=31, n=40)
+        factory = lambda: FairScheduler(preemptive=True)
+        (res_o, _), (res_c, _) = run_both(
+            trace, factory, ClusterConfig(*cluster), preemption=True
+        )
+        kills = sum(1 for r in res_c.task_records if r.killed)
+        assert kills > 0
+        assert kills == sum(1 for r in res_o.task_records if r.killed)
+        assert_identical(
+            trace, factory, ClusterConfig(*cluster), preemption=True
+        )
+
+    @pytest.mark.parametrize("slowstart", [0.0, 0.5, 1.0])
+    def test_fair_x_slowstart(self, slowstart):
+        from repro.schedulers import FairScheduler
+
+        trace = make_zoo_trace(seed=13)
+        assert_identical(
+            trace, FairScheduler, ClusterConfig(8, 4),
+            min_map_percent_completed=slowstart,
+        )
+
+    TREES = {
+        "mix": {
+            "version": 1,
+            "name": "dyn-mix",
+            "tree": {
+                "score": [
+                    {"feature": "running_maps", "weight": 1.0},
+                    {"feature": "pending_reduces", "weight": 0.25},
+                    {"feature": "job_age", "weight": -0.01},
+                    {"feature": "deadline_slack", "weight": 0.001},
+                ],
+                "bias": 2.0,
+            },
+        },
+        "switch": {
+            "version": 1,
+            "name": "dyn-switch",
+            "tree": {
+                "if": {"feature": "queue_depth", "op": ">", "value": 4},
+                "then": {"score": [{"feature": "submit_time", "weight": 1.0}]},
+                "else": {"score": [{"feature": "deadline", "weight": 1.0}]},
+            },
+        },
+        "slots": {
+            "version": 1,
+            "name": "dyn-slots",
+            "tree": {
+                "if": {"feature": "free_map_slots", "op": "<=", "value": 2},
+                "then": {
+                    "score": [
+                        {"feature": "map_fraction_completed", "weight": -1.0}
+                    ]
+                },
+                "else": {"score": [{"feature": "total_work", "weight": 0.001}]},
+            },
+        },
+        "direct": {
+            "version": 1,
+            "name": "dyn-direct",
+            "tree": {"score": [{"feature": "running_reduces", "weight": 1.0}]},
+        },
+    }
+
+    @pytest.mark.parametrize("tree", sorted(TREES))
+    def test_policy_trees_bit_identical(self, tree):
+        from repro.policy.compiler import compile_policy
+
+        doc = self.TREES[tree]
+        trace = make_zoo_trace(seed=7)
+        for cluster in (ClusterConfig(16, 8), ClusterConfig(6, 3)):
+            assert_identical(trace, lambda: compile_policy(doc), cluster)
+
+    def test_dynamic_tree_takes_replay_mode(self):
+        from repro.policy.compiler import compile_policy
+
+        engine = ColumnarEngine(
+            ClusterConfig(16, 8), compile_policy(self.TREES["mix"])
+        )
+        engine.run(make_zoo_trace(n=8))
+        assert engine.last_path == "kernel"
+        assert engine.last_kernel_mode == "replay"
+
+    def test_static_tree_stays_in_pass_mode(self):
+        """A tree with no dynamic features still compiles to a static
+        policy and keeps the fastest mode."""
+        from repro.policy.compiler import compile_policy
+
+        doc = {
+            "version": 1,
+            "name": "static-tree",
+            "tree": {"score": [{"feature": "submit_time", "weight": 1.0}]},
+        }
+        engine = ColumnarEngine(ClusterConfig(16, 8), compile_policy(doc))
+        engine.run(make_zoo_trace(n=8))
+        assert engine.last_path == "kernel"
+        assert engine.last_kernel_mode == "passes"
+
+
+class TestFallbackEnvelope:
     def test_preemption_digest_identical(self):
-        """Preemption-on runs go through the fallback; digests still match
-        a directly built object engine by construction."""
+        """Inert preemption (FIFO) stays in pass mode; digests still match
+        a directly built object engine."""
         trace = make_zoo_trace(seed=23, n=12)
         assert_identical(
             trace, FIFOScheduler, ClusterConfig(8, 4), preemption=True
         )
+
+    def test_fallback_envelope_is_pinned(self):
+        """The complete post-widening envelope: exactly these conditions
+        leave the kernel, nothing else.  A new fallback reason appearing
+        here is an envelope regression."""
+        from repro.core.shuffle import NetworkShuffleModel
+        from repro.schedulers import CapacityScheduler
+
+        trace = make_zoo_trace(n=6)
+        cases = {
+            "pluggable shuffle model": ColumnarEngine(
+                ClusterConfig(8, 4), FIFOScheduler(),
+                shuffle_model=NetworkShuffleModel(1e6, 1e9),
+            ),
+            "state-inspecting sanitizer": ColumnarEngine(
+                ClusterConfig(8, 4), FIFOScheduler(),
+                sanitizer=Sanitizer(fail_fast=True),
+            ),
+            "without the columnar contract": ColumnarEngine(
+                ClusterConfig(8, 4), CapacityScheduler({"default": 1.0})
+            ),
+        }
+        for expected, engine in cases.items():
+            engine.run(trace)
+            assert engine.last_path == "object"
+            assert expected in engine.fallback_reason
+        # depends_on is per-trace, not per-engine configuration.
+        profile = make_constant_profile()
+        dep_trace = [TraceJob(profile, 0.0), TraceJob(profile, 0.0, depends_on=0)]
+        engine = ColumnarEngine(ClusterConfig(8, 4), FIFOScheduler())
+        engine.run(dep_trace)
+        assert engine.fallback_reason == "workflow dependencies (depends_on)"
+        # And nothing else falls back: preemption + a preemptive scheduler
+        # + Fair all stay on the kernel now.
+        from repro.schedulers import FairScheduler
+
+        for scheduler, kw in [
+            (MaxEDFScheduler(preemptive=True), {"preemption": True}),
+            (FairScheduler(), {}),
+            (FIFOScheduler(), {"preemption": True}),
+        ]:
+            engine = ColumnarEngine(ClusterConfig(8, 4), scheduler, **kw)
+            engine.run(make_zoo_trace(n=6))
+            assert engine.last_path == "kernel", scheduler.name
+            assert engine.fallback_reason is None
 
     def test_state_inspecting_sanitizer_falls_back(self):
         engine = ColumnarEngine(

@@ -18,9 +18,19 @@ from repro.schedulers import FIFOScheduler, MaxEDFScheduler, MinEDFScheduler
 from conftest import make_constant_profile, make_random_profile
 
 
-def run(trace, scheduler, cluster=ClusterConfig(4, 4), **kw):
-    engine = SimulatorEngine(cluster, scheduler, preemption=True, **kw)
-    return engine.run(trace)
+@pytest.fixture
+def run(engine_kind):
+    """Preemptive run on the parametrized engine path: since the kernel's
+    segmented-replay mode covers live preemption, every behavioural pin
+    here holds on both the object loop and the columnar kernel."""
+
+    def _run(trace, scheduler, cluster=ClusterConfig(4, 4), **kw):
+        return simulate(
+            trace, scheduler, cluster, engine=engine_kind, preemption=True,
+            sanitize=False, **kw,
+        )
+
+    return _run
 
 
 @pytest.fixture
@@ -35,7 +45,7 @@ def hog_and_urgent():
 
 
 class TestPreemptiveMaxEDF:
-    def test_urgent_job_meets_deadline(self, hog_and_urgent):
+    def test_urgent_job_meets_deadline(self, run, hog_and_urgent):
         result = run(hog_and_urgent, MaxEDFScheduler(preemptive=True))
         assert result.jobs[1].completion_time <= 30.0
 
@@ -43,7 +53,7 @@ class TestPreemptiveMaxEDF:
         result = simulate(hog_and_urgent, MaxEDFScheduler(), ClusterConfig(4, 4))
         assert result.jobs[1].completion_time > 30.0
 
-    def test_killed_work_reruns(self, hog_and_urgent):
+    def test_killed_work_reruns(self, run, hog_and_urgent):
         result = run(hog_and_urgent, MaxEDFScheduler(preemptive=True))
         killed = [r for r in result.task_records if r.killed]
         assert len(killed) == 4  # the urgent job needed 4 slots
@@ -55,13 +65,13 @@ class TestPreemptiveMaxEDF:
         ]
         assert len(hog_completed) == 8
 
-    def test_kill_costs_lost_work(self, hog_and_urgent):
+    def test_kill_costs_lost_work(self, run, hog_and_urgent):
         """The hog finishes later than without preemption (restarts)."""
         preempted = run(hog_and_urgent, MaxEDFScheduler(preemptive=True))
         clean = simulate(hog_and_urgent, MaxEDFScheduler(), ClusterConfig(4, 4))
         assert preempted.jobs[0].completion_time > clean.jobs[0].completion_time
 
-    def test_earlier_deadline_jobs_never_preempted(self):
+    def test_earlier_deadline_jobs_never_preempted(self, run):
         """A late-deadline arrival must not disturb earlier-deadline work."""
         early = make_constant_profile(name="early", num_maps=4, num_reduces=0, map_s=50.0)
         late = make_constant_profile(name="late", num_maps=4, num_reduces=0, map_s=10.0)
@@ -79,7 +89,7 @@ class TestPreemptiveMaxEDF:
 
 
 class TestPreemptiveMinEDF:
-    def test_takes_only_its_demand(self):
+    def test_takes_only_its_demand(self, run):
         """MinEDF+P frees only the slots its model demand requires.
 
         The hog's deadline makes it want 7 of the 8 map slots; the tight
@@ -96,7 +106,7 @@ class TestPreemptiveMinEDF:
         assert killed == 2
         assert result.jobs[1].completion_time <= 45.0
 
-    def test_helps_urgent_arrivals_into_busy_cluster(self):
+    def test_helps_urgent_arrivals_into_busy_cluster(self, run):
         """The paper's bump scenario: tight-deadline jobs arriving while
         loose background work holds the slots.  Preemption must reduce
         the *urgent* jobs' deadline misses; the background jobs pay with
@@ -122,10 +132,9 @@ class TestPreemptiveMinEDF:
             urgent_ids.append(len(trace) - 1)
 
         plain = simulate(trace, MinEDFScheduler(), cluster, record_tasks=False)
-        preempt = SimulatorEngine(
-            cluster, MinEDFScheduler(preemptive=True), preemption=True,
-            record_tasks=False,
-        ).run(trace)
+        preempt = run(
+            trace, MinEDFScheduler(preemptive=True), cluster, record_tasks=False
+        )
         urgent_plain = sum(plain.jobs[i].relative_deadline_exceeded() for i in urgent_ids)
         urgent_preempt = sum(
             preempt.jobs[i].relative_deadline_exceeded() for i in urgent_ids
@@ -135,7 +144,7 @@ class TestPreemptiveMinEDF:
 
 
 class TestPreemptionEngineMechanics:
-    def test_filler_reduce_can_be_killed(self):
+    def test_filler_reduce_can_be_killed(self, run):
         """Killing a first-wave filler must cancel its rewrite."""
         victim = make_constant_profile(
             name="victim", num_maps=8, num_reduces=4, map_s=50.0,
@@ -162,7 +171,7 @@ class TestPreemptionEngineMechanics:
         ]
         assert len(done) == 4
 
-    def test_stale_departures_ignored(self, hog_and_urgent):
+    def test_stale_departures_ignored(self, run, hog_and_urgent):
         """Event accounting stays consistent: killed attempts' departure
         events fire but change nothing."""
         result = run(hog_and_urgent, MaxEDFScheduler(preemptive=True))
@@ -192,7 +201,7 @@ class TestPreemptionEngineMechanics:
         )
         assert not any(r.killed for r in result.task_records)
 
-    def test_fifo_unaffected_by_preemption_mode(self, rng):
+    def test_fifo_unaffected_by_preemption_mode(self, run, rng):
         profiles = [make_random_profile(rng, f"j{i}", 10, 5) for i in range(3)]
         trace = [TraceJob(p, float(i)) for i, p in enumerate(profiles)]
         plain = simulate(trace, FIFOScheduler(), ClusterConfig(4, 4))

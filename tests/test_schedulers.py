@@ -187,6 +187,86 @@ class TestFair:
         assert fair_gap < fifo_gap
 
 
+class TestFairPreemption:
+    """HFS-style preemption: kills restore starved pools to their share."""
+
+    def test_name_marks_variant(self):
+        assert FairScheduler(preemptive=True).name == "Fair+P"
+        assert FairScheduler().name == "Fair"
+
+    def test_plain_fair_never_requests_kills(self):
+        jobs = make_jobs((0.0, None), (1.0, None))
+        jobs[0].maps_dispatched = 8
+        sched = FairScheduler(pool_of=lambda j: str(j.job_id))
+        assert (
+            sched.preemption_requests(jobs[1], [jobs[0]], ClusterConfig(8, 8), 0, 8)
+            == []
+        )
+
+    def test_restores_arrivals_pool_to_fair_share(self):
+        """A hog holding all 8 map slots yields the arrival's half share."""
+        jobs = make_jobs((0.0, None), (1.0, None))
+        jobs[0].maps_dispatched = 8
+        sched = FairScheduler(pool_of=lambda j: str(j.job_id), preemptive=True)
+        reqs = sched.preemption_requests(jobs[1], [jobs[0]], ClusterConfig(8, 8), 0, 8)
+        assert reqs == [(jobs[0], "map", 4)]
+
+    def test_free_slots_count_against_the_deficit(self):
+        jobs = make_jobs((0.0, None), (1.0, None))
+        jobs[0].maps_dispatched = 4
+        sched = FairScheduler(pool_of=lambda j: str(j.job_id), preemptive=True)
+        assert (
+            sched.preemption_requests(jobs[1], [jobs[0]], ClusterConfig(8, 8), 4, 8)
+            == []
+        )
+
+    def test_never_drives_victim_pool_below_its_share(self):
+        """Three equal pools on 8 slots: each is entitled to 2; the kills
+        stop once the victim pool is down to its own entitlement."""
+        jobs = make_jobs((0.0, None), (1.0, None), (2.0, None))
+        jobs[0].maps_dispatched = 4
+        jobs[1].maps_dispatched = 4
+        sched = FairScheduler(pool_of=lambda j: str(j.job_id), preemptive=True)
+        reqs = sched.preemption_requests(
+            jobs[2], [jobs[0], jobs[1]], ClusterConfig(8, 8), 0, 8
+        )
+        # Later-submitted victim yields first; both stay at >= their share.
+        assert reqs == [(jobs[1], "map", 2)]
+
+    def test_weights_shift_entitlements(self):
+        jobs = make_jobs((0.0, None), (1.0, None))
+        jobs[0].maps_dispatched = 8
+        sched = FairScheduler(
+            pool_of=lambda j: str(j.job_id), weights={"1": 3.0}, preemptive=True
+        )
+        reqs = sched.preemption_requests(jobs[1], [jobs[0]], ClusterConfig(8, 8), 0, 8)
+        assert reqs == [(jobs[0], "map", 6)]  # floor(8 * 3/4)
+
+    def test_end_to_end_kills_restore_share(self):
+        """Engine-level: the starved pool reaches its share immediately,
+        paying the hog with rerun work (Hadoop kill semantics)."""
+        hog = make_constant_profile(name="hog", num_maps=40, num_reduces=0, map_s=10.0)
+        small = make_constant_profile(name="small", num_maps=8, num_reduces=0, map_s=10.0)
+        trace = [TraceJob(hog, 0.0), TraceJob(small, 5.0)]
+        result = simulate(
+            trace,
+            FairScheduler(preemptive=True),
+            ClusterConfig(8, 8),
+            preemption=True,
+        )
+        killed = [r for r in result.task_records if r.killed]
+        assert len(killed) == 4  # half the cluster, the arrival's share
+        assert all(r.job_id == 0 for r in killed)
+        # Two 4-wide waves from t=5 on its half share.
+        assert result.jobs[1].completion_time == 25.0
+        # Without the flag the hook is a no-op and the arrival waits.
+        plain = simulate(
+            trace, FairScheduler(), ClusterConfig(8, 8), preemption=True
+        )
+        assert not any(r.killed for r in plain.task_records)
+        assert plain.jobs[1].completion_time > 25.0
+
+
 class TestCapacity:
     def test_validates_configuration(self):
         with pytest.raises(ValueError):

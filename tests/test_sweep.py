@@ -126,6 +126,41 @@ class TestRunSweep:
         with pytest.raises(ValueError, match="at least one scheduler"):
             run_sweep(trace, schedulers={})
 
+    def test_cells_carry_engine_path(self, trace):
+        """Every cell reports which execution path produced it; static
+        and Fair policies stay on the kernel, uncontracted dynamic ones
+        name their fallback reason."""
+        result = run_sweep(
+            trace,
+            schedulers=("fifo", "fair"),
+            clusters=(ClusterConfig(8, 8),),
+        )
+        for cell in result.cells:
+            assert cell.engine_path == "kernel"
+            assert cell.fallback_reason is None
+            assert cell.row()["engine_path"] == "kernel"
+
+    def test_fallback_cells_name_their_reason(self, trace):
+        result = run_sweep(
+            trace,
+            schedulers=[SchedulerSpec(kind="zoo", name="DynamicPriority")],
+            clusters=(ClusterConfig(8, 8),),
+        )
+        cell = result.cells[0]
+        assert cell.engine_path == "object"
+        assert "without the columnar contract" in cell.fallback_reason
+
+    def test_engine_path_survives_cache_restore(self, trace, tmp_path):
+        cache = tmp_path / "results.sqlite"
+        for expect_cached in (False, True):
+            result = run_sweep(
+                trace, schedulers=("fifo",), clusters=(ClusterConfig(8, 8),),
+                cache=cache,
+            )
+            cell = result.cells[0]
+            assert cell.cached is expect_cached
+            assert cell.engine_path == "kernel"
+
 
 class TestSweepCLI:
     def test_sweep_command(self, tmp_path, capsys):
